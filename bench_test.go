@@ -1,0 +1,257 @@
+package evmatching
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"testing"
+
+	"evmatching/internal/core"
+	"evmatching/internal/experiments"
+	"evmatching/internal/metrics"
+)
+
+// The benchmarks below regenerate each of the paper's tables and figures at
+// quick scale (200 persons); run `go run ./cmd/evbench` for the full-scale
+// 1000-person reproduction. Custom metrics surface the quantities the paper
+// plots so `go test -bench` output doubles as a shape check.
+
+// benchRunner builds a fresh quick-scale experiment runner.
+func benchRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
+	r, err := experiments.NewRunner(experiments.Quick(), io.Discard)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return r
+}
+
+func lastColumn(b *testing.B, s *metrics.Series, name string) float64 {
+	b.Helper()
+	col, ok := s.Column(name)
+	if !ok || len(col) == 0 {
+		b.Fatalf("series missing column %q", name)
+	}
+	return col[len(col)-1]
+}
+
+// BenchmarkFig5SelectedScenariosVsEIDs regenerates Fig. 5: unique selected
+// scenarios as the matched-EID count grows, SS vs EDP.
+func BenchmarkFig5SelectedScenariosVsEIDs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		s, err := r.Fig5(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastColumn(b, s, "SS"), "SS-selected")
+		b.ReportMetric(lastColumn(b, s, "EDP"), "EDP-selected")
+	}
+}
+
+// BenchmarkFig6SelectedScenariosVsDensity regenerates Fig. 6: SS's count
+// falls and converges with density while EDP's grows.
+func BenchmarkFig6SelectedScenariosVsDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		s, err := r.Fig6(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		cols := r.Config().DensityEIDCounts
+		b.ReportMetric(lastColumn(b, s, "SS-"+metrics.F(float64(cols[len(cols)-1]), 0)), "SS-selected")
+	}
+}
+
+// BenchmarkFig7ScenariosPerEID regenerates Fig. 7: average selected
+// scenarios per matched EID.
+func BenchmarkFig7ScenariosPerEID(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		s, err := r.Fig7(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastColumn(b, s, "SS"), "SS-perEID")
+		b.ReportMetric(lastColumn(b, s, "EDP"), "EDP-perEID")
+	}
+}
+
+// BenchmarkFig8TimeVsEIDs regenerates Fig. 8: E/V processing time vs matched
+// EIDs (V dominates; SS undercuts EDP).
+func BenchmarkFig8TimeVsEIDs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		s, err := r.Fig8(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastColumn(b, s, "SS-E+V"), "SS-s")
+		b.ReportMetric(lastColumn(b, s, "EDP-E+V"), "EDP-s")
+	}
+}
+
+// BenchmarkFig9TimeVsDensity regenerates Fig. 9: processing time vs density.
+func BenchmarkFig9TimeVsDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		s, err := r.Fig9(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(lastColumn(b, s, "SS-E+V"), "SS-s")
+	}
+}
+
+// BenchmarkTable1AccuracyVsEIDs regenerates Table I: accuracy vs number of
+// matched EIDs.
+func BenchmarkTable1AccuracyVsEIDs(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.Table1(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2AccuracyVsDensity regenerates Table II: accuracy vs
+// density.
+func BenchmarkTable2AccuracyVsDensity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.Table2(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig10EIDMissing regenerates Fig. 10: accuracy under missing EIDs.
+func BenchmarkFig10EIDMissing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, _, err := r.Fig10(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11VIDMissing regenerates Fig. 11: accuracy under missing VIDs
+// with matching refining.
+func BenchmarkFig11VIDMissing(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, _, err := r.Fig11(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Ablation benchmarks (see DESIGN.md §5).
+
+func BenchmarkAblationNoReuseCache(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.AblationReuse(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationNoVagueZone(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.AblationVagueZone(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationRefineRounds(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.AblationRefineRounds(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMatchingSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.AblationMatchingSize(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationParallelSpeedup(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.AblationParallelSpeedup(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationLayout(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.AblationLayout(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Single-run micro benchmarks of the two algorithms on one shared dataset.
+
+func benchDataset(b *testing.B) *Dataset {
+	b.Helper()
+	cfg := DefaultDatasetConfig()
+	cfg.NumPersons = 200
+	cfg.Density = 15
+	cfg.NumWindows = 32
+	ds, err := Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func benchMatch(b *testing.B, alg core.Algorithm, mode core.Mode) {
+	ds := benchDataset(b)
+	targets := ds.SampleEIDs(80, rand.New(rand.NewSource(5)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Match(context.Background(), ds, Options{Algorithm: alg, Mode: mode}, targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(rep.SelectedScenarios), "selected")
+		b.ReportMetric(rep.Accuracy(ds.TruthVID)*100, "acc%")
+	}
+}
+
+func BenchmarkMatchSSSerial(b *testing.B)   { benchMatch(b, core.AlgorithmSS, core.ModeSerial) }
+func BenchmarkMatchSSParallel(b *testing.B) { benchMatch(b, core.AlgorithmSS, core.ModeParallel) }
+func BenchmarkMatchEDPSerial(b *testing.B)  { benchMatch(b, core.AlgorithmEDP, core.ModeSerial) }
+func BenchmarkGenerateDataset(b *testing.B) {
+	cfg := DefaultDatasetConfig()
+	cfg.NumPersons = 200
+	cfg.Density = 15
+	cfg.NumWindows = 16
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Generate(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationMobility(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := benchRunner(b)
+		if _, err := r.AblationMobility(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,88 @@
+// Command evbench regenerates every table and figure of the paper's
+// evaluation section (§VI) and, optionally, the ablation studies.
+//
+// Usage:
+//
+//	evbench [-quick] [-ablations] [-out results.txt] [-progress]
+//
+// The default full-scale run mirrors the paper's setup (1000 human objects);
+// -quick runs the same sweeps on a 200-person world in seconds.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"evmatching"
+	"evmatching/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "evbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("evbench", flag.ContinueOnError)
+	var (
+		quick     = fs.Bool("quick", false, "run the shrunken quick-scale sweeps")
+		ablations = fs.Bool("ablations", false, "also run the ablation studies")
+		outPath   = fs.String("out", "", "write results to this file as well as stdout")
+		progress  = fs.Bool("progress", false, "log per-run progress to stderr")
+		format    = fs.String("format", "text", "output format: text, markdown, or csv")
+		plots     = fs.Bool("plots", false, "render ASCII line charts after each figure (text format)")
+		runs      = fs.Int("runs", 1, "average each measurement over this many matcher seeds")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *format != "text" && *format != "markdown" && *format != "csv" {
+		return fmt.Errorf("unknown format %q", *format)
+	}
+	cfg := evmatching.PaperExperiments()
+	if *quick {
+		cfg = evmatching.QuickExperiments()
+	}
+	cfg.Runs = *runs
+	var out io.Writer = os.Stdout
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = io.MultiWriter(os.Stdout, f)
+	}
+	var logw io.Writer
+	if *progress {
+		logw = os.Stderr
+	}
+	runner, err := experiments.NewRunner(cfg, logw)
+	if err != nil {
+		return err
+	}
+	ctx := context.Background()
+	runFigures, runAblations := runner.RunAll, runner.RunAblations
+	switch {
+	case *format == "markdown":
+		runFigures, runAblations = runner.RunAllMarkdown, runner.RunAblationsMarkdown
+	case *format == "csv":
+		runFigures = runner.RunAllCSV
+	case *plots:
+		runFigures = runner.RunAllPlots
+	}
+	if err := runFigures(ctx, out); err != nil {
+		return err
+	}
+	if *ablations {
+		if err := runAblations(ctx, out); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"evmatching"
+)
+
+func TestRunGeneratesLoadableDataset(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.gob")
+	err := run([]string{
+		"-out", out,
+		"-persons", "50",
+		"-density", "10",
+		"-windows", "8",
+		"-seed", "3",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ds, err := evmatching.LoadDataset(out)
+	if err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	if len(ds.Persons) != 50 {
+		t.Errorf("persons = %d", len(ds.Persons))
+	}
+	if ds.Store.Len() == 0 {
+		t.Error("no scenarios")
+	}
+}
+
+func TestRunPracticalAndHex(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.gob")
+	err := run([]string{
+		"-out", out,
+		"-persons", "40",
+		"-density", "10",
+		"-windows", "6",
+		"-layout", "hex",
+		"-practical",
+		"-eid-miss", "0.2",
+		"-vid-miss", "0.05",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ds, err := evmatching.LoadDataset(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.AllEIDs()) >= 40 {
+		t.Errorf("EIDs = %d, want < 40 with missing rate", len(ds.AllEIDs()))
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("want error for missing -out")
+	}
+	if err := run([]string{"-out", "x", "-layout", "triangle"}); err == nil {
+		t.Error("want error for unknown layout")
+	}
+	if err := run([]string{"-out", filepath.Join(t.TempDir(), "w.gob"), "-persons", "0"}); err == nil {
+		t.Error("want error for invalid config")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("want flag parse error")
+	}
+}

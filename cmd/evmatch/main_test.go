@@ -1,0 +1,124 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"evmatching"
+)
+
+// writeDataset generates a small dataset file for the tests.
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := evmatching.DefaultDatasetConfig()
+	cfg.NumPersons = 50
+	cfg.Density = 10
+	cfg.NumWindows = 10
+	ds, err := evmatching.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.gob")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunSampleMatch(t *testing.T) {
+	path := writeDataset(t)
+	if err := run([]string{"-data", path, "-n", "10"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunAllUniversalVerbose(t *testing.T) {
+	path := writeDataset(t)
+	if err := run([]string{"-data", path, "-all", "-v"}); err != nil {
+		t.Fatalf("run -all: %v", err)
+	}
+}
+
+func TestRunExplicitEIDsParallelEDP(t *testing.T) {
+	path := writeDataset(t)
+	ds, err := evmatching.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eids := ds.AllEIDs()
+	list := string(eids[0]) + "," + string(eids[1])
+	if err := run([]string{
+		"-data", path, "-eids", list,
+		"-algorithm", "edp", "-mode", "parallel", "-workers", "2",
+	}); err != nil {
+		t.Fatalf("run -eids: %v", err)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	path := writeDataset(t)
+	if err := run(nil); err == nil {
+		t.Error("want error for missing -data")
+	}
+	if err := run([]string{"-data", path}); err == nil {
+		t.Error("want error for missing target selection")
+	}
+	if err := run([]string{"-data", path, "-n", "5", "-algorithm", "magic"}); err == nil {
+		t.Error("want error for unknown algorithm")
+	}
+	if err := run([]string{"-data", path, "-n", "5", "-mode", "warp"}); err == nil {
+		t.Error("want error for unknown mode")
+	}
+	if err := run([]string{"-data", filepath.Join(t.TempDir(), "missing.gob"), "-n", "5"}); err == nil {
+		t.Error("want error for missing dataset file")
+	}
+}
+
+func TestRunJSONOutput(t *testing.T) {
+	path := writeDataset(t)
+	// Capture stdout.
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run([]string{"-data", path, "-n", "5", "-json"})
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatalf("run: %v", runErr)
+	}
+	var out struct {
+		Algorithm string `json:"algorithm"`
+		Targets   int    `json:"targets"`
+		Matches   []struct {
+			EID     string `json:"eid"`
+			Correct *bool  `json:"correct"`
+		} `json:"matches"`
+	}
+	if err := json.NewDecoder(r).Decode(&out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if out.Algorithm != "SS" || out.Targets != 5 || len(out.Matches) != 5 {
+		t.Errorf("json report = %+v", out)
+	}
+	for _, m := range out.Matches {
+		if m.Correct == nil {
+			t.Errorf("match %s missing truth verdict", m.EID)
+		}
+	}
+}
+
+func TestRunExplain(t *testing.T) {
+	path := writeDataset(t)
+	ds, err := evmatching.LoadDataset(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-data", path, "-explain", string(ds.AllEIDs()[0])}); err != nil {
+		t.Fatalf("run -explain: %v", err)
+	}
+}

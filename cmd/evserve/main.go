@@ -1,0 +1,94 @@
+// Command evserve matches a dataset universally and serves fusion queries
+// over HTTP: the end state the paper motivates, where one query retrieves a
+// person's electronic and visual information together.
+//
+// Usage:
+//
+//	evserve -data world.gob [-addr 127.0.0.1:8080] [-mode serial|parallel]
+//
+// Endpoints: /healthz, /match?eid=, /reverse?vid=, /trajectory?eid=,
+// /whowasat?cell=&window=.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"evmatching"
+	"evmatching/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:], nil); err != nil {
+		fmt.Fprintln(os.Stderr, "evserve:", err)
+		os.Exit(1)
+	}
+}
+
+// run starts the server; when ready is non-nil, the bound address is sent on
+// it once the listener is up (used by tests).
+func run(args []string, ready chan<- string) error {
+	fs := flag.NewFlagSet("evserve", flag.ContinueOnError)
+	var (
+		data     = fs.String("data", "", "dataset file from evgen (required)")
+		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
+		modeName = fs.String("mode", "serial", "matching mode: serial or parallel")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *data == "" {
+		return errors.New("-data is required")
+	}
+	ds, err := evmatching.LoadDataset(*data)
+	if err != nil {
+		return err
+	}
+	opts := evmatching.Options{}
+	switch *modeName {
+	case "serial":
+		opts.Mode = evmatching.ModeSerial
+	case "parallel":
+		opts.Mode = evmatching.ModeParallel
+	default:
+		return fmt.Errorf("unknown mode %q", *modeName)
+	}
+
+	fmt.Printf("matching %d EIDs universally...\n", len(ds.AllEIDs()))
+	start := time.Now()
+	m, err := evmatching.NewMatcher(ds, opts)
+	if err != nil {
+		return err
+	}
+	rep, err := m.MatchAll(context.Background())
+	if err != nil {
+		return err
+	}
+	idx, err := evmatching.BuildFusionIndex(ds, rep)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("indexed %d pairs in %v (accuracy vs truth %.1f%%)\n",
+		idx.Len(), time.Since(start).Round(time.Millisecond),
+		rep.Accuracy(ds.TruthVID)*100)
+
+	srv, err := server.New(ds, idx)
+	if err != nil {
+		return err
+	}
+	lis, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving fusion queries on http://%s\n", lis.Addr())
+	if ready != nil {
+		ready <- lis.Addr().String()
+	}
+	return http.Serve(lis, srv)
+}

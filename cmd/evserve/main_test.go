@@ -1,0 +1,86 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"evmatching"
+)
+
+func writeDataset(t *testing.T) string {
+	t.Helper()
+	cfg := evmatching.DefaultDatasetConfig()
+	cfg.NumPersons = 40
+	cfg.Density = 8
+	cfg.NumWindows = 8
+	ds, err := evmatching.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "w.gob")
+	if err := ds.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	data := writeDataset(t)
+
+	old := os.Stdout
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = devnull
+	defer func() {
+		os.Stdout = old
+		devnull.Close()
+	}()
+
+	ready := make(chan string, 1)
+	go func() {
+		// http.Serve never returns cleanly; the process exit tears it down.
+		_ = run([]string{"-data", data, "-addr", "127.0.0.1:0"}, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(30 * time.Second):
+		t.Fatal("server never became ready")
+	}
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Persons int `json:"persons"`
+		Matched int `json:"matched"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Persons != 40 || health.Matched == 0 {
+		t.Errorf("health = %+v", health)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil, nil); err == nil {
+		t.Error("want error for missing -data")
+	}
+	data := writeDataset(t)
+	if err := run([]string{"-data", data, "-mode", "quantum"}, nil); err == nil {
+		t.Error("want error for unknown mode")
+	}
+	if err := run([]string{"-data", "missing.gob"}, nil); err == nil {
+		t.Error("want error for missing dataset")
+	}
+}

@@ -1,0 +1,49 @@
+// Command mrworker joins a distributed MapReduce coordinator (see mrcoord)
+// and executes map and reduce tasks until told to exit.
+//
+// Usage:
+//
+//	mrworker -dir /shared/dir -addr 127.0.0.1:7777 [-id worker-1]
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+
+	"evmatching/internal/cluster"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "mrworker:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("mrworker", flag.ContinueOnError)
+	var (
+		dir  = fs.String("dir", "", "shared data directory (must match the coordinator)")
+		addr = fs.String("addr", "127.0.0.1:7777", "coordinator RPC address")
+		id   = fs.String("id", "", "worker id (default: generated)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dir == "" {
+		return errors.New("-dir is required")
+	}
+	reg := cluster.NewRegistry()
+	if err := cluster.RegisterWordCount(reg); err != nil {
+		return err
+	}
+	w, err := cluster.NewWorker(*addr, cluster.WorkerConfig{ID: *id, Dir: *dir, Registry: reg})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("worker joined %s\n", *addr)
+	return w.Run(context.Background())
+}

@@ -1,0 +1,18 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestRunValidation(t *testing.T) {
+	if err := run(nil); err == nil {
+		t.Error("want error for missing -dir")
+	}
+	// Nothing listening on the address: dial must fail quickly.
+	if err := run([]string{"-dir", t.TempDir(), "-addr", "127.0.0.1:1"}); err == nil {
+		t.Error("want dial error")
+	}
+	if err := run([]string{"-bogus"}); err == nil {
+		t.Error("want flag parse error")
+	}
+}

@@ -1,0 +1,3 @@
+module evmatching
+
+go 1.22

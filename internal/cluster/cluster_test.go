@@ -1,0 +1,423 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"evmatching/internal/mapreduce"
+)
+
+// newTestRegistry registers word-count functions.
+func newTestRegistry(t *testing.T) *Registry {
+	t.Helper()
+	reg := NewRegistry()
+	if err := reg.RegisterMap("wc.map", func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+		for _, w := range strings.Fields(in.Value) {
+			emit(mapreduce.KeyValue{Key: w, Value: "1"})
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(key string, values []string, emit mapreduce.Emitter) error {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit(mapreduce.KeyValue{Key: key, Value: strconv.Itoa(total)})
+		return nil
+	}
+	if err := reg.RegisterReduce("wc.reduce", sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterReduce("wc.combine", sum); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterReduce("boom.reduce", func(string, []string, mapreduce.Emitter) error {
+		return fmt.Errorf("deterministic failure")
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// testCluster spins up a coordinator and n workers in-process over real TCP.
+type testCluster struct {
+	coord   *Coordinator
+	addr    string
+	workers sync.WaitGroup
+	cancel  context.CancelFunc
+}
+
+func startCluster(t *testing.T, nWorkers int, timeout time.Duration, crashAfter map[int]int) *testCluster {
+	t.Helper()
+	dir := t.TempDir()
+	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir, TaskTimeout: timeout})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := coord.Serve(lis)
+	ctx, cancel := context.WithCancel(context.Background())
+	tc := &testCluster{coord: coord, addr: addr, cancel: cancel}
+	reg := newTestRegistry(t)
+	for i := 0; i < nWorkers; i++ {
+		cfg := WorkerConfig{
+			ID:       fmt.Sprintf("w%d", i),
+			Dir:      dir,
+			Registry: reg,
+		}
+		if crashAfter != nil {
+			cfg.CrashAfter = crashAfter[i]
+		}
+		w, err := NewWorker(addr, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc.workers.Add(1)
+		go func() {
+			defer tc.workers.Done()
+			// Workers exit via TaskExit after Close, via crash injection,
+			// or via context cancellation at test teardown.
+			_ = w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		_ = coord.Close()
+		cancel()
+		tc.workers.Wait()
+	})
+	return tc
+}
+
+func wordLines(lines []string) []mapreduce.KeyValue {
+	input := make([]mapreduce.KeyValue, len(lines))
+	for i, l := range lines {
+		input[i] = mapreduce.KeyValue{Key: strconv.Itoa(i), Value: l}
+	}
+	return input
+}
+
+func wcSpec() JobSpec {
+	return JobSpec{
+		Name:        "wordcount",
+		MapName:     "wc.map",
+		ReduceName:  "wc.reduce",
+		NumMapTasks: 6,
+		NumReducers: 3,
+	}
+}
+
+func TestDistributedWordCount(t *testing.T) {
+	tc := startCluster(t, 3, time.Minute, nil)
+	lines := []string{"a b a", "b c", "a", "c c c", "d a b"}
+	res, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapreduce.KeyValue{
+		{Key: "a", Value: "4"}, {Key: "b", Value: "3"},
+		{Key: "c", Value: "4"}, {Key: "d", Value: "1"},
+	}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+	if res.Counters.Get(mapreduce.CounterMapIn) != int64(len(lines)) {
+		t.Errorf("map.in = %d", res.Counters.Get(mapreduce.CounterMapIn))
+	}
+}
+
+func TestDistributedMatchesSerialAndParallel(t *testing.T) {
+	lines := make([]string, 50)
+	for i := range lines {
+		lines[i] = fmt.Sprintf("w%d w%d w%d", i%7, (i*3)%7, (i*5)%7)
+	}
+	job := &mapreduce.Job{
+		Name:  "wc",
+		Input: wordLines(lines),
+		Map: func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+			for _, w := range strings.Fields(in.Value) {
+				emit(mapreduce.KeyValue{Key: w, Value: "1"})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit mapreduce.Emitter) error {
+			emit(mapreduce.KeyValue{Key: key, Value: strconv.Itoa(len(values))})
+			return nil
+		},
+	}
+	serial, err := mapreduce.SerialExecutor{}.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc := startCluster(t, 4, time.Minute, nil)
+	dist, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Output, serial.Output) {
+		t.Errorf("distributed output differs from serial:\n%v\n%v", dist.Output, serial.Output)
+	}
+}
+
+func TestDistributedWithCombiner(t *testing.T) {
+	tc := startCluster(t, 2, time.Minute, nil)
+	spec := wcSpec()
+	spec.CombineName = "wc.combine"
+	res, err := tc.coord.RunJob(context.Background(), spec, wordLines([]string{"x x x y", "y x"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapreduce.KeyValue{{Key: "x", Value: "4"}, {Key: "y", Value: "2"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+	if res.Counters.Get(mapreduce.CounterCombineOut) == 0 {
+		t.Error("combiner never ran")
+	}
+}
+
+func TestWorkerCrashRecovery(t *testing.T) {
+	// Worker 0 silently dies before reporting its first task; the lease
+	// expires and workers 1..2 redo the work.
+	tc := startCluster(t, 3, 300*time.Millisecond, map[int]int{0: 1})
+	lines := []string{"a b", "b c", "c a", "a a"}
+	res, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapreduce.KeyValue{
+		{Key: "a", Value: "4"}, {Key: "b", Value: "2"}, {Key: "c", Value: "2"},
+	}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output after crash = %v, want %v", res.Output, want)
+	}
+}
+
+func TestAllButOneWorkerCrash(t *testing.T) {
+	tc := startCluster(t, 3, 200*time.Millisecond, map[int]int{0: 1, 1: 2})
+	res, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"a b c", "a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapreduce.KeyValue{
+		{Key: "a", Value: "2"}, {Key: "b", Value: "1"}, {Key: "c", Value: "1"},
+	}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestDeterministicFunctionErrorFailsJob(t *testing.T) {
+	tc := startCluster(t, 2, time.Minute, nil)
+	spec := wcSpec()
+	spec.ReduceName = "boom.reduce"
+	if _, err := tc.coord.RunJob(context.Background(), spec, wordLines([]string{"a"})); err == nil {
+		t.Error("want job failure from reduce error")
+	}
+}
+
+func TestRunJobContextCancel(t *testing.T) {
+	// No workers: the job can never finish; cancellation must unblock.
+	dir := t.TempDir()
+	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(lis)
+	defer coord.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	if _, err := coord.RunJob(ctx, wcSpec(), wordLines([]string{"a"})); err == nil {
+		t.Error("want context error")
+	}
+}
+
+func TestSequentialJobs(t *testing.T) {
+	tc := startCluster(t, 2, time.Minute, nil)
+	for i := 0; i < 3; i++ {
+		res, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"q q"}))
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		if len(res.Output) != 1 || res.Output[0].Value != "2" {
+			t.Fatalf("job %d output = %v", i, res.Output)
+		}
+	}
+}
+
+func TestCoordinatorClosedRejectsJobs(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(lis)
+	if err := coord.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := coord.RunJob(context.Background(), wcSpec(), nil); err == nil {
+		t.Error("want ErrCoordinatorClosed")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	reg := NewRegistry()
+	if err := reg.RegisterMap("", nil); err == nil {
+		t.Error("want error for empty registration")
+	}
+	fn := func(mapreduce.KeyValue, mapreduce.Emitter) error { return nil }
+	if err := reg.RegisterMap("m", fn); err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.RegisterMap("m", fn); err == nil {
+		t.Error("want duplicate-registration error")
+	}
+	if _, err := reg.MapFunc("missing"); err == nil {
+		t.Error("want lookup error")
+	}
+	if _, err := reg.ReduceFunc("missing"); err == nil {
+		t.Error("want lookup error")
+	}
+	if _, err := reg.ReduceFunc(IdentityReduceName); err != nil {
+		t.Errorf("identity reduce not pre-registered: %v", err)
+	}
+}
+
+func TestIdentityReduceDefault(t *testing.T) {
+	tc := startCluster(t, 2, time.Minute, nil)
+	spec := JobSpec{Name: "maponly", MapName: "wc.map", NumMapTasks: 2, NumReducers: 2}
+	res, err := tc.coord.RunJob(context.Background(), spec, wordLines([]string{"b a", "a"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapreduce.KeyValue{
+		{Key: "a", Value: "1"}, {Key: "a", Value: "1"}, {Key: "b", Value: "1"},
+	}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	s := JobSpec{}
+	if err := s.normalize(); err == nil {
+		t.Error("want error for missing map name")
+	}
+	s = JobSpec{MapName: "m"}
+	if err := s.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	if s.ReduceName != IdentityReduceName || s.NumReducers != 4 || s.NumMapTasks != 8 {
+		t.Errorf("defaults not applied: %+v", s)
+	}
+}
+
+func TestNewCoordinatorValidation(t *testing.T) {
+	if _, err := NewCoordinator(CoordinatorConfig{}); err == nil {
+		t.Error("want error for missing dir")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Dir: "x", TaskTimeout: -time.Second}); err == nil {
+		t.Error("want error for negative timeout")
+	}
+}
+
+func TestNewWorkerValidation(t *testing.T) {
+	if _, err := NewWorker("127.0.0.1:1", WorkerConfig{}); err == nil {
+		t.Error("want error for missing dir/registry")
+	}
+	if _, err := NewWorker("127.0.0.1:1", WorkerConfig{Dir: "x", Registry: NewRegistry()}); err == nil {
+		t.Error("want dial error against closed port")
+	}
+}
+
+func TestTaskKindString(t *testing.T) {
+	for k, want := range map[TaskKind]string{
+		TaskMap: "map", TaskReduce: "reduce", TaskWait: "wait", TaskExit: "exit", TaskKind(0): "invalid",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("TaskKind(%d) = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestStatusIdleAndActive(t *testing.T) {
+	dir := t.TempDir()
+	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := coord.Status(); st.JobID != "" || st.Done() {
+		t.Errorf("idle status = %+v", st)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(lis)
+	defer coord.Close()
+
+	// Run a job with no workers in the background; status must show queued
+	// maps and no completions.
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = coord.RunJob(ctx, wcSpec(), wordLines([]string{"a b"}))
+	}()
+	deadline := time.After(5 * time.Second)
+	for {
+		st := coord.Status()
+		if st.JobID != "" {
+			if st.MapsTotal == 0 || st.MapsDone != 0 || st.Name != "wordcount" {
+				t.Errorf("active status = %+v", st)
+			}
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("job never became active")
+		default:
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	cancel()
+	<-done
+}
+
+func TestStatusProgressesWithWorkers(t *testing.T) {
+	tc := startCluster(t, 2, time.Minute, nil)
+	res, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"x y", "y"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) == 0 {
+		t.Fatal("no output")
+	}
+	// After completion the coordinator is idle again.
+	if st := tc.coord.Status(); st.JobID != "" {
+		t.Errorf("post-job status = %+v, want idle", st)
+	}
+}

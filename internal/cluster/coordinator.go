@@ -1,0 +1,386 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"evmatching/internal/mapreduce"
+)
+
+// Coordinator defaults.
+const (
+	// DefaultTaskTimeout is the lease after which an unreported task is
+	// assumed lost and re-queued for another worker.
+	DefaultTaskTimeout = 10 * time.Second
+	// RPCServiceName is the registered net/rpc service name.
+	RPCServiceName = "EVCoordinator"
+)
+
+// ErrCoordinatorClosed reports job submission after Close.
+var ErrCoordinatorClosed = errors.New("cluster: coordinator closed")
+
+// JobSpec names the functions and shape of one distributed job. The
+// functions must be registered under these names in every worker's Registry.
+type JobSpec struct {
+	Name        string
+	MapName     string
+	ReduceName  string // empty selects the identity reduce
+	CombineName string // optional
+	NumMapTasks int    // input chunks; 0 defaults to 2× reducers
+	NumReducers int    // 0 defaults to 4
+}
+
+// normalize fills defaults and validates.
+func (s *JobSpec) normalize() error {
+	if s.MapName == "" {
+		return fmt.Errorf("cluster: job %q has no map function", s.Name)
+	}
+	if s.ReduceName == "" {
+		s.ReduceName = IdentityReduceName
+	}
+	if s.NumReducers <= 0 {
+		s.NumReducers = 4
+	}
+	if s.NumMapTasks <= 0 {
+		s.NumMapTasks = 2 * s.NumReducers
+	}
+	return nil
+}
+
+// CoordinatorConfig parameterizes a coordinator.
+type CoordinatorConfig struct {
+	// Dir is the shared directory for input, intermediate, and output
+	// files; every worker must see the same directory.
+	Dir string
+	// TaskTimeout is the task lease; 0 means DefaultTaskTimeout.
+	TaskTimeout time.Duration
+}
+
+type taskState int
+
+const (
+	taskIdle taskState = iota + 1
+	taskInProgress
+	taskCompleted
+)
+
+type taskInfo struct {
+	state   taskState
+	started time.Time
+	worker  string
+}
+
+type activeJob struct {
+	id          string
+	spec        JobSpec
+	mapTasks    []taskInfo
+	reduceTasks []taskInfo
+	mapsLeft    int
+	reducesLeft int
+	counters    *mapreduce.Counters
+	done        chan struct{}
+	failed      error
+}
+
+// Coordinator schedules distributed jobs and serves the worker RPC API.
+// Create with NewCoordinator, expose with Serve, submit with RunJob.
+type Coordinator struct {
+	cfg CoordinatorConfig
+
+	mu     sync.Mutex
+	job    *activeJob
+	seq    int
+	closed bool
+
+	jobMu sync.Mutex // serializes RunJob callers
+
+	lis     net.Listener
+	serveWG sync.WaitGroup
+}
+
+// NewCoordinator creates a coordinator writing job files under cfg.Dir.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("cluster: coordinator needs a shared directory")
+	}
+	if cfg.TaskTimeout == 0 {
+		cfg.TaskTimeout = DefaultTaskTimeout
+	}
+	if cfg.TaskTimeout < 0 {
+		return nil, fmt.Errorf("cluster: negative task timeout")
+	}
+	return &Coordinator{cfg: cfg}, nil
+}
+
+// Serve starts accepting worker RPC connections on lis until Close. It
+// returns the address workers should dial.
+func (c *Coordinator) Serve(lis net.Listener) string {
+	c.mu.Lock()
+	c.lis = lis
+	c.mu.Unlock()
+	srv := rpc.NewServer()
+	// Registration cannot fail: the rpc API is satisfied by construction.
+	if err := srv.RegisterName(RPCServiceName, &coordinatorRPC{c: c}); err != nil {
+		panic(fmt.Sprintf("cluster: register RPC service: %v", err))
+	}
+	c.serveWG.Add(1)
+	go func() {
+		defer c.serveWG.Done()
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return // listener closed
+			}
+			c.serveWG.Add(1)
+			go func() {
+				defer c.serveWG.Done()
+				srv.ServeConn(conn)
+			}()
+		}
+	}()
+	return lis.Addr().String()
+}
+
+// Close stops the coordinator: running workers receive TaskExit on their
+// next request, and the RPC listener is shut down.
+func (c *Coordinator) Close() error {
+	c.mu.Lock()
+	c.closed = true
+	lis := c.lis
+	c.mu.Unlock()
+	if lis != nil {
+		return lis.Close()
+	}
+	return nil
+}
+
+// RunJob executes one job over the connected workers, blocking until every
+// task completes (or ctx is done). Jobs from concurrent callers run one at a
+// time.
+func (c *Coordinator) RunJob(ctx context.Context, spec JobSpec, input []mapreduce.KeyValue) (*mapreduce.Result, error) {
+	if err := spec.normalize(); err != nil {
+		return nil, err
+	}
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, ErrCoordinatorClosed
+	}
+	c.seq++
+	jobID := strconv.Itoa(c.seq)
+	c.mu.Unlock()
+
+	// Split input into map chunks and persist them.
+	if spec.NumMapTasks > len(input) && len(input) > 0 {
+		spec.NumMapTasks = len(input)
+	}
+	if len(input) == 0 {
+		spec.NumMapTasks = 1
+	}
+	chunk := (len(input) + spec.NumMapTasks - 1) / spec.NumMapTasks
+	if chunk == 0 {
+		chunk = 1
+	}
+	for m := 0; m < spec.NumMapTasks; m++ {
+		lo := m * chunk
+		hi := lo + chunk
+		if lo > len(input) {
+			lo = len(input)
+		}
+		if hi > len(input) {
+			hi = len(input)
+		}
+		if err := writeKVFile(inputFile(c.cfg.Dir, jobID, m), input[lo:hi]); err != nil {
+			return nil, err
+		}
+	}
+
+	job := &activeJob{
+		id:          jobID,
+		spec:        spec,
+		mapTasks:    newTasks(spec.NumMapTasks),
+		reduceTasks: newTasks(spec.NumReducers),
+		mapsLeft:    spec.NumMapTasks,
+		reducesLeft: spec.NumReducers,
+		counters:    mapreduce.NewCounters(),
+		done:        make(chan struct{}),
+	}
+	job.counters.Add(mapreduce.CounterMapIn, int64(len(input)))
+
+	c.mu.Lock()
+	c.job = job
+	c.mu.Unlock()
+	defer func() {
+		c.mu.Lock()
+		c.job = nil
+		c.mu.Unlock()
+	}()
+
+	select {
+	case <-ctx.Done():
+		return nil, fmt.Errorf("cluster: job %q: %w", spec.Name, ctx.Err())
+	case <-job.done:
+	}
+	if job.failed != nil {
+		return nil, fmt.Errorf("cluster: job %q: %w", spec.Name, job.failed)
+	}
+
+	// Collect reducer outputs.
+	var out []mapreduce.KeyValue
+	for r := 0; r < spec.NumReducers; r++ {
+		kvs, err := readKVFile(outputFile(c.cfg.Dir, jobID, r))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, kvs...)
+	}
+	sortKVs(out)
+	if err := removeJobFiles(c.cfg.Dir, jobID); err != nil {
+		return nil, err
+	}
+	return &mapreduce.Result{Output: out, Counters: job.counters}, nil
+}
+
+func newTasks(n int) []taskInfo {
+	ts := make([]taskInfo, n)
+	for i := range ts {
+		ts[i].state = taskIdle
+	}
+	return ts
+}
+
+// sortKVs applies the canonical mapreduce output ordering: by key, then
+// value, so distributed results are byte-identical to the other executors.
+func sortKVs(kvs []mapreduce.KeyValue) {
+	sort.Slice(kvs, func(i, j int) bool {
+		if kvs[i].Key != kvs[j].Key {
+			return kvs[i].Key < kvs[j].Key
+		}
+		return kvs[i].Value < kvs[j].Value
+	})
+}
+
+// coordinatorRPC is the net/rpc receiver; kept separate so only the RPC
+// surface is exported through the service.
+type coordinatorRPC struct {
+	c *Coordinator
+}
+
+// RequestTask hands the calling worker a task, telling it to wait when all
+// remaining tasks are leased, and to exit when the coordinator is closed.
+func (r *coordinatorRPC) RequestTask(args *TaskRequest, reply *TaskReply) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		reply.Kind = TaskExit
+		return nil
+	}
+	job := c.job
+	if job == nil {
+		reply.Kind = TaskWait
+		return nil
+	}
+	spec := job.spec
+	fill := func(kind TaskKind, id int) {
+		reply.Kind = kind
+		reply.JobID = job.id
+		reply.TaskID = id
+		reply.MapName = spec.MapName
+		reply.ReduceName = spec.ReduceName
+		reply.CombineName = spec.CombineName
+		reply.NumMapTasks = spec.NumMapTasks
+		reply.NumReducers = spec.NumReducers
+	}
+	now := time.Now()
+	if job.mapsLeft > 0 {
+		if id, ok := claimTask(job.mapTasks, now, c.cfg.TaskTimeout, args.WorkerID); ok {
+			fill(TaskMap, id)
+			return nil
+		}
+		reply.Kind = TaskWait
+		return nil
+	}
+	if job.reducesLeft > 0 {
+		if id, ok := claimTask(job.reduceTasks, now, c.cfg.TaskTimeout, args.WorkerID); ok {
+			fill(TaskReduce, id)
+			return nil
+		}
+		reply.Kind = TaskWait
+		return nil
+	}
+	reply.Kind = TaskWait
+	return nil
+}
+
+// claimTask finds an idle or lease-expired task and assigns it.
+func claimTask(tasks []taskInfo, now time.Time, timeout time.Duration, worker string) (int, bool) {
+	for i := range tasks {
+		t := &tasks[i]
+		if t.state == taskIdle || (t.state == taskInProgress && now.Sub(t.started) > timeout) {
+			t.state = taskInProgress
+			t.started = now
+			t.worker = worker
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// ReportTask records a worker's task completion. Reports for stale jobs or
+// already-completed tasks are ignored (a re-executed task may finish twice;
+// atomic file renames make that harmless).
+func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job := c.job
+	if job == nil || job.id != args.JobID {
+		return nil
+	}
+	var tasks []taskInfo
+	var left *int
+	switch args.Kind {
+	case TaskMap:
+		tasks, left = job.mapTasks, &job.mapsLeft
+	case TaskReduce:
+		tasks, left = job.reduceTasks, &job.reducesLeft
+	default:
+		return fmt.Errorf("cluster: report for %v task", args.Kind)
+	}
+	if args.TaskID < 0 || args.TaskID >= len(tasks) {
+		return fmt.Errorf("cluster: report for unknown task %d", args.TaskID)
+	}
+	if args.Err != "" {
+		// Execution failure (not a crash): fail the whole job; losing a
+		// worker is recoverable, a deterministic function error is not.
+		if job.failed == nil {
+			job.failed = errors.New(args.Err)
+			close(job.done)
+		}
+		return nil
+	}
+	t := &tasks[args.TaskID]
+	if t.state == taskCompleted {
+		return nil
+	}
+	t.state = taskCompleted
+	*left--
+	for name, v := range args.Counters {
+		job.counters.Add(name, v)
+	}
+	if job.mapsLeft == 0 && job.reducesLeft == 0 && job.failed == nil {
+		close(job.done)
+	}
+	return nil
+}

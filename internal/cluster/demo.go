@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"strconv"
+	"strings"
+
+	"evmatching/internal/mapreduce"
+)
+
+// Demo function names shared by the mrcoord and mrworker commands. Both
+// processes must register the same functions: RPC ships only names, the
+// registry supplies the code.
+const (
+	DemoWordCountMap    = "demo.wordcount.map"
+	DemoWordCountReduce = "demo.wordcount.reduce"
+)
+
+// RegisterWordCount registers the demo word-count functions, the smallest
+// end-to-end exercise of the distributed runtime.
+func RegisterWordCount(reg *Registry) error {
+	if err := reg.RegisterMap(DemoWordCountMap, func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+		for _, w := range strings.Fields(in.Value) {
+			emit(mapreduce.KeyValue{Key: strings.ToLower(w), Value: "1"})
+		}
+		return nil
+	}); err != nil {
+		return err
+	}
+	return reg.RegisterReduce(DemoWordCountReduce, func(key string, values []string, emit mapreduce.Emitter) error {
+		sum := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			sum += n
+		}
+		emit(mapreduce.KeyValue{Key: key, Value: strconv.Itoa(sum)})
+		return nil
+	})
+}

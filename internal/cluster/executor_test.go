@@ -1,0 +1,141 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"reflect"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"evmatching/internal/mapreduce"
+	"evmatching/internal/mrtest"
+)
+
+// startExecutorCluster boots a coordinator plus n in-process workers sharing
+// one registry, returning the adapted Executor.
+func startExecutorCluster(t *testing.T, nWorkers int) *Executor {
+	t.Helper()
+	dir := t.TempDir()
+	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir, TaskTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := coord.Serve(lis)
+	reg := NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		w, err := NewWorker(addr, WorkerConfig{
+			ID:       fmt.Sprintf("exec-w%d", i),
+			Dir:      dir,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		_ = coord.Close()
+		cancel()
+		wg.Wait()
+	})
+	exec, err := NewExecutor(coord, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec
+}
+
+func executorWordCountJob(lines []string) *mapreduce.Job {
+	input := make([]mapreduce.KeyValue, len(lines))
+	for i, l := range lines {
+		input[i] = mapreduce.KeyValue{Key: strconv.Itoa(i), Value: l}
+	}
+	return &mapreduce.Job{
+		Name:  "exec-wc",
+		Input: input,
+		Map: func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+			for _, w := range strings.Fields(in.Value) {
+				emit(mapreduce.KeyValue{Key: w, Value: "1"})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit mapreduce.Emitter) error {
+			emit(mapreduce.KeyValue{Key: key, Value: strconv.Itoa(len(values))})
+			return nil
+		},
+		NumReducers: 3,
+	}
+}
+
+func TestExecutorMatchesSerialSemantics(t *testing.T) {
+	lines := []string{"a b a", "c b", "a c c"}
+	serial, err := mapreduce.SerialExecutor{}.Run(context.Background(), executorWordCountJob(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec := startExecutorCluster(t, 3)
+	dist, err := exec.Run(context.Background(), executorWordCountJob(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(dist.Output, serial.Output) {
+		t.Errorf("distributed executor output differs:\n%v\n%v", dist.Output, serial.Output)
+	}
+}
+
+func TestExecutorSequentialJobsGetFreshNames(t *testing.T) {
+	exec := startExecutorCluster(t, 2)
+	for i := 0; i < 3; i++ {
+		res, err := exec.Run(context.Background(), executorWordCountJob([]string{"x x y"}))
+		if err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+		want := []mapreduce.KeyValue{{Key: "x", Value: "2"}, {Key: "y", Value: "1"}}
+		if !reflect.DeepEqual(res.Output, want) {
+			t.Fatalf("job %d output = %v", i, res.Output)
+		}
+	}
+}
+
+func TestExecutorMapOnlyJob(t *testing.T) {
+	exec := startExecutorCluster(t, 2)
+	job := executorWordCountJob([]string{"b a"})
+	job.Reduce = nil
+	res, err := exec.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapreduce.KeyValue{{Key: "a", Value: "1"}, {Key: "b", Value: "1"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	if _, err := NewExecutor(nil, nil); err == nil {
+		t.Error("want error for nil inputs")
+	}
+	exec := startExecutorCluster(t, 1)
+	if _, err := exec.Run(context.Background(), &mapreduce.Job{}); err == nil {
+		t.Error("want error for invalid job")
+	}
+}
+
+func TestClusterExecutorConformance(t *testing.T) {
+	exec := startExecutorCluster(t, 3)
+	mrtest.Conformance(t, exec)
+}

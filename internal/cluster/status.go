@@ -1,0 +1,72 @@
+package cluster
+
+import (
+	"sort"
+	"time"
+)
+
+// JobStatus is a point-in-time snapshot of the active job's progress.
+type JobStatus struct {
+	// JobID is empty when no job is active.
+	JobID string
+	Name  string
+	// Task progress counts.
+	MapsTotal      int
+	MapsDone       int
+	MapsRunning    int
+	ReducesTotal   int
+	ReducesDone    int
+	ReducesRunning int
+	// Workers lists the distinct workers holding leases right now.
+	Workers []string
+	// Failed carries the job's terminal error message, if any.
+	Failed string
+}
+
+// Done reports whether all tasks completed.
+func (s JobStatus) Done() bool {
+	return s.JobID != "" && s.MapsDone == s.MapsTotal && s.ReducesDone == s.ReducesTotal
+}
+
+// Status snapshots the coordinator's current job progress; the zero
+// JobStatus means the coordinator is idle. Operators poll it while a
+// long-running EV job is on the cluster.
+func (c *Coordinator) Status() JobStatus {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	job := c.job
+	if job == nil {
+		return JobStatus{}
+	}
+	st := JobStatus{
+		JobID:        job.id,
+		Name:         job.spec.Name,
+		MapsTotal:    len(job.mapTasks),
+		ReducesTotal: len(job.reduceTasks),
+	}
+	if job.failed != nil {
+		st.Failed = job.failed.Error()
+	}
+	workers := make(map[string]bool)
+	now := time.Now()
+	count := func(tasks []taskInfo, done, running *int) {
+		for i := range tasks {
+			switch tasks[i].state {
+			case taskCompleted:
+				*done++
+			case taskInProgress:
+				if now.Sub(tasks[i].started) <= c.cfg.TaskTimeout {
+					*running++
+					workers[tasks[i].worker] = true
+				}
+			}
+		}
+	}
+	count(job.mapTasks, &st.MapsDone, &st.MapsRunning)
+	count(job.reduceTasks, &st.ReducesDone, &st.ReducesRunning)
+	for w := range workers {
+		st.Workers = append(st.Workers, w)
+	}
+	sort.Strings(st.Workers)
+	return st
+}

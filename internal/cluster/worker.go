@@ -1,0 +1,223 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"net/rpc"
+	"time"
+
+	"evmatching/internal/mapreduce"
+)
+
+// WorkerConfig parameterizes a worker process.
+type WorkerConfig struct {
+	// ID labels the worker in coordinator bookkeeping.
+	ID string
+	// Dir is the shared data directory (must match the coordinator's).
+	Dir string
+	// Registry resolves the function names in task assignments.
+	Registry *Registry
+	// PollInterval is the sleep between requests when told to wait; 0 means
+	// 20ms.
+	PollInterval time.Duration
+	// CrashAfter, when positive, makes the worker silently stop before
+	// reporting its Nth task — the failure-injection hook used to test
+	// lease-based task re-execution.
+	CrashAfter int
+}
+
+// Worker pulls tasks from a coordinator and executes them.
+type Worker struct {
+	cfg    WorkerConfig
+	client *rpc.Client
+	tasks  int // tasks started, for crash injection
+}
+
+// NewWorker connects a worker to the coordinator at addr.
+func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
+	if cfg.Dir == "" || cfg.Registry == nil {
+		return nil, fmt.Errorf("cluster: worker needs Dir and Registry")
+	}
+	if cfg.ID == "" {
+		cfg.ID = fmt.Sprintf("worker-%d", time.Now().UnixNano())
+	}
+	if cfg.PollInterval <= 0 {
+		cfg.PollInterval = 20 * time.Millisecond
+	}
+	client, err := rpc.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", addr, err)
+	}
+	return &Worker{cfg: cfg, client: client}, nil
+}
+
+// Run processes tasks until the coordinator says exit, the context is done,
+// or the injected crash point is reached (in which case it returns nil,
+// simulating a silent machine loss).
+func (w *Worker) Run(ctx context.Context) error {
+	defer w.client.Close()
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		var reply TaskReply
+		if err := w.client.Call(RPCServiceName+".RequestTask", &TaskRequest{WorkerID: w.cfg.ID}, &reply); err != nil {
+			return fmt.Errorf("cluster: worker %s request: %w", w.cfg.ID, err)
+		}
+		switch reply.Kind {
+		case TaskExit:
+			return nil
+		case TaskWait:
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(w.cfg.PollInterval):
+			}
+			continue
+		case TaskMap, TaskReduce:
+			w.tasks++
+			if w.cfg.CrashAfter > 0 && w.tasks >= w.cfg.CrashAfter {
+				return nil // vanish without reporting: the lease recovers it
+			}
+			report := w.execute(&reply)
+			var ack TaskAck
+			if err := w.client.Call(RPCServiceName+".ReportTask", report, &ack); err != nil {
+				return fmt.Errorf("cluster: worker %s report: %w", w.cfg.ID, err)
+			}
+		default:
+			return fmt.Errorf("cluster: worker %s: unknown task kind %v", w.cfg.ID, reply.Kind)
+		}
+	}
+}
+
+// execute runs one task and builds its report; execution errors travel back
+// in the report rather than crashing the worker.
+func (w *Worker) execute(t *TaskReply) *TaskReport {
+	report := &TaskReport{
+		WorkerID: w.cfg.ID,
+		JobID:    t.JobID,
+		Kind:     t.Kind,
+		TaskID:   t.TaskID,
+		Counters: make(map[string]int64),
+	}
+	var err error
+	switch t.Kind {
+	case TaskMap:
+		err = w.runMap(t, report)
+	case TaskReduce:
+		err = w.runReduce(t, report)
+	}
+	if err != nil {
+		report.Err = err.Error()
+	}
+	return report
+}
+
+// runMap executes map task t.TaskID: read the input chunk, apply the map
+// function, partition (optionally combining), and write one intermediate
+// file per reducer.
+func (w *Worker) runMap(t *TaskReply, report *TaskReport) error {
+	mapFn, err := w.cfg.Registry.MapFunc(t.MapName)
+	if err != nil {
+		return err
+	}
+	input, err := readKVFile(inputFile(w.cfg.Dir, t.JobID, t.TaskID))
+	if err != nil {
+		return err
+	}
+	buckets := make([][]mapreduce.KeyValue, t.NumReducers)
+	emit := func(kv mapreduce.KeyValue) {
+		r := mapreduce.Partition(kv.Key, t.NumReducers)
+		buckets[r] = append(buckets[r], kv)
+	}
+	for i, in := range input {
+		if err := mapFn(in, emit); err != nil {
+			return fmt.Errorf("map record %d: %w", i, err)
+		}
+	}
+	var emitted int64
+	for _, b := range buckets {
+		emitted += int64(len(b))
+	}
+	report.Counters[mapreduce.CounterMapOut] = emitted
+
+	if t.CombineName != "" {
+		combine, err := w.cfg.Registry.ReduceFunc(t.CombineName)
+		if err != nil {
+			return err
+		}
+		var combined int64
+		for r := range buckets {
+			sortKVs(buckets[r])
+			var out []mapreduce.KeyValue
+			cemit := func(kv mapreduce.KeyValue) { out = append(out, kv) }
+			for _, g := range groupSorted(buckets[r]) {
+				if err := combine(g.key, g.values, cemit); err != nil {
+					return fmt.Errorf("combine key %q: %w", g.key, err)
+				}
+			}
+			buckets[r] = out
+			combined += int64(len(out))
+		}
+		report.Counters[mapreduce.CounterCombineOut] = combined
+	}
+	for r := range buckets {
+		if err := writeKVFile(intermediateFile(w.cfg.Dir, t.JobID, t.TaskID, r), buckets[r]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runReduce executes reduce task t.TaskID: gather this partition's
+// intermediate files from every map task, sort, group, reduce, and write the
+// output file.
+func (w *Worker) runReduce(t *TaskReply, report *TaskReport) error {
+	reduceFn, err := w.cfg.Registry.ReduceFunc(t.ReduceName)
+	if err != nil {
+		return err
+	}
+	var all []mapreduce.KeyValue
+	for m := 0; m < t.NumMapTasks; m++ {
+		kvs, err := readKVFile(intermediateFile(w.cfg.Dir, t.JobID, m, t.TaskID))
+		if err != nil {
+			return err
+		}
+		all = append(all, kvs...)
+	}
+	sortKVs(all)
+	var out []mapreduce.KeyValue
+	emit := func(kv mapreduce.KeyValue) { out = append(out, kv) }
+	groups := groupSorted(all)
+	for _, g := range groups {
+		if err := reduceFn(g.key, g.values, emit); err != nil {
+			return fmt.Errorf("reduce key %q: %w", g.key, err)
+		}
+	}
+	report.Counters[mapreduce.CounterReduceKeys] = int64(len(groups))
+	report.Counters[mapreduce.CounterReduceOut] = int64(len(out))
+	return writeKVFile(outputFile(w.cfg.Dir, t.JobID, t.TaskID), out)
+}
+
+type kvGroup struct {
+	key    string
+	values []string
+}
+
+// groupSorted groups consecutive equal keys of a sorted pair slice.
+func groupSorted(kvs []mapreduce.KeyValue) []kvGroup {
+	var out []kvGroup
+	for i := 0; i < len(kvs); {
+		j := i
+		for j < len(kvs) && kvs[j].Key == kvs[i].Key {
+			j++
+		}
+		vals := make([]string, 0, j-i)
+		for _, kv := range kvs[i:j] {
+			vals = append(vals, kv.Value)
+		}
+		out = append(out, kvGroup{key: kvs[i].Key, values: vals})
+		i = j
+	}
+	return out
+}

@@ -1,0 +1,171 @@
+// Package core orchestrates EV-Matching end to end: the E stage (EID set
+// splitting over the scenario store), the V stage (VID filtering with
+// post-order rule-out), matching refining for the practical setting, and the
+// EDP baseline of Teng et al. that the paper compares against. It supports
+// elastic matching sizes — a single EID, any subset, or the universal set —
+// and serial, parallel (in-process MapReduce), or custom (e.g. distributed
+// cluster) execution.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"evmatching/internal/mapreduce"
+)
+
+// Algorithm selects the matching algorithm.
+type Algorithm int
+
+// Algorithms.
+const (
+	// AlgorithmSS is the paper's set-splitting EV-Matching.
+	AlgorithmSS Algorithm = iota + 1
+	// AlgorithmEDP is the baseline from [24]: per-EID E-filtering and
+	// V-identification with no cross-EID scenario reuse.
+	AlgorithmEDP
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgorithmSS:
+		return "SS"
+	case AlgorithmEDP:
+		return "EDP"
+	default:
+		return "invalid"
+	}
+}
+
+// Mode selects how stages execute.
+type Mode int
+
+// Modes.
+const (
+	// ModeSerial runs both stages single-threaded (Algorithm 1 reference).
+	ModeSerial Mode = iota + 1
+	// ModeParallel runs the MapReduce-parallelized stages (Algorithm 3 and
+	// §V-C) on an in-process executor.
+	ModeParallel
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeSerial:
+		return "serial"
+	case ModeParallel:
+		return "parallel"
+	default:
+		return "invalid"
+	}
+}
+
+// ErrBadOptions reports invalid matcher options.
+var ErrBadOptions = errors.New("core: invalid options")
+
+// Options parameterizes a Matcher.
+type Options struct {
+	// Algorithm defaults to AlgorithmSS.
+	Algorithm Algorithm
+	// Mode defaults to ModeSerial.
+	Mode Mode
+	// Workers sizes the parallel executor; 0 means GOMAXPROCS.
+	Workers int
+	// Executor, when non-nil, overrides the executor derived from Mode —
+	// the hook for running stages on a distributed cluster.
+	Executor mapreduce.Executor
+	// Seed drives scenario-order randomization; equal seeds give equal
+	// matchings. Defaults to 1.
+	Seed int64
+	// AcceptMajority is the vote fraction a match must win to be accepted
+	// (refining re-runs the rest). Defaults to 0.7.
+	AcceptMajority float64
+	// MaxRefineRounds bounds matching refining (paper Algorithm 2).
+	// Defaults to 3 for SS; EDP never refines.
+	MaxRefineRounds int
+	// WorkFactor scales per-patch feature-extraction cost, modeling real
+	// video processing. Defaults to 4.
+	WorkFactor int
+	// EDPMaxScenarios caps the E-Scenarios EDP selects per EID (and the SS
+	// per-EID padding) when the candidate intersection refuses to become a
+	// singleton. Defaults to 14.
+	EDPMaxScenarios int
+	// MinPerEIDList pads each EID's selected scenario list up to this
+	// length with further scenarios containing the EID. The split-tree path
+	// alone distinguishes the EID among the matching targets, but the VID
+	// probability product must also suppress bystanders who happen to share
+	// part of the trajectory; the paper's per-EID scenario counts (Fig. 7,
+	// about one more than EDP's) reflect the same padding. Defaults to 3.
+	MinPerEIDList int
+}
+
+// withDefaults returns a copy with defaults applied.
+func (o Options) withDefaults() Options {
+	if o.Algorithm == 0 {
+		o.Algorithm = AlgorithmSS
+	}
+	if o.Mode == 0 {
+		o.Mode = ModeSerial
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.AcceptMajority == 0 {
+		o.AcceptMajority = 0.7
+	}
+	if o.MaxRefineRounds == 0 {
+		o.MaxRefineRounds = 3
+	}
+	if o.WorkFactor == 0 {
+		o.WorkFactor = 4
+	}
+	if o.EDPMaxScenarios == 0 {
+		o.EDPMaxScenarios = 14
+	}
+	if o.MinPerEIDList == 0 {
+		o.MinPerEIDList = 3
+	}
+	return o
+}
+
+// validate reports whether the (defaulted) options are usable.
+func (o Options) validate() error {
+	if o.Algorithm != AlgorithmSS && o.Algorithm != AlgorithmEDP {
+		return fmt.Errorf("%w: algorithm %d", ErrBadOptions, o.Algorithm)
+	}
+	if o.Mode != ModeSerial && o.Mode != ModeParallel {
+		return fmt.Errorf("%w: mode %d", ErrBadOptions, o.Mode)
+	}
+	if o.Workers < 0 {
+		return fmt.Errorf("%w: workers %d", ErrBadOptions, o.Workers)
+	}
+	if o.AcceptMajority < 0 || o.AcceptMajority > 1 {
+		return fmt.Errorf("%w: accept majority %f", ErrBadOptions, o.AcceptMajority)
+	}
+	if o.MaxRefineRounds < 0 {
+		return fmt.Errorf("%w: refine rounds %d", ErrBadOptions, o.MaxRefineRounds)
+	}
+	if o.WorkFactor < 0 {
+		return fmt.Errorf("%w: work factor %d", ErrBadOptions, o.WorkFactor)
+	}
+	if o.EDPMaxScenarios < 1 {
+		return fmt.Errorf("%w: EDP max scenarios %d", ErrBadOptions, o.EDPMaxScenarios)
+	}
+	if o.MinPerEIDList < 1 {
+		return fmt.Errorf("%w: min per-EID list %d", ErrBadOptions, o.MinPerEIDList)
+	}
+	return nil
+}
+
+// executor returns the MapReduce executor for the configured mode.
+func (o Options) executor() mapreduce.Executor {
+	if o.Executor != nil {
+		return o.Executor
+	}
+	if o.Mode == ModeParallel {
+		return mapreduce.ParallelExecutor{Workers: o.Workers}
+	}
+	return mapreduce.SerialExecutor{}
+}

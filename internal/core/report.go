@@ -1,0 +1,81 @@
+package core
+
+import (
+	"time"
+
+	"evmatching/internal/ids"
+	"evmatching/internal/vfilter"
+)
+
+// Report is the outcome of one Match call, carrying both the per-EID results
+// and the cost metrics the paper evaluates: unique selected scenarios,
+// per-EID scenario counts, and the E/V stage processing times.
+type Report struct {
+	Algorithm Algorithm
+	Mode      Mode
+	// Targets is the sorted EID set that was matched.
+	Targets []ids.EID
+	// Results maps each target EID to its match.
+	Results map[ids.EID]vfilter.Result
+	// PerEID maps each EID to the number of scenarios on its selected list.
+	PerEID map[ids.EID]int
+	// SelectedScenarios is the number of distinct scenarios across all
+	// lists ("reused scenario is only counted once", paper §VI-B).
+	SelectedScenarios int
+	// ETime and VTime are the wall-clock times of the two stages,
+	// accumulated across refine rounds.
+	ETime time.Duration
+	VTime time.Duration
+	// VStats aggregates the visual-processing work performed.
+	VStats vfilter.Stats
+	// RefineRounds is how many extra refine iterations ran (0 = none).
+	RefineRounds int
+}
+
+// TotalTime returns the combined stage time (the paper's E+V time).
+func (r *Report) TotalTime() time.Duration { return r.ETime + r.VTime }
+
+// Accuracy returns the fraction of targets whose majority-voted VID equals
+// the ground truth provided by truth (paper §VI-B: "the majority of the VIDs
+// chosen from the scenarios for this EID is the right VID"). Targets for
+// which truth returns ids.NoVID are skipped.
+func (r *Report) Accuracy(truth func(ids.EID) ids.VID) float64 {
+	correct, total := 0, 0
+	for _, e := range r.Targets {
+		want := truth(e)
+		if want == ids.NoVID {
+			continue
+		}
+		total++
+		if res, ok := r.Results[e]; ok && res.VID == want {
+			correct++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(correct) / float64(total)
+}
+
+// AvgScenariosPerEID returns the mean selected-list length (paper Fig. 7).
+func (r *Report) AvgScenariosPerEID() float64 {
+	if len(r.PerEID) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, n := range r.PerEID {
+		sum += n
+	}
+	return float64(sum) / float64(len(r.PerEID))
+}
+
+// Matched returns how many targets received a non-empty VID.
+func (r *Report) Matched() int {
+	n := 0
+	for _, res := range r.Results {
+		if res.VID != ids.NoVID {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"evmatching/internal/ids"
+)
+
+func TestSessionValidation(t *testing.T) {
+	ds := testDataset(t, nil)
+	m := newMatcher(t, ds, Options{})
+	if _, err := m.NewSession(nil); err == nil {
+		t.Error("want ErrNoTargets")
+	}
+	s, err := m.NewSession(ds.AllEIDs()[:5])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(99999); err == nil {
+		t.Error("want ErrUnknownWindow")
+	}
+}
+
+func TestSessionConvergesWindowByWindow(t *testing.T) {
+	ds := testDataset(t, nil)
+	m := newMatcher(t, ds, Options{})
+	rng := rand.New(rand.NewSource(19))
+	targets := ds.SampleEIDs(30, rng)
+	s, err := m.NewSession(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Distinguished() || s.Resolved() != 0 {
+		t.Error("fresh session should have nothing resolved")
+	}
+	ctx := context.Background()
+	prevResolved := 0
+	for w := 0; w < ds.Config.NumWindows; w++ {
+		if err := s.Advance(w); err != nil {
+			t.Fatalf("Advance(%d): %v", w, err)
+		}
+		if got := s.Resolved(); got < prevResolved {
+			t.Fatalf("resolved count regressed: %d -> %d", prevResolved, got)
+		} else {
+			prevResolved = got
+		}
+		if s.Distinguished() {
+			break
+		}
+	}
+	if !s.Distinguished() {
+		t.Fatalf("session never distinguished all targets (%d/%d)", s.Resolved(), len(targets))
+	}
+	if s.Windows() == 0 || s.Windows() > ds.Config.NumWindows {
+		t.Errorf("Windows = %d", s.Windows())
+	}
+
+	results, err := s.Match(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for _, e := range targets {
+		if results[e].VID == ds.TruthVID(e) {
+			correct++
+		}
+	}
+	if frac := float64(correct) / float64(len(targets)); frac < 0.8 {
+		t.Errorf("online accuracy = %v, want >= 0.8", frac)
+	}
+}
+
+func TestSessionMatchImprovesWithEvidence(t *testing.T) {
+	ds := testDataset(t, nil)
+	m := newMatcher(t, ds, Options{})
+	rng := rand.New(rand.NewSource(23))
+	targets := ds.SampleEIDs(25, rng)
+	s, err := m.NewSession(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	accuracyAt := func() float64 {
+		results, err := s.Match(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		correct := 0
+		for _, e := range targets {
+			if results[e].VID == ds.TruthVID(e) {
+				correct++
+			}
+		}
+		return float64(correct) / float64(len(targets))
+	}
+	if err := s.Advance(0); err != nil {
+		t.Fatal(err)
+	}
+	early := accuracyAt()
+	for w := 1; w < ds.Config.NumWindows; w++ {
+		if err := s.Advance(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	late := accuracyAt()
+	if late < early {
+		t.Errorf("accuracy regressed with evidence: %v -> %v", early, late)
+	}
+	if late < 0.8 {
+		t.Errorf("late accuracy = %v", late)
+	}
+}
+
+func TestSessionReAdvanceHarmless(t *testing.T) {
+	ds := testDataset(t, nil)
+	m := newMatcher(t, ds, Options{})
+	targets := ds.AllEIDs()[:10]
+	s, err := m.NewSession(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+	resolvedOnce := s.Resolved()
+	if err := s.Advance(3); err != nil {
+		t.Fatal(err)
+	}
+	if s.Resolved() != resolvedOnce {
+		t.Errorf("re-feeding a window changed resolution: %d -> %d", resolvedOnce, s.Resolved())
+	}
+}
+
+func TestSessionRuleOutAcrossTargets(t *testing.T) {
+	ds := testDataset(t, nil)
+	m := newMatcher(t, ds, Options{})
+	targets := ds.AllEIDs()[:20]
+	s, err := m.NewSession(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for w := 0; w < ds.Config.NumWindows; w++ {
+		if err := s.Advance(w); err != nil {
+			t.Fatal(err)
+		}
+	}
+	results, err := s.Match(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No two targets may claim the same acceptable VID.
+	claimed := map[ids.VID]ids.EID{}
+	for e, res := range results {
+		if res.VID == ids.NoVID || !res.Acceptable {
+			continue
+		}
+		if prev, dup := claimed[res.VID]; dup {
+			t.Errorf("VID %s claimed by both %s and %s", res.VID, prev, e)
+		}
+		claimed[res.VID] = e
+	}
+}

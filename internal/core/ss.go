@@ -1,0 +1,317 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+	"time"
+
+	"evmatching/internal/ids"
+	"evmatching/internal/mrjobs"
+	"evmatching/internal/partition"
+	"evmatching/internal/scenario"
+	"evmatching/internal/vfilter"
+)
+
+// matchSS runs the paper's set-splitting algorithm: EID set splitting (E
+// stage), VID filtering (V stage), and matching refining (Algorithm 2) until
+// every match is acceptable or the refine budget is exhausted.
+func (m *Matcher) matchSS(ctx context.Context, targets []ids.EID, filter *vfilter.Filter) (*Report, error) {
+	rep := &Report{
+		Algorithm: AlgorithmSS,
+		Mode:      m.opts.Mode,
+		Targets:   targets,
+		Results:   make(map[ids.EID]vfilter.Result, len(targets)),
+		PerEID:    make(map[ids.EID]int, len(targets)),
+	}
+	selected := make(map[scenario.ID]bool)
+	accepted := make(map[ids.VID]bool)
+	pending := targets
+
+	for round := 0; ; round++ {
+		eStart := time.Now()
+		p, lists, err := m.splitStage(ctx, pending, round)
+		rep.ETime += time.Since(eStart)
+		if err != nil {
+			return nil, err
+		}
+		for e, list := range lists {
+			rep.PerEID[e] = len(list)
+			for _, id := range list {
+				selected[id] = true
+			}
+		}
+
+		vStart := time.Now()
+		results, err := m.vStage(ctx, filter, p, lists, accepted)
+		rep.VTime += time.Since(vStart)
+		if err != nil {
+			return nil, err
+		}
+
+		var unresolved []ids.EID
+		for _, e := range pending {
+			res := results[e]
+			rep.Results[e] = res
+			if res.VID != ids.NoVID && res.Acceptable {
+				accepted[res.VID] = true
+			} else {
+				unresolved = append(unresolved, e)
+			}
+		}
+		if len(unresolved) == 0 || round >= m.opts.MaxRefineRounds {
+			break
+		}
+		// Matching refining: go through set splitting and VID filtering
+		// again on the EIDs whose result is not yet acceptable, with the
+		// accepted VIDs ruled out (paper §IV-C4).
+		pending = unresolved
+		rep.RefineRounds++
+	}
+	rep.SelectedScenarios = len(selected)
+	rep.VStats = filter.Stats()
+	return rep, nil
+}
+
+// splitStage runs EID set splitting over the store and derives each target's
+// selected scenario list. Rounds use distinct scenario orders so refining
+// sees fresh evidence.
+func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) (*partition.Partition, map[ids.EID][]scenario.ID, error) {
+	tset := targetSet(targets)
+	p, err := partition.New(targets)
+	if err != nil {
+		return nil, nil, err
+	}
+	rng := m.rngFor(int64(round)*7919 + 13)
+	windows := m.ds.Store.ShuffledWindows(rng)
+
+	for _, w := range windows {
+		if p.Done() {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, fmt.Errorf("core: split stage: %w", err)
+		}
+		var winScenarios []*scenario.EScenario
+		for _, id := range m.ds.Store.AtWindow(w) {
+			if fs := filterScenario(m.ds.Store.E(id), tset); fs != nil {
+				winScenarios = append(winScenarios, fs)
+			}
+		}
+		if len(winScenarios) == 0 {
+			continue
+		}
+		if m.opts.Mode == ModeParallel {
+			// Algorithm 3: one iteration refines the partition by every
+			// scenario of a random timestamp at once, via the MapReduce
+			// (key, value) shuffle. The split tree replays the same
+			// scenarios for path bookkeeping; the two refinements are
+			// equivalent by construction, and divergence is a bug we
+			// surface rather than hide.
+			mrRes, err := mrjobs.SplitIteration(ctx, m.opts.executor(), mrjobs.SplitInput{
+				Sets:      p.Sets(),
+				Scenarios: winScenarios,
+			})
+			if err != nil {
+				return nil, nil, err
+			}
+			for _, s := range winScenarios {
+				p.SplitBy(s)
+			}
+			if !reflect.DeepEqual(mrRes.Sets, p.Sets()) {
+				return nil, nil, fmt.Errorf("core: MapReduce split diverged from reference partition at window %d", w)
+			}
+		} else {
+			for _, s := range winScenarios {
+				p.SplitBy(s)
+				if p.Done() {
+					break
+				}
+			}
+		}
+	}
+
+	// Per-EID selected lists: the positive scenarios along each split path
+	// (shared across targets — the reuse that shrinks the unique-scenario
+	// count), padded until the list pins the EID's coarse trajectory down
+	// uniquely among ALL EIDs, not just the matching targets. Without the
+	// padding a non-target bystander sharing the short path would be an
+	// even-odds visual candidate; with it, SS spends about one scenario
+	// more per EID than EDP, exactly as the paper's Fig. 7 reports.
+	lists := make(map[ids.EID][]scenario.ID, len(targets))
+	for _, e := range targets {
+		pos, err := p.PositiveScenarios(e)
+		if err != nil {
+			return nil, nil, err
+		}
+		lists[e] = m.padToUnique(e, pos, windows)
+	}
+	return p, lists, nil
+}
+
+// padToUnique extends an EID's scenario list until the intersection of the
+// listed scenarios' full inclusive EID sets is the singleton {e} (or no
+// further scenario helps), and at least MinPerEIDList scenarios are listed.
+// EDPMaxScenarios caps the total as a safety valve for worlds where the
+// trajectory never becomes unique.
+func (m *Matcher) padToUnique(e ids.EID, list []scenario.ID, windows []int) []scenario.ID {
+	out := append([]scenario.ID(nil), list...)
+	in := make(map[scenario.ID]bool, len(out))
+	for _, id := range out {
+		in[id] = true
+	}
+	// Candidate set: EIDs that may co-appear in every listed scenario. A
+	// candidate is only eliminated by a scenario it is entirely absent from
+	// — a vague sighting still means "possibly there", so in the practical
+	// setting lists grow longer before trajectories become unique, exactly
+	// the slowdown Theorem 4.4 prices in.
+	var cands map[ids.EID]bool
+	narrow := func(s *scenario.EScenario) {
+		if cands == nil {
+			cands = make(map[ids.EID]bool, s.Len())
+			for other := range s.EIDs {
+				cands[other] = true
+			}
+			return
+		}
+		for other := range cands {
+			if !s.Contains(other) {
+				delete(cands, other)
+			}
+		}
+	}
+	for _, id := range out {
+		narrow(m.ds.Store.E(id))
+	}
+	maxLen := m.opts.EDPMaxScenarios
+	if m.opts.MinPerEIDList > maxLen {
+		maxLen = m.opts.MinPerEIDList
+	}
+	for _, w := range windows {
+		if len(out) >= maxLen || (len(out) >= m.opts.MinPerEIDList && len(cands) <= 1) {
+			break
+		}
+		for _, id := range m.ds.Store.AtWindow(w) {
+			s := m.ds.Store.E(id)
+			if in[id] || !s.Inclusive(e) {
+				continue
+			}
+			out = append(out, id)
+			in[id] = true
+			narrow(s)
+			break // one scenario per window contains e inclusively
+		}
+	}
+	return out
+}
+
+// vStage runs VID filtering for every target. In serial mode it follows
+// Theorem 4.1 exactly: EIDs are matched in post-order with each accepted VID
+// ruled out for the rest. In parallel mode it follows §V-C: features are
+// extracted per scenario and compared per EID across mappers, then a
+// sequential fixup resolves VIDs claimed by multiple EIDs (keep the
+// higher-probability claim, re-match the rest with exclusions).
+func (m *Matcher) vStage(ctx context.Context, filter *vfilter.Filter, p *partition.Partition, lists map[ids.EID][]scenario.ID, accepted map[ids.VID]bool) (map[ids.EID]vfilter.Result, error) {
+	order := make([]ids.EID, 0, len(lists))
+	for _, e := range p.PostOrder() {
+		if _, ok := lists[e]; ok {
+			order = append(order, e)
+		}
+	}
+	out := make(map[ids.EID]vfilter.Result, len(order))
+
+	if m.opts.Mode == ModeSerial {
+		exclude := cloneVIDSet(accepted)
+		for _, e := range order {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("core: v stage: %w", err)
+			}
+			res, err := filter.Match(e, lists[e], exclude)
+			if err != nil {
+				return nil, err
+			}
+			out[e] = res
+			if res.VID != ids.NoVID && res.Acceptable {
+				exclude[res.VID] = true
+			}
+		}
+		return out, nil
+	}
+
+	// Parallel: extraction then comparison as MapReduce jobs.
+	exec := m.opts.executor()
+	uniq := make(map[scenario.ID]bool)
+	var extractList []scenario.ID
+	assignments := make([]mrjobs.Assignment, 0, len(order))
+	for _, e := range order {
+		assignments = append(assignments, mrjobs.Assignment{EID: e, List: lists[e]})
+		for _, id := range lists[e] {
+			if !uniq[id] {
+				uniq[id] = true
+				extractList = append(extractList, id)
+			}
+		}
+	}
+	if err := mrjobs.ExtractScenarios(ctx, exec, filter, extractList); err != nil {
+		return nil, err
+	}
+	results, err := mrjobs.MatchAssignments(ctx, exec, filter, assignments, cloneVIDSet(accepted))
+	if err != nil {
+		return nil, err
+	}
+
+	// Sequential conflict fixup in post-order priority.
+	winner := make(map[ids.VID]ids.EID)
+	var losers []ids.EID
+	for _, e := range order {
+		res := results[e]
+		out[e] = res
+		if res.VID == ids.NoVID {
+			continue
+		}
+		prev, taken := winner[res.VID]
+		if !taken {
+			winner[res.VID] = e
+			continue
+		}
+		if res.Probability > results[prev].Probability {
+			winner[res.VID] = e
+			losers = append(losers, prev)
+		} else {
+			losers = append(losers, e)
+		}
+	}
+	if len(losers) > 0 {
+		exclude := cloneVIDSet(accepted)
+		for vid := range winner {
+			exclude[vid] = true
+		}
+		for _, e := range losers {
+			res, err := filter.Match(e, lists[e], exclude)
+			if err != nil {
+				return nil, err
+			}
+			out[e] = res
+			if res.VID != ids.NoVID {
+				if _, taken := winner[res.VID]; !taken {
+					winner[res.VID] = e
+					exclude[res.VID] = true
+				} else {
+					// Still contended: leave unmatched for refining.
+					res.VID = ids.NoVID
+					res.Acceptable = false
+					out[e] = res
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func cloneVIDSet(in map[ids.VID]bool) map[ids.VID]bool {
+	out := make(map[ids.VID]bool, len(in))
+	for v := range in {
+		out[v] = true
+	}
+	return out
+}

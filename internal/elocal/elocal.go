@@ -1,0 +1,201 @@
+// Package elocal models electronic localization the way the paper describes
+// it (§III-A): base stations capture a device's transmissions, and its
+// E-Location is estimated "using the position of the devices or base
+// stations that capture these EIDs, or using other localization methods if
+// more information is available, such as electronic signal strength". The
+// model places stations over the region, attenuates signals with
+// log-distance path loss plus log-normal shadowing, and estimates positions
+// by inverse-distance-weighted multilateration over the stations in range —
+// producing the large, structured E-localization error (drifting EIDs) that
+// the practical setting's vague zones exist to absorb.
+package elocal
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+
+	"evmatching/internal/geo"
+)
+
+// ErrBadConfig reports invalid localization parameters.
+var ErrBadConfig = errors.New("elocal: invalid config")
+
+// Station is one capture point (WiFi AP, cell base station).
+type Station struct {
+	ID  int
+	Pos geo.Point
+}
+
+// Config parameterizes the localization model. The zero value is not valid;
+// start from DefaultConfig.
+type Config struct {
+	// Enabled switches RSSI localization on; when false, dataset generation
+	// falls back to plain Gaussian E-noise.
+	Enabled bool
+	// NumStations are placed on a jittered grid over the region.
+	NumStations int
+	// TxPowerDBm is the received power at the 1 m reference distance.
+	TxPowerDBm float64
+	// PathLossExp is the log-distance path loss exponent (2 free space,
+	// 2.7–3.5 urban).
+	PathLossExp float64
+	// ShadowSigmaDB is the log-normal shadowing standard deviation in dB;
+	// it is the physical source of localization error.
+	ShadowSigmaDB float64
+	// SensitivityDBm is the weakest receivable signal; stations hearing
+	// less do not report the device.
+	SensitivityDBm float64
+	// MinStations is the minimum number of reporting stations required for
+	// a fix; with fewer, the observation is dropped entirely.
+	MinStations int
+}
+
+// DefaultConfig returns a WiFi-like deployment: 25 stations over a square
+// kilometer, moderate urban shadowing.
+func DefaultConfig() Config {
+	return Config{
+		Enabled:        true,
+		NumStations:    25,
+		TxPowerDBm:     -30,
+		PathLossExp:    2.9,
+		ShadowSigmaDB:  4,
+		SensitivityDBm: -100, // ~260 m range: every point hears 3+ stations
+		MinStations:    3,
+	}
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if !c.Enabled {
+		return nil
+	}
+	switch {
+	case c.NumStations < 1:
+		return fmt.Errorf("%w: NumStations=%d", ErrBadConfig, c.NumStations)
+	case c.PathLossExp <= 0:
+		return fmt.Errorf("%w: PathLossExp=%f", ErrBadConfig, c.PathLossExp)
+	case c.ShadowSigmaDB < 0:
+		return fmt.Errorf("%w: ShadowSigmaDB=%f", ErrBadConfig, c.ShadowSigmaDB)
+	case c.SensitivityDBm >= c.TxPowerDBm:
+		return fmt.Errorf("%w: sensitivity %f above tx power %f", ErrBadConfig, c.SensitivityDBm, c.TxPowerDBm)
+	case c.MinStations < 1:
+		return fmt.Errorf("%w: MinStations=%d", ErrBadConfig, c.MinStations)
+	}
+	return nil
+}
+
+// Model is a deployed localization infrastructure.
+type Model struct {
+	cfg      Config
+	stations []Station
+}
+
+// New deploys stations on a jittered grid over bounds, drawing jitter from
+// rng.
+func New(cfg Config, bounds geo.Rect, rng *rand.Rand) (*Model, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled {
+		return nil, fmt.Errorf("%w: model requested but not enabled", ErrBadConfig)
+	}
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("%w: empty bounds", ErrBadConfig)
+	}
+	cols := int(math.Ceil(math.Sqrt(float64(cfg.NumStations))))
+	rows := (cfg.NumStations + cols - 1) / cols
+	dx := bounds.Width() / float64(cols)
+	dy := bounds.Height() / float64(rows)
+	m := &Model{cfg: cfg, stations: make([]Station, 0, cfg.NumStations)}
+	for i := 0; i < cfg.NumStations; i++ {
+		col, row := i%cols, i/cols
+		jx := (rng.Float64() - 0.5) * dx * 0.5
+		jy := (rng.Float64() - 0.5) * dy * 0.5
+		pos := bounds.Clamp(geo.Pt(
+			bounds.Min.X+(float64(col)+0.5)*dx+jx,
+			bounds.Min.Y+(float64(row)+0.5)*dy+jy,
+		))
+		m.stations = append(m.stations, Station{ID: i, Pos: pos})
+	}
+	return m, nil
+}
+
+// Stations returns the deployed stations. The slice must not be modified.
+func (m *Model) Stations() []Station { return m.stations }
+
+// rssiAt returns the received power at distance d with fresh shadowing.
+func (m *Model) rssiAt(d float64, rng *rand.Rand) float64 {
+	if d < 1 {
+		d = 1
+	}
+	loss := 10 * m.cfg.PathLossExp * math.Log10(d)
+	shadow := 0.0
+	if m.cfg.ShadowSigmaDB > 0 {
+		shadow = rng.NormFloat64() * m.cfg.ShadowSigmaDB
+	}
+	return m.cfg.TxPowerDBm - loss + shadow
+}
+
+// distanceFor inverts the path-loss model, ignoring shadowing (the receiver
+// cannot separate it), which is exactly where estimation error comes from.
+func (m *Model) distanceFor(rssi float64) float64 {
+	return math.Pow(10, (m.cfg.TxPowerDBm-rssi)/(10*m.cfg.PathLossExp))
+}
+
+// Range returns the nominal detection radius implied by the sensitivity.
+func (m *Model) Range() float64 {
+	return m.distanceFor(m.cfg.SensitivityDBm)
+}
+
+// Observe simulates one localization attempt for a device at truth: every
+// station draws an RSSI; those above sensitivity report; with at least
+// MinStations reports the position is estimated by inverse-square-distance
+// weighted multilateration. ok is false when too few stations heard the
+// device (no E-observation this tick).
+func (m *Model) Observe(truth geo.Point, rng *rand.Rand) (est geo.Point, ok bool) {
+	var wsum, xsum, ysum float64
+	reports := 0
+	for i := range m.stations {
+		s := &m.stations[i]
+		rssi := m.rssiAt(truth.Dist(s.Pos), rng)
+		if rssi < m.cfg.SensitivityDBm {
+			continue
+		}
+		reports++
+		d := m.distanceFor(rssi)
+		w := 1 / (d*d + 1)
+		wsum += w
+		xsum += w * s.Pos.X
+		ysum += w * s.Pos.Y
+	}
+	if reports < m.cfg.MinStations || wsum == 0 {
+		return geo.Point{}, false
+	}
+	return geo.Pt(xsum/wsum, ysum/wsum), true
+}
+
+// MeanError estimates the model's mean localization error empirically over
+// n uniform probe points, useful for sizing vague zones.
+func (m *Model) MeanError(bounds geo.Rect, n int, rng *rand.Rand) float64 {
+	if n < 1 {
+		return 0
+	}
+	var sum float64
+	got := 0
+	for i := 0; i < n; i++ {
+		truth := geo.Pt(
+			bounds.Min.X+rng.Float64()*bounds.Width(),
+			bounds.Min.Y+rng.Float64()*bounds.Height(),
+		)
+		if est, ok := m.Observe(truth, rng); ok {
+			sum += est.Dist(truth)
+			got++
+		}
+	}
+	if got == 0 {
+		return math.Inf(1)
+	}
+	return sum / float64(got)
+}

@@ -1,0 +1,160 @@
+package elocal
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evmatching/internal/geo"
+)
+
+func region() geo.Rect { return geo.Square(geo.Pt(0, 0), 1000) }
+
+func newModel(t *testing.T, mutate func(*Config)) *Model {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	m, err := New(cfg, region(), rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{name: "zero stations", mutate: func(c *Config) { c.NumStations = 0 }},
+		{name: "zero exponent", mutate: func(c *Config) { c.PathLossExp = 0 }},
+		{name: "negative shadow", mutate: func(c *Config) { c.ShadowSigmaDB = -1 }},
+		{name: "sensitivity above tx", mutate: func(c *Config) { c.SensitivityDBm = 0 }},
+		{name: "zero min stations", mutate: func(c *Config) { c.MinStations = 0 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Errorf("default config invalid: %v", err)
+	}
+	disabled := Config{}
+	if err := disabled.Validate(); err != nil {
+		t.Errorf("disabled config should validate: %v", err)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := New(Config{}, region(), rng); err == nil {
+		t.Error("want error for disabled config")
+	}
+	if _, err := New(DefaultConfig(), geo.Rect{}, rng); err == nil {
+		t.Error("want error for empty bounds")
+	}
+}
+
+func TestStationsPlacedInBounds(t *testing.T) {
+	m := newModel(t, nil)
+	if len(m.Stations()) != DefaultConfig().NumStations {
+		t.Fatalf("stations = %d", len(m.Stations()))
+	}
+	for _, s := range m.Stations() {
+		p := region().Clamp(s.Pos)
+		if p != s.Pos {
+			t.Errorf("station %d at %v outside region", s.ID, s.Pos)
+		}
+	}
+}
+
+func TestObserveErrorIsBounded(t *testing.T) {
+	m := newModel(t, nil)
+	rng := rand.New(rand.NewSource(2))
+	err := m.MeanError(region(), 500, rng)
+	if math.IsInf(err, 1) {
+		t.Fatal("no fixes at all")
+	}
+	// With 25 stations over 1 km² the mean error should be tens of meters:
+	// large enough to drift EIDs across cell borders, small enough to be
+	// informative.
+	if err < 5 || err > 200 {
+		t.Errorf("mean localization error = %.1f m, want 5–200 m", err)
+	}
+}
+
+func TestObserveErrorGrowsWithShadowing(t *testing.T) {
+	quiet := newModel(t, func(c *Config) { c.ShadowSigmaDB = 1 })
+	noisy := newModel(t, func(c *Config) { c.ShadowSigmaDB = 8 })
+	rngA := rand.New(rand.NewSource(3))
+	rngB := rand.New(rand.NewSource(3))
+	errQuiet := quiet.MeanError(region(), 400, rngA)
+	errNoisy := noisy.MeanError(region(), 400, rngB)
+	if errNoisy <= errQuiet {
+		t.Errorf("shadowing 8 dB error %.1f <= 1 dB error %.1f", errNoisy, errQuiet)
+	}
+}
+
+func TestObserveDropsWithoutEnoughStations(t *testing.T) {
+	// A single distant station cannot produce a fix when three are needed.
+	m := newModel(t, func(c *Config) {
+		c.NumStations = 1
+		c.MinStations = 3
+	})
+	rng := rand.New(rand.NewSource(4))
+	if _, ok := m.Observe(geo.Pt(500, 500), rng); ok {
+		t.Error("fix produced with one station and MinStations=3")
+	}
+}
+
+func TestObserveMissesOutOfRange(t *testing.T) {
+	// Deafen the receivers: nothing in range, no observation.
+	m := newModel(t, func(c *Config) { c.SensitivityDBm = -41 })
+	rng := rand.New(rand.NewSource(5))
+	misses := 0
+	for i := 0; i < 100; i++ {
+		p := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		if _, ok := m.Observe(p, rng); !ok {
+			misses++
+		}
+	}
+	if misses < 90 {
+		t.Errorf("only %d/100 misses with near-zero range", misses)
+	}
+}
+
+func TestRangeInvertsatSensitivity(t *testing.T) {
+	m := newModel(t, nil)
+	r := m.Range()
+	if r <= 0 {
+		t.Fatalf("Range = %v", r)
+	}
+	// Path loss at the range distance equals the sensitivity budget.
+	back := m.cfg.TxPowerDBm - 10*m.cfg.PathLossExp*math.Log10(r)
+	if math.Abs(back-m.cfg.SensitivityDBm) > 1e-9 {
+		t.Errorf("loss at range = %v dBm, want %v", back, m.cfg.SensitivityDBm)
+	}
+}
+
+func TestObserveDeterministicWithSeed(t *testing.T) {
+	m := newModel(t, nil)
+	a, okA := m.Observe(geo.Pt(300, 700), rand.New(rand.NewSource(7)))
+	b, okB := m.Observe(geo.Pt(300, 700), rand.New(rand.NewSource(7)))
+	if okA != okB || a != b {
+		t.Errorf("non-deterministic observation: %v/%v vs %v/%v", a, okA, b, okB)
+	}
+}
+
+func TestMeanErrorEdgeCases(t *testing.T) {
+	m := newModel(t, nil)
+	if got := m.MeanError(region(), 0, rand.New(rand.NewSource(1))); got != 0 {
+		t.Errorf("MeanError(0 probes) = %v", got)
+	}
+}

@@ -1,0 +1,243 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/metrics"
+)
+
+// Ablations probe the design choices DESIGN.md calls out: scenario reuse,
+// vague zones, refining depth, elastic matching size, MapReduce parallelism,
+// and the cell layout.
+
+// AblationReuse quantifies the scenario-reuse win behind Figs. 5 and 8: how
+// many scenarios SS actually processes (shared extraction cache) against
+// what processing every per-EID list independently would cost — which is
+// exactly how the EDP baseline behaves.
+func (r *Runner) AblationReuse(ctx context.Context) (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: scenario reuse (SS cache vs per-EID processing)",
+		"Matched EIDs", "unique selected", "processed w/ reuse", "would process w/o reuse", "savings")
+	for _, n := range r.cfg.Table1Counts {
+		ss, err := r.run(ctx, "base", nil, core.AlgorithmSS, n)
+		if err != nil {
+			return nil, err
+		}
+		withoutReuse := ss.PerEID * float64(ss.N)
+		savings := 1 - float64(ss.Processed)/withoutReuse
+		t.AddRow(fmt.Sprintf("%d", ss.N),
+			fmt.Sprintf("%d", ss.Selected),
+			fmt.Sprintf("%d", ss.Processed),
+			metrics.F(withoutReuse, 0),
+			metrics.Pct(savings))
+	}
+	return t, nil
+}
+
+// AblationVagueZone compares practical-setting accuracy with and without
+// vague zones under E-localization drift (paper §IV-C2, Fig. 2).
+func (r *Runner) AblationVagueZone(ctx context.Context) (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: vague zone under E-localization drift",
+		"Variant", "accuracy", "selected scenarios")
+	n := r.cfg.DensityTimeEIDs
+	variants := []struct {
+		key    string
+		label  string
+		mutate func(*dataset.Config)
+	}{
+		{key: "practical", label: "practical + vague zone", mutate: func(c *dataset.Config) {
+			*c = c.Practical()
+		}},
+		{key: "practical-novague", label: "practical, vague zone off", mutate: func(c *dataset.Config) {
+			*c = c.Practical()
+			c.VagueWidth = 0
+		}},
+	}
+	for _, v := range variants {
+		p, err := r.run(ctx, v.key, v.mutate, core.AlgorithmSS, n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.label, metrics.Pct(p.Accuracy), fmt.Sprintf("%d", p.Selected))
+	}
+	return t, nil
+}
+
+// AblationRefineRounds sweeps the matching-refining budget under the worst
+// configured VID-missing rate (paper Algorithm 2 / Fig. 11).
+func (r *Runner) AblationRefineRounds(ctx context.Context) (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: matching refining rounds under VID missing",
+		"Max refine rounds", "accuracy")
+	rate := r.cfg.VIDMissRates[len(r.cfg.VIDMissRates)-1]
+	n := r.cfg.MissEIDCounts[len(r.cfg.MissEIDCounts)-1]
+	key := fmt.Sprintf("vmiss=%.2f", rate)
+	for _, rounds := range []int{1, 2, 3} {
+		rounds := rounds
+		p, err := r.runWith(ctx, key, vidMissMutator(rate), core.AlgorithmSS, n,
+			fmt.Sprintf("refine=%d", rounds),
+			func(o *core.Options) { o.MaxRefineRounds = rounds })
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", rounds), metrics.Pct(p.Accuracy))
+	}
+	return t, nil
+}
+
+// AblationMatchingSize shows elastic matching: the larger the matching size,
+// the less time per EID-VID pair (paper §I).
+func (r *Runner) AblationMatchingSize(ctx context.Context) (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: elastic matching size (time per EID-VID pair)",
+		"Matched EIDs", "total time", "time per pair")
+	sizes := append([]int{1, 10}, r.cfg.Table1Counts...)
+	for _, n := range sizes {
+		p, err := r.run(ctx, "base", nil, core.AlgorithmSS, n)
+		if err != nil {
+			return nil, err
+		}
+		total := p.ETime + p.VTime
+		pairs := p.N
+		if pairs < 1 {
+			pairs = 1
+		}
+		perPair := (total / time.Duration(pairs)).Round(time.Microsecond)
+		t.AddRow(fmt.Sprintf("%d", p.N), metrics.Dur(total), perPair.String())
+	}
+	return t, nil
+}
+
+// AblationParallelSpeedup sweeps MapReduce worker counts over the parallel
+// mode (the in-process stand-in for adding cluster nodes).
+func (r *Runner) AblationParallelSpeedup(ctx context.Context) (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: MapReduce parallelism (SS, parallel mode)",
+		"Workers", "E time", "V time", "E+V")
+	n := r.cfg.Table1Counts[len(r.cfg.Table1Counts)-1]
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		p, err := r.runWith(ctx, "base", nil, core.AlgorithmSS, n,
+			fmt.Sprintf("workers=%d", workers),
+			func(o *core.Options) {
+				o.Mode = core.ModeParallel
+				o.Workers = workers
+			})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", workers), metrics.Dur(p.ETime), metrics.Dur(p.VTime),
+			metrics.Dur(p.ETime+p.VTime))
+	}
+	return t, nil
+}
+
+// AblationLayout compares the grid and hexagonal cell discretizations shown
+// in the paper's Fig. 1.
+func (r *Runner) AblationLayout(ctx context.Context) (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: cell layout (grid vs hexagonal)",
+		"Layout", "accuracy", "selected scenarios", "per-EID")
+	n := r.cfg.DensityTimeEIDs
+	variants := []struct {
+		key    string
+		kind   dataset.LayoutKind
+		mutate func(*dataset.Config)
+	}{
+		{key: "base", kind: dataset.LayoutGrid, mutate: nil},
+		{key: "hex", kind: dataset.LayoutHex, mutate: func(c *dataset.Config) { c.Layout = dataset.LayoutHex }},
+	}
+	for _, v := range variants {
+		p, err := r.run(ctx, v.key, v.mutate, core.AlgorithmSS, n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.kind.String(), metrics.Pct(p.Accuracy),
+			fmt.Sprintf("%d", p.Selected), metrics.F(p.PerEID, 2))
+	}
+	return t, nil
+}
+
+// ablationResults runs every ablation in order.
+func (r *Runner) ablationResults(ctx context.Context) ([]*metrics.Table, error) {
+	var out []*metrics.Table
+	for _, ab := range []struct {
+		name string
+		run  func(context.Context) (*metrics.Table, error)
+	}{
+		{name: "reuse", run: r.AblationReuse},
+		{name: "vague-zone", run: r.AblationVagueZone},
+		{name: "refine-rounds", run: r.AblationRefineRounds},
+		{name: "matching-size", run: r.AblationMatchingSize},
+		{name: "parallel-speedup", run: r.AblationParallelSpeedup},
+		{name: "layout", run: r.AblationLayout},
+		{name: "mobility", run: r.AblationMobility},
+	} {
+		tbl, err := ab.run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %s: %w", ab.name, err)
+		}
+		out = append(out, tbl)
+	}
+	return out, nil
+}
+
+// AblationMobility compares matching under the paper's uniform random
+// waypoint against hotspot-crowded movement, where shared attraction points
+// keep many people co-located and spatiotemporal evidence thins out.
+func (r *Runner) AblationMobility(ctx context.Context) (*metrics.Table, error) {
+	t := metrics.NewTable("Ablation: mobility model (waypoint vs hotspot crowding)",
+		"Mobility", "accuracy", "selected scenarios", "per-EID")
+	n := r.cfg.DensityTimeEIDs
+	variants := []struct {
+		key    string
+		label  string
+		mutate func(*dataset.Config)
+	}{
+		{key: "base", label: "waypoint", mutate: nil},
+		{key: "hotspot", label: "hotspot", mutate: func(c *dataset.Config) {
+			c.Mobility = dataset.MobilityHotspot
+			c.HotspotCount = 4
+			c.HotspotAttraction = 0.7
+			c.HotspotSpread = 40
+		}},
+	}
+	for _, v := range variants {
+		p, err := r.run(ctx, v.key, v.mutate, core.AlgorithmSS, n)
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(v.label, metrics.Pct(p.Accuracy),
+			fmt.Sprintf("%d", p.Selected), metrics.F(p.PerEID, 2))
+	}
+	return t, nil
+}
+
+// RunAblations executes every ablation and writes the tables to w as
+// aligned text.
+func (r *Runner) RunAblations(ctx context.Context, w io.Writer) error {
+	tables, err := r.ablationResults(ctx)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		if _, err := fmt.Fprintf(w, "%s\n", tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunAblationsMarkdown is RunAblations with markdown output.
+func (r *Runner) RunAblationsMarkdown(ctx context.Context, w io.Writer) error {
+	tables, err := r.ablationResults(ctx)
+	if err != nil {
+		return err
+	}
+	for _, tbl := range tables {
+		if err := metrics.FprintMarkdown(w, tbl); err != nil {
+			return err
+		}
+	}
+	return nil
+}

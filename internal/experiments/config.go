@@ -1,0 +1,114 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§VI): scenario-selection counts (Figs. 5–7), processing times
+// (Figs. 8–9), matching accuracy (Tables I–II), and robustness to missing
+// EIDs and VIDs (Figs. 10–11). Sweeps that share runs are memoized, so
+// Fig. 5, Fig. 7, Fig. 8 and Table I all come from one EID sweep, and
+// Fig. 6, Fig. 9 and Table II from one density sweep.
+package experiments
+
+import (
+	"fmt"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+)
+
+// Config selects the sweep points for all experiments.
+type Config struct {
+	// Base is the dataset configuration shared by all experiments; density
+	// and missing rates are overridden per sweep point.
+	Base dataset.Config
+	// EIDCounts is the matched-EID sweep of Figs. 5, 7, 8.
+	EIDCounts []int
+	// Table1Counts is the matched-EID subset reported in Table I.
+	Table1Counts []int
+	// Densities is the density sweep of Figs. 6, 9 (persons per cell).
+	Densities []float64
+	// Table2Densities is the density subset reported in Table II.
+	Table2Densities []float64
+	// DensityEIDCounts are the matched-EID curves drawn in Fig. 6
+	// (paper: 100 and 600).
+	DensityEIDCounts []int
+	// DensityTimeEIDs is the matched-EID count used for Fig. 9 times and
+	// Table II accuracy (paper uses one fixed count per density).
+	DensityTimeEIDs int
+	// EIDMissRates is the missing-EID sweep of Fig. 10.
+	EIDMissRates []float64
+	// VIDMissRates is the missing-VID sweep of Fig. 11.
+	VIDMissRates []float64
+	// MissEIDCounts is the matched-EID x axis of Figs. 10 and 11.
+	MissEIDCounts []int
+	// Matcher is the option template; Algorithm is overridden per run.
+	Matcher core.Options
+	// Runs averages each measurement over this many matcher seeds (the
+	// paper reports averages "over multiple runs for each parameter
+	// setting"); 0 means 1.
+	Runs int
+}
+
+// Paper returns the full-scale configuration mirroring §VI-A: 1000 human
+// objects on a 1000 m × 1000 m region.
+func Paper() Config {
+	return Config{
+		Base:             dataset.DefaultConfig(),
+		EIDCounts:        []int{100, 200, 300, 400, 500, 600, 700, 800, 900},
+		Table1Counts:     []int{200, 400, 600, 800},
+		Densities:        []float64{20, 30, 60, 100, 130, 160, 180},
+		Table2Densities:  []float64{30, 60, 100, 160},
+		DensityEIDCounts: []int{100, 600},
+		DensityTimeEIDs:  600,
+		EIDMissRates:     []float64{0.01, 0.10, 0.30, 0.50},
+		VIDMissRates:     []float64{0.02, 0.05, 0.08, 0.10},
+		MissEIDCounts:    []int{200, 400, 600, 800},
+		Matcher:          core.Options{MaxRefineRounds: 2},
+	}
+}
+
+// Quick returns a shrunken configuration for tests and fast benchmark runs:
+// the same sweeps and shapes on a 200-person world.
+func Quick() Config {
+	base := dataset.DefaultConfig()
+	base.NumPersons = 200
+	base.Density = 15
+	base.NumWindows = 32
+	return Config{
+		Base:             base,
+		EIDCounts:        []int{40, 80, 120, 160},
+		Table1Counts:     []int{40, 120},
+		Densities:        []float64{10, 20, 40},
+		Table2Densities:  []float64{10, 40},
+		DensityEIDCounts: []int{40, 120},
+		DensityTimeEIDs:  120,
+		EIDMissRates:     []float64{0.10, 0.50},
+		VIDMissRates:     []float64{0.05, 0.10},
+		MissEIDCounts:    []int{40, 120},
+		Matcher:          core.Options{MaxRefineRounds: 2},
+	}
+}
+
+// validate reports whether the configuration is usable.
+func (c Config) validate() error {
+	if err := c.Base.Validate(); err != nil {
+		return err
+	}
+	for _, lst := range [][]int{c.EIDCounts, c.Table1Counts, c.DensityEIDCounts, c.MissEIDCounts} {
+		if len(lst) == 0 {
+			return fmt.Errorf("experiments: empty sweep list")
+		}
+		for _, n := range lst {
+			if n < 1 {
+				return fmt.Errorf("experiments: invalid EID count %d", n)
+			}
+		}
+	}
+	if len(c.Densities) == 0 || len(c.EIDMissRates) == 0 || len(c.VIDMissRates) == 0 {
+		return fmt.Errorf("experiments: empty sweep list")
+	}
+	if c.DensityTimeEIDs < 1 {
+		return fmt.Errorf("experiments: DensityTimeEIDs=%d", c.DensityTimeEIDs)
+	}
+	if c.Runs < 0 {
+		return fmt.Errorf("experiments: Runs=%d", c.Runs)
+	}
+	return nil
+}

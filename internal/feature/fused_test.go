@@ -1,0 +1,128 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestNewFusedGalleryValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewFusedGallery(rng, 5, 8, 1, 1); err == nil {
+		t.Error("want error for tiny gait dim")
+	}
+	if _, err := NewFusedGallery(rng, 5, 8, 8, 0); err == nil {
+		t.Error("want error for zero gait weight")
+	}
+	if _, err := NewFusedGallery(rng, 0, 8, 8, 1); err == nil {
+		t.Error("want error for zero persons")
+	}
+}
+
+func TestFusedObservationsAreUnitNorm(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	g, err := NewFusedGallery(rng, 10, 32, 16, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Dim() != 48 || g.Len() != 10 {
+		t.Fatalf("dim=%d len=%d", g.Dim(), g.Len())
+	}
+	for i := 0; i < 10; i++ {
+		obs := g.Observe(i, 0.1, 0.05, rng)
+		if len(obs) != 48 {
+			t.Fatalf("obs dim = %d", len(obs))
+		}
+		if math.Abs(obs.Norm()-1) > 1e-9 {
+			t.Fatalf("obs norm = %v", obs.Norm())
+		}
+		if math.Abs(g.Base(i).Norm()-1) > 1e-9 {
+			t.Fatalf("base norm = %v", g.Base(i).Norm())
+		}
+	}
+}
+
+// TestFusionPreservesDiscriminationUnderAppearanceNoise is the motivating
+// property: with heavy appearance noise, fused descriptors keep same-person
+// similarity above cross-person similarity thanks to the stable gait block.
+func TestFusionPreservesDiscriminationUnderAppearanceNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const appNoise, gaitNoise = 0.5, 0.05 // appearance nearly useless
+	appOnly, err := NewGallery(rng, 40, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fused, err := NewFusedGallery(rng, 40, 64, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	margin := func(same, cross float64) float64 { return same - cross }
+	sameAndCross := func(observe func(i int) Vector) (float64, float64) {
+		var sameSum, crossSum float64
+		const trials = 40
+		for k := 0; k < trials; k++ {
+			i, j := k%40, (k+7)%40
+			a1, a2, b := observe(i), observe(i), observe(j)
+			s1, err := Sim(a1, a2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s2, err := Sim(a1, b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sameSum += s1
+			crossSum += s2
+		}
+		return sameSum / trials, crossSum / trials
+	}
+
+	sameApp, crossApp := sameAndCross(func(i int) Vector { return appOnly.Observe(i, appNoise, rng) })
+	sameFused, crossFused := sameAndCross(func(i int) Vector { return fused.Observe(i, appNoise, gaitNoise, rng) })
+	if margin(sameFused, crossFused) <= margin(sameApp, crossApp) {
+		t.Errorf("fusion margin %.3f <= appearance-only margin %.3f",
+			margin(sameFused, crossFused), margin(sameApp, crossApp))
+	}
+}
+
+func TestChannelSims(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	g, err := NewFusedGallery(rng, 5, 16, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := g.Observe(0, 0.02, 0.02, rng)
+	y := g.Observe(0, 0.02, 0.02, rng)
+	appSim, gaitSim, err := g.ChannelSims(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if appSim < 0.8 || gaitSim < 0.8 {
+		t.Errorf("same-person channel sims = %.3f / %.3f", appSim, gaitSim)
+	}
+	if _, _, err := g.ChannelSims(x[:4], y); err == nil {
+		t.Error("want dim mismatch error")
+	}
+}
+
+func TestFusedRoundTripsThroughPatch(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g, err := NewFusedGallery(rng, 3, 48, 16, 1.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs := g.Observe(1, 0.05, 0.05, rng)
+	patch := EncodePatch(obs, 1, rng)
+	got, err := Extractor{Dim: g.Dim()}.Extract(patch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Sim(obs, got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.97 {
+		t.Errorf("fused encode->extract sim = %v", s)
+	}
+}

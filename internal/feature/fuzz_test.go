@@ -1,0 +1,54 @@
+package feature
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// FuzzExtract feeds arbitrary patch geometry and pixels to the extractor:
+// it must either return a well-formed unit vector or an error, never panic
+// and never emit NaNs.
+func FuzzExtract(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	valid := EncodePatch(randomUnit(rng, 16), 1, rng)
+	f.Add(valid.W, valid.H, valid.Pix)
+	f.Add(0, 0, []byte{})
+	f.Add(4, 4, []byte{1, 2, 3})          // wrong length
+	f.Add(-3, 7, make([]byte, 21))        // negative width
+	f.Add(1, 1, []byte{255})              // minimal patch
+	f.Add(3, 2, []byte{0, 0, 0, 0, 0, 0}) // all-zero pixels
+
+	ex := Extractor{Dim: 16, WorkFactor: 1}
+	f.Fuzz(func(t *testing.T, w, h int, pix []byte) {
+		v, err := ex.Extract(Patch{W: w, H: h, Pix: pix})
+		if err != nil {
+			return
+		}
+		if len(v) != 16 {
+			t.Fatalf("dim = %d", len(v))
+		}
+		for _, x := range v {
+			if x != x { // NaN
+				t.Fatal("NaN component in extracted vector")
+			}
+		}
+	})
+}
+
+// FuzzSimBounds: similarity of any two equal-length normalized vectors must
+// stay in [0, 1].
+func FuzzSimBounds(f *testing.F) {
+	f.Add(int64(1), int64(2))
+	f.Add(int64(-5), int64(5))
+	f.Fuzz(func(t *testing.T, seedA, seedB int64) {
+		a := randomUnit(rand.New(rand.NewSource(seedA)), 8)
+		b := randomUnit(rand.New(rand.NewSource(seedB)), 8)
+		s, err := Sim(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 || s > 1 || s != s {
+			t.Fatalf("sim = %v", s)
+		}
+	})
+}

@@ -1,0 +1,127 @@
+package feature
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Patch geometry follows the pedestrian crops typical of re-identification
+// datasets such as CUHK02 (tall, narrow bounding boxes).
+const (
+	// PatchW and PatchH are the synthetic patch dimensions in pixels. They
+	// keep the tall, narrow aspect of re-identification crops while staying
+	// small enough that a full dataset (one detection per person per window)
+	// fits comfortably in memory; Extractor.WorkFactor scales the per-patch
+	// compute up to realistic video-processing cost.
+	PatchW = 16
+	PatchH = 40
+	// encodeScale maps feature-vector components to pixel offsets around the
+	// mid gray level of 128.
+	encodeScale = 256.0
+)
+
+// ErrBadPatch reports a malformed patch.
+var ErrBadPatch = errors.New("feature: malformed patch")
+
+// Patch is a synthetic grayscale pedestrian crop. It is the "raw V data" of
+// a detection: matching never reads a detection's feature vector directly —
+// it must first pay the extraction cost to recover it from the patch, just
+// as the paper's V stage must run detection and feature extraction on video.
+type Patch struct {
+	W   int    `json:"w"`
+	H   int    `json:"h"`
+	Pix []byte `json:"pix"`
+}
+
+// EncodePatch renders an observed appearance vector into a synthetic patch.
+// Each pixel carries one (repeated, noisy) quantized vector component, so
+// extraction can average the repeats back out. pixelNoise is the per-pixel
+// Gaussian noise in gray levels (camera sensor noise).
+func EncodePatch(v Vector, pixelNoise float64, rng *rand.Rand) Patch {
+	p := Patch{W: PatchW, H: PatchH, Pix: make([]byte, PatchW*PatchH)}
+	dim := len(v)
+	for k := range p.Pix {
+		val := 128 + v[k%dim]*encodeScale
+		if pixelNoise > 0 {
+			val += rng.NormFloat64() * pixelNoise
+		}
+		p.Pix[k] = clampByte(val)
+	}
+	return p
+}
+
+func clampByte(v float64) byte {
+	switch {
+	case v < 0:
+		return 0
+	case v > 255:
+		return 255
+	default:
+		return byte(math.Round(v))
+	}
+}
+
+// Extractor recovers feature vectors from patches. WorkFactor scales the
+// deliberate per-patch compute so experiments can model the heavy
+// detection + feature-extraction cost of real video processing; each unit of
+// WorkFactor adds one full gradient-energy pass over the patch.
+type Extractor struct {
+	// Dim is the dimensionality of extracted vectors.
+	Dim int
+	// WorkFactor adds that many extra full passes over the patch pixels.
+	WorkFactor int
+}
+
+// Extract decodes the appearance vector embedded in p. The returned vector
+// is unit-norm. The computation deliberately touches every pixel
+// (1 + WorkFactor) times.
+func (e Extractor) Extract(p Patch) (Vector, error) {
+	if e.Dim < 2 {
+		return nil, fmt.Errorf("feature: extractor dim %d", e.Dim)
+	}
+	if p.W <= 0 || p.H <= 0 || len(p.Pix) != p.W*p.H {
+		return nil, fmt.Errorf("%w: %dx%d with %d pixels", ErrBadPatch, p.W, p.H, len(p.Pix))
+	}
+	sums := make([]float64, e.Dim)
+	counts := make([]int, e.Dim)
+	for k, px := range p.Pix {
+		d := k % e.Dim
+		sums[d] += float64(px) - 128
+		counts[d]++
+	}
+	v := make(Vector, e.Dim)
+	for d := range v {
+		if counts[d] > 0 {
+			v[d] = sums[d] / float64(counts[d]) / encodeScale
+		}
+	}
+	// Burn the configured extra work: gradient-energy passes standing in for
+	// the descriptor pyramids of a real re-identification pipeline. The
+	// result perturbs nothing (it is accumulated and discarded via a
+	// negligible, deterministic epsilon) but the cost is real.
+	if e.WorkFactor > 0 {
+		energy := gradientEnergy(p, e.WorkFactor)
+		v[0] += energy * 1e-18
+	}
+	return v.Normalize(), nil
+}
+
+// gradientEnergy runs `passes` full gradient-magnitude accumulations over the
+// patch and returns the accumulated energy.
+func gradientEnergy(p Patch, passes int) float64 {
+	var acc float64
+	for i := 0; i < passes; i++ {
+		for y := 0; y < p.H-1; y++ {
+			row := y * p.W
+			for x := 0; x < p.W-1; x++ {
+				k := row + x
+				dx := float64(p.Pix[k+1]) - float64(p.Pix[k])
+				dy := float64(p.Pix[k+p.W]) - float64(p.Pix[k])
+				acc += math.Sqrt(dx*dx + dy*dy)
+			}
+		}
+	}
+	return acc
+}

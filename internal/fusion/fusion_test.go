@@ -1,0 +1,247 @@
+package fusion
+
+import (
+	"context"
+	"testing"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/ids"
+	"evmatching/internal/vfilter"
+)
+
+// matchedWorld generates a small world and universally matches it.
+func matchedWorld(t *testing.T, mutate func(*dataset.Config)) (*dataset.Dataset, *core.Report) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 60
+	cfg.Density = 10
+	cfg.NumWindows = 16
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.MatchAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds, rep
+}
+
+func TestBuildIndexValidation(t *testing.T) {
+	if _, err := BuildIndex(nil, nil); err == nil {
+		t.Error("want error for nil inputs")
+	}
+}
+
+func TestIndexBidirectional(t *testing.T) {
+	ds, rep := matchedWorld(t, nil)
+	idx, err := BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() == 0 {
+		t.Fatal("empty index")
+	}
+	for _, e := range rep.Targets {
+		v, err := idx.VIDOf(e)
+		if err != nil {
+			continue // unmatched
+		}
+		back, err := idx.EIDOf(v)
+		if err != nil {
+			t.Fatalf("EIDOf(%s): %v", v, err)
+		}
+		if back != e {
+			t.Fatalf("round trip %s -> %s -> %s", e, v, back)
+		}
+		c, err := idx.Confidence(e)
+		if err != nil || c <= 0 || c > 1 {
+			t.Fatalf("Confidence(%s) = %v, %v", e, c, err)
+		}
+	}
+	if _, err := idx.VIDOf("no:such"); err == nil {
+		t.Error("want ErrUnknownEID")
+	}
+	if _, err := idx.EIDOf("V99999"); err == nil {
+		t.Error("want ErrUnknownVID")
+	}
+	if _, err := idx.Confidence("no:such"); err == nil {
+		t.Error("want ErrUnknownEID")
+	}
+}
+
+func TestFusedTrajectoryCoversBothModalities(t *testing.T) {
+	ds, rep := matchedWorld(t, nil)
+	idx, err := BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ds.AllEIDs()[2]
+	if _, err := idx.VIDOf(e); err != nil {
+		t.Skip("EID unmatched in this seed")
+	}
+	sightings, err := idx.FusedTrajectory(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sightings) != ds.Config.NumWindows {
+		t.Errorf("sightings = %d, want %d in ideal world", len(sightings), ds.Config.NumWindows)
+	}
+	for i, s := range sightings {
+		if i > 0 && sightings[i-1].Window >= s.Window {
+			t.Fatal("sightings not strictly ordered by window")
+		}
+		if !s.Electronic && !s.Visual {
+			t.Fatal("sighting with no modality")
+		}
+	}
+	// Ideal world and a correct match: both modalities in every window.
+	if ds.TruthVID(e) == mustVID(t, idx, e) {
+		for _, s := range sightings {
+			if !s.Electronic || !s.Visual {
+				t.Errorf("window %d: E=%v V=%v, want both", s.Window, s.Electronic, s.Visual)
+			}
+		}
+	}
+	if _, err := idx.FusedTrajectory("no:such"); err == nil {
+		t.Error("want error for unknown EID")
+	}
+}
+
+func mustVID(t *testing.T, idx *Index, e ids.EID) ids.VID {
+	t.Helper()
+	v, err := idx.VIDOf(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestWhoWasAtFusesIdentities(t *testing.T) {
+	ds, rep := matchedWorld(t, nil)
+	idx, err := BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find a (cell, window) with a recorded scenario.
+	id := ds.Store.AtWindow(3)[0]
+	cell := ds.Store.E(id).Cell
+	present, err := idx.WhoWasAt(cell, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(present) == 0 {
+		t.Fatal("no one present in a populated scenario")
+	}
+	fused := 0
+	for _, p := range present {
+		if p.EID != ids.None && p.VID != ids.NoVID {
+			fused++
+		}
+	}
+	if fused == 0 {
+		t.Error("no presence carries both identities after universal matching")
+	}
+	// Unpopulated queries return empty without error.
+	empty, err := idx.WhoWasAt(cell, 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Errorf("phantom presences: %v", empty)
+	}
+}
+
+func TestWhoWasAtIncludesDevicelessPeople(t *testing.T) {
+	ds, rep := matchedWorld(t, func(c *dataset.Config) {
+		c.EIDMissingRate = 0.4
+		c.NumPersons = 80
+	})
+	idx, err := BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawVisualOnly bool
+	for w := 0; w < ds.Config.NumWindows && !sawVisualOnly; w++ {
+		for _, id := range ds.Store.AtWindow(w) {
+			esc := ds.Store.E(id)
+			present, err := idx.WhoWasAt(esc.Cell, w)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, p := range present {
+				if p.EID == ids.None && p.VID != ids.NoVID {
+					sawVisualOnly = true
+				}
+			}
+		}
+	}
+	if !sawVisualOnly {
+		t.Error("device-less people never surfaced as visual-only presences")
+	}
+}
+
+func TestWhereWas(t *testing.T) {
+	ds, rep := matchedWorld(t, nil)
+	idx, err := BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ds.AllEIDs()[0]
+	if _, err := idx.VIDOf(e); err != nil {
+		t.Skip("EID unmatched in this seed")
+	}
+	s, ok, err := idx.WhereWas(e, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("person unseen in window 4 of an ideal world")
+	}
+	if s.Window != 4 {
+		t.Errorf("Window = %d", s.Window)
+	}
+	_, ok, err = idx.WhereWas(e, 9999)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("phantom sighting in nonexistent window")
+	}
+}
+
+func TestBuildIndexConflictKeepsHigherProbability(t *testing.T) {
+	ds, _ := matchedWorld(t, nil)
+	rep := &core.Report{
+		Targets: []ids.EID{"aa", "bb"},
+		Results: map[ids.EID]vfilter.Result{
+			"aa": {EID: "aa", VID: "V00001", Probability: 0.3, MajorityFrac: 1},
+			"bb": {EID: "bb", VID: "V00001", Probability: 0.8, MajorityFrac: 1},
+		},
+	}
+	idx, err := BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idx.Len() != 1 {
+		t.Fatalf("index len = %d, want 1 after conflict", idx.Len())
+	}
+	winner, err := idx.EIDOf("V00001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if winner != "bb" {
+		t.Errorf("conflict winner = %s, want bb (higher probability)", winner)
+	}
+	if _, err := idx.VIDOf("aa"); err == nil {
+		t.Error("loser should be evicted from the index")
+	}
+}

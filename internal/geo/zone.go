@@ -1,0 +1,43 @@
+package geo
+
+// Zone classifies a position relative to a scenario cell, per the practical
+// setting of the paper (§IV-C, Fig. 2): positions well inside the cell are
+// inclusive, positions within the vague width of the border are vague, and
+// positions outside the cell are exclusive.
+type Zone uint8
+
+// Zone values. The zero value is deliberately invalid so that an
+// uninitialized Zone is caught rather than silently treated as exclusive.
+const (
+	ZoneInclusive Zone = iota + 1
+	ZoneVague
+	ZoneExclusive
+)
+
+// String implements fmt.Stringer.
+func (z Zone) String() string {
+	switch z {
+	case ZoneInclusive:
+		return "inclusive"
+	case ZoneVague:
+		return "vague"
+	case ZoneExclusive:
+		return "exclusive"
+	default:
+		return "invalid"
+	}
+}
+
+// ZoneOf classifies position p relative to cell c of the layout. vagueWidth
+// is the width of the vague band along the cell border; zero width makes
+// every in-cell position inclusive (the ideal setting).
+func ZoneOf(l Layout, c CellID, p Point, vagueWidth float64) Zone {
+	at := l.CellOf(p)
+	if at != c {
+		return ZoneExclusive
+	}
+	if vagueWidth > 0 && l.BorderDist(p) < vagueWidth {
+		return ZoneVague
+	}
+	return ZoneInclusive
+}

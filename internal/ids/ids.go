@@ -1,0 +1,71 @@
+// Package ids defines the electronic and visual identity types matched by
+// EV-Matching. EIDs model device identities captured by network
+// infrastructure (the paper assigns WiFi MAC addresses); VIDs label distinct
+// visual appearances extracted from surveillance video.
+package ids
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// EID is an electronic identity, e.g. a WiFi MAC address or IMSI. The empty
+// EID means the person carries no electronic device (the missing-EID
+// practical setting).
+type EID string
+
+// None is the absent EID for people who carry no device.
+const None EID = ""
+
+// VID is a visual identity label: one consistently re-identified appearance
+// in the video data (the VID-consistency assumption, paper §III-B).
+type VID string
+
+// NoVID marks a failed or missing visual identification.
+const NoVID VID = ""
+
+// MACGenerator deterministically issues locally-administered unicast WiFi MAC
+// addresses as EIDs.
+type MACGenerator struct {
+	rng  *rand.Rand
+	seen map[EID]bool
+}
+
+// NewMACGenerator creates a generator drawing from rng.
+func NewMACGenerator(rng *rand.Rand) *MACGenerator {
+	return &MACGenerator{rng: rng, seen: make(map[EID]bool)}
+}
+
+// Next returns a fresh, unique EID.
+func (g *MACGenerator) Next() EID {
+	for {
+		var b [6]byte
+		for i := range b {
+			b[i] = byte(g.rng.Intn(256))
+		}
+		b[0] = (b[0] | 0x02) &^ 0x01 // locally administered, unicast
+		e := EID(fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", b[0], b[1], b[2], b[3], b[4], b[5]))
+		if !g.seen[e] {
+			g.seen[e] = true
+			return e
+		}
+	}
+}
+
+// VIDLabel returns the canonical VID label for person index i, mimicking the
+// identity labels a re-identification front end would assign.
+func VIDLabel(i int) VID { return VID(fmt.Sprintf("V%05d", i)) }
+
+// SortEIDs sorts a slice of EIDs in place and returns it, for deterministic
+// iteration over set contents.
+func SortEIDs(eids []EID) []EID {
+	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+	return eids
+}
+
+// SortVIDs sorts a slice of VIDs in place and returns it.
+func SortVIDs(vids []VID) []VID {
+	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	return vids
+}

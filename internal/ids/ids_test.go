@@ -1,0 +1,102 @@
+package ids
+
+import (
+	"math/rand"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+func TestMACGeneratorFormat(t *testing.T) {
+	g := NewMACGenerator(rand.New(rand.NewSource(1)))
+	macRE := regexp.MustCompile(`^[0-9a-f]{2}(:[0-9a-f]{2}){5}$`)
+	for i := 0; i < 100; i++ {
+		e := g.Next()
+		if !macRE.MatchString(string(e)) {
+			t.Fatalf("EID %q is not a MAC address", e)
+		}
+		// Locally administered bit set, multicast bit clear.
+		var first byte
+		if _, err := fmtSscanfHex(string(e[:2]), &first); err != nil {
+			t.Fatal(err)
+		}
+		if first&0x02 == 0 {
+			t.Errorf("EID %q missing locally-administered bit", e)
+		}
+		if first&0x01 != 0 {
+			t.Errorf("EID %q has multicast bit set", e)
+		}
+	}
+}
+
+// fmtSscanfHex parses a two-hex-digit string into b.
+func fmtSscanfHex(s string, b *byte) (int, error) {
+	var v int
+	for _, c := range s {
+		v <<= 4
+		switch {
+		case c >= '0' && c <= '9':
+			v |= int(c - '0')
+		case c >= 'a' && c <= 'f':
+			v |= int(c-'a') + 10
+		}
+	}
+	*b = byte(v)
+	return 1, nil
+}
+
+func TestMACGeneratorUnique(t *testing.T) {
+	g := NewMACGenerator(rand.New(rand.NewSource(2)))
+	seen := make(map[EID]bool, 5000)
+	for i := 0; i < 5000; i++ {
+		e := g.Next()
+		if seen[e] {
+			t.Fatalf("duplicate EID %q at draw %d", e, i)
+		}
+		seen[e] = true
+	}
+}
+
+func TestMACGeneratorDeterministic(t *testing.T) {
+	g1 := NewMACGenerator(rand.New(rand.NewSource(9)))
+	g2 := NewMACGenerator(rand.New(rand.NewSource(9)))
+	for i := 0; i < 100; i++ {
+		if a, b := g1.Next(), g2.Next(); a != b {
+			t.Fatalf("draw %d differs: %q vs %q", i, a, b)
+		}
+	}
+}
+
+func TestVIDLabel(t *testing.T) {
+	if got := VIDLabel(0); got != "V00000" {
+		t.Errorf("VIDLabel(0) = %q", got)
+	}
+	if got := VIDLabel(123); got != "V00123" {
+		t.Errorf("VIDLabel(123) = %q", got)
+	}
+	if VIDLabel(1) == VIDLabel(2) {
+		t.Error("distinct persons share a VID label")
+	}
+}
+
+func TestSortEIDs(t *testing.T) {
+	in := []EID{"cc", "aa", "bb"}
+	out := SortEIDs(in)
+	if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+		t.Errorf("SortEIDs result not sorted: %v", out)
+	}
+	if len(out) != 3 {
+		t.Errorf("SortEIDs changed length: %v", out)
+	}
+}
+
+func TestSortVIDs(t *testing.T) {
+	in := []VID{"V3", "V1", "V2"}
+	out := SortVIDs(in)
+	want := []VID{"V1", "V2", "V3"}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("SortVIDs = %v, want %v", out, want)
+		}
+	}
+}

@@ -1,0 +1,20 @@
+package mapreduce_test
+
+import (
+	"testing"
+
+	"evmatching/internal/mapreduce"
+	"evmatching/internal/mrtest"
+)
+
+func TestSerialExecutorConformance(t *testing.T) {
+	mrtest.Conformance(t, mapreduce.SerialExecutor{})
+}
+
+func TestParallelExecutorConformance(t *testing.T) {
+	for _, workers := range []int{1, 3, 8} {
+		t.Run("workers="+string(rune('0'+workers)), func(t *testing.T) {
+			mrtest.Conformance(t, mapreduce.ParallelExecutor{Workers: workers})
+		})
+	}
+}

@@ -1,0 +1,329 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// wordCountJob builds the canonical word-count job over the given lines.
+func wordCountJob(lines []string) *Job {
+	input := make([]KeyValue, len(lines))
+	for i, l := range lines {
+		input[i] = KeyValue{Key: strconv.Itoa(i), Value: l}
+	}
+	return &Job{
+		Name:  "wordcount",
+		Input: input,
+		Map: func(in KeyValue, emit Emitter) error {
+			for _, w := range strings.Fields(in.Value) {
+				emit(KeyValue{Key: w, Value: "1"})
+			}
+			return nil
+		},
+		Reduce: func(key string, values []string, emit Emitter) error {
+			sum := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return err
+				}
+				sum += n
+			}
+			emit(KeyValue{Key: key, Value: strconv.Itoa(sum)})
+			return nil
+		},
+	}
+}
+
+func sumCombiner(key string, values []string, emit Emitter) error {
+	sum := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
+		}
+		sum += n
+	}
+	emit(KeyValue{Key: key, Value: strconv.Itoa(sum)})
+	return nil
+}
+
+func TestSerialWordCount(t *testing.T) {
+	job := wordCountJob([]string{"a b a", "b c", "a"})
+	res, err := SerialExecutor{}.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KeyValue{{Key: "a", Value: "3"}, {Key: "b", Value: "2"}, {Key: "c", Value: "1"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+	if res.Counters.Get(CounterMapIn) != 3 {
+		t.Errorf("map.in = %d", res.Counters.Get(CounterMapIn))
+	}
+	if res.Counters.Get(CounterMapOut) != 6 {
+		t.Errorf("map.out = %d", res.Counters.Get(CounterMapOut))
+	}
+	if res.Counters.Get(CounterReduceKeys) != 3 {
+		t.Errorf("reduce.keys = %d", res.Counters.Get(CounterReduceKeys))
+	}
+}
+
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	words := []string{"alpha", "beta", "gamma", "delta", "eps"}
+	lines := make([]string, 200)
+	for i := range lines {
+		n := 1 + rng.Intn(10)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = words[rng.Intn(len(words))]
+		}
+		lines[i] = strings.Join(parts, " ")
+	}
+	serial, err := SerialExecutor{}.Run(context.Background(), wordCountJob(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		for _, reducers := range []int{0, 1, 3, 7} {
+			job := wordCountJob(lines)
+			job.NumReducers = reducers
+			par, err := ParallelExecutor{Workers: workers}.Run(context.Background(), job)
+			if err != nil {
+				t.Fatalf("workers=%d reducers=%d: %v", workers, reducers, err)
+			}
+			if !reflect.DeepEqual(par.Output, serial.Output) {
+				t.Fatalf("workers=%d reducers=%d output differs from serial", workers, reducers)
+			}
+		}
+	}
+}
+
+func TestParallelWithCombinerMatchesSerial(t *testing.T) {
+	lines := []string{"x y x", "y z z z", "x", "w w w w"}
+	serial, err := SerialExecutor{}.Run(context.Background(), wordCountJob(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	job := wordCountJob(lines)
+	job.Combine = sumCombiner
+	job.NumReducers = 3
+	par, err := ParallelExecutor{Workers: 4}.Run(context.Background(), job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(par.Output, serial.Output) {
+		t.Errorf("combined output differs: %v vs %v", par.Output, serial.Output)
+	}
+	if par.Counters.Get(CounterCombineOut) == 0 {
+		t.Error("combiner did not run")
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	job := &Job{
+		Name:  "maponly",
+		Input: []KeyValue{{Key: "1", Value: "b a"}},
+		Map: func(in KeyValue, emit Emitter) error {
+			for _, w := range strings.Fields(in.Value) {
+				emit(KeyValue{Key: w, Value: in.Key})
+			}
+			return nil
+		},
+	}
+	for name, exec := range map[string]Executor{
+		"serial":   SerialExecutor{},
+		"parallel": ParallelExecutor{Workers: 3},
+	} {
+		res, err := exec.Run(context.Background(), job)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := []KeyValue{{Key: "a", Value: "1"}, {Key: "b", Value: "1"}}
+		if !reflect.DeepEqual(res.Output, want) {
+			t.Errorf("%s: Output = %v, want %v", name, res.Output, want)
+		}
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	var nilJob *Job
+	if err := nilJob.Validate(); err == nil {
+		t.Error("want error for nil job")
+	}
+	if err := (&Job{Name: "x"}).Validate(); err == nil {
+		t.Error("want error for missing map func")
+	}
+	if err := (&Job{Name: "x", Map: func(KeyValue, Emitter) error { return nil }, NumReducers: -1}).Validate(); err == nil {
+		t.Error("want error for negative reducers")
+	}
+	if _, err := (SerialExecutor{}).Run(context.Background(), &Job{}); err == nil {
+		t.Error("Run should reject invalid job")
+	}
+}
+
+func TestMapErrorPropagates(t *testing.T) {
+	boom := errors.New("boom")
+	job := &Job{
+		Name:  "failing",
+		Input: []KeyValue{{Key: "k", Value: "v"}},
+		Map:   func(KeyValue, Emitter) error { return boom },
+	}
+	for name, exec := range map[string]Executor{
+		"serial":   SerialExecutor{},
+		"parallel": ParallelExecutor{Workers: 2},
+	} {
+		if _, err := exec.Run(context.Background(), job); !errors.Is(err, boom) {
+			t.Errorf("%s: err = %v, want wrapped boom", name, err)
+		}
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	boom := errors.New("reduce boom")
+	job := wordCountJob([]string{"a"})
+	job.Reduce = func(string, []string, Emitter) error { return boom }
+	for name, exec := range map[string]Executor{
+		"serial":   SerialExecutor{},
+		"parallel": ParallelExecutor{Workers: 2},
+	} {
+		if _, err := exec.Run(context.Background(), job); !errors.Is(err, boom) {
+			t.Errorf("%s: err = %v, want wrapped boom", name, err)
+		}
+	}
+}
+
+func TestContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	job := wordCountJob([]string{"a b", "c d"})
+	if _, err := (SerialExecutor{}).Run(ctx, job); !errors.Is(err, context.Canceled) {
+		t.Errorf("serial err = %v", err)
+	}
+	if _, err := (ParallelExecutor{Workers: 2}).Run(ctx, job); !errors.Is(err, context.Canceled) {
+		t.Errorf("parallel err = %v", err)
+	}
+}
+
+func TestChain(t *testing.T) {
+	// Job 1: word count. Job 2: bucket words by their count.
+	j1 := wordCountJob([]string{"a b a", "b c a"})
+	j2 := &Job{
+		Name: "invert",
+		Map: func(in KeyValue, emit Emitter) error {
+			emit(KeyValue{Key: in.Value, Value: in.Key})
+			return nil
+		},
+		Reduce: func(key string, values []string, emit Emitter) error {
+			emit(KeyValue{Key: key, Value: strings.Join(values, ",")})
+			return nil
+		},
+	}
+	res, err := Chain(context.Background(), SerialExecutor{}, []*Job{j1, j2}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []KeyValue{{Key: "1", Value: "c"}, {Key: "2", Value: "b"}, {Key: "3", Value: "a"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Chain output = %v, want %v", res.Output, want)
+	}
+	if _, err := Chain(context.Background(), SerialExecutor{}, nil, nil); err == nil {
+		t.Error("want error for empty chain")
+	}
+}
+
+func TestChainStageTransform(t *testing.T) {
+	j1 := wordCountJob([]string{"a a b"})
+	j2 := &Job{
+		Name: "passthrough",
+		Map: func(in KeyValue, emit Emitter) error {
+			emit(in)
+			return nil
+		},
+	}
+	res, err := Chain(context.Background(), SerialExecutor{}, []*Job{j1, j2},
+		func(i int, out []KeyValue) []KeyValue {
+			// Keep only counts greater than one.
+			var kept []KeyValue
+			for _, kv := range out {
+				if kv.Value != "1" {
+					kept = append(kept, kv)
+				}
+			}
+			return kept
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Output) != 1 || res.Output[0].Key != "a" {
+		t.Errorf("Output = %v", res.Output)
+	}
+}
+
+func TestPartitionStableAndInRange(t *testing.T) {
+	f := func(key string, n uint8) bool {
+		reducers := int(n%16) + 1
+		p := Partition(key, reducers)
+		return p >= 0 && p < reducers && p == Partition(key, reducers)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if Partition("anything", 0) != 0 || Partition("anything", 1) != 0 {
+		t.Error("degenerate reducer counts must map to partition 0")
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("x", 2)
+	c.Add("x", 3)
+	if c.Get("x") != 5 || c.Get("y") != 0 {
+		t.Errorf("counters: x=%d y=%d", c.Get("x"), c.Get("y"))
+	}
+	snap := c.Snapshot()
+	snap["x"] = 99
+	if c.Get("x") != 5 {
+		t.Error("Snapshot aliases internal map")
+	}
+}
+
+func TestParallelEquivalenceProperty(t *testing.T) {
+	// Random jobs over a small key alphabet: parallel output must always
+	// equal serial output.
+	f := func(seed int64, workerSel, reducerSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(60)
+		lines := make([]string, n)
+		for i := range lines {
+			k := rng.Intn(5)
+			parts := make([]string, k)
+			for j := range parts {
+				parts[j] = fmt.Sprintf("w%d", rng.Intn(8))
+			}
+			lines[i] = strings.Join(parts, " ")
+		}
+		serial, err := SerialExecutor{}.Run(context.Background(), wordCountJob(lines))
+		if err != nil {
+			return false
+		}
+		job := wordCountJob(lines)
+		job.NumReducers = int(reducerSel % 5)
+		par, err := ParallelExecutor{Workers: int(workerSel%7) + 1}.Run(context.Background(), job)
+		if err != nil {
+			return false
+		}
+		return reflect.DeepEqual(serial.Output, par.Output)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,163 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// ParallelExecutor runs jobs over a pool of goroutine workers with a
+// hash-partitioned in-memory shuffle, the in-process equivalent of the
+// paper's Spark deployment.
+type ParallelExecutor struct {
+	// Workers is the mapper/reducer pool size; 0 means GOMAXPROCS.
+	Workers int
+}
+
+var _ Executor = ParallelExecutor{}
+
+// Run implements Executor.
+func (p ParallelExecutor) Run(ctx context.Context, job *Job) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	workers := p.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	numReducers := job.NumReducers
+	if numReducers <= 0 {
+		numReducers = workers
+	}
+	counters := NewCounters()
+
+	// Map phase: each worker maps a contiguous chunk of the input into
+	// per-reducer buckets, optionally pre-folding with the combiner.
+	buckets := make([][][]KeyValue, workers) // [worker][reducer][]kv
+	mapErr := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(job.Input) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(job.Input) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(job.Input) {
+			hi = len(job.Input)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			local := make([][]KeyValue, numReducers)
+			emit := func(kv KeyValue) {
+				r := Partition(kv.Key, numReducers)
+				local[r] = append(local[r], kv)
+			}
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					mapErr[w] = err
+					return
+				}
+				if err := job.Map(job.Input[i], emit); err != nil {
+					mapErr[w] = fmt.Errorf("map record %d: %w", i, err)
+					return
+				}
+			}
+			var emitted int64
+			for _, b := range local {
+				emitted += int64(len(b))
+			}
+			counters.Add(CounterMapOut, emitted)
+			if job.Combine != nil {
+				for r := range local {
+					combined, err := combineBucket(local[r], job.Combine)
+					if err != nil {
+						mapErr[w] = err
+						return
+					}
+					local[r] = combined
+				}
+				var afterCombine int64
+				for _, b := range local {
+					afterCombine += int64(len(b))
+				}
+				counters.Add(CounterCombineOut, afterCombine)
+			}
+			buckets[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	counters.Add(CounterMapIn, int64(len(job.Input)))
+	for w, err := range mapErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q worker %d: %w", job.Name, w, err)
+		}
+	}
+
+	// Shuffle: concatenate each reducer's buckets from every mapper.
+	shuffled := make([][]KeyValue, numReducers)
+	for r := 0; r < numReducers; r++ {
+		for w := 0; w < workers; w++ {
+			if buckets[w] != nil {
+				shuffled[r] = append(shuffled[r], buckets[w][r]...)
+			}
+		}
+		sortKVs(shuffled[r])
+	}
+	if job.Reduce == nil {
+		var out []KeyValue
+		for r := 0; r < numReducers; r++ {
+			out = append(out, shuffled[r]...)
+		}
+		sortKVs(out)
+		return &Result{Output: out, Counters: counters}, nil
+	}
+
+	// Reduce phase: one goroutine per partition.
+	reduceOut := make([][]KeyValue, numReducers)
+	reduceErr := make([]error, numReducers)
+	for r := 0; r < numReducers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				reduceErr[r] = err
+				return
+			}
+			out, err := reduceGroups(groupByKey(shuffled[r]), job.Reduce, counters, CounterReduceOut)
+			if err != nil {
+				reduceErr[r] = err
+				return
+			}
+			reduceOut[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range reduceErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q reducer %d: %w", job.Name, r, err)
+		}
+	}
+	var out []KeyValue
+	for r := 0; r < numReducers; r++ {
+		out = append(out, reduceOut[r]...)
+	}
+	sortKVs(out)
+	return &Result{Output: out, Counters: counters}, nil
+}
+
+// combineBucket groups one mapper-local bucket by key and applies the
+// combiner.
+func combineBucket(kvs []KeyValue, combine ReduceFunc) ([]KeyValue, error) {
+	sortKVs(kvs)
+	var out []KeyValue
+	emit := func(kv KeyValue) { out = append(out, kv) }
+	for _, g := range groupByKey(kvs) {
+		if err := combine(g.key, g.values, emit); err != nil {
+			return nil, fmt.Errorf("combine key %q: %w", g.key, err)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,55 @@
+package metrics
+
+import (
+	"encoding/csv"
+	"io"
+	"strings"
+)
+
+// CSV renders the table as RFC-4180 CSV with a leading comment row carrying
+// the title, for import into external plotting tools.
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("# ")
+		sb.WriteString(t.Title)
+		sb.WriteString("\n")
+	}
+	w := csv.NewWriter(&sb)
+	// Writes to a strings.Builder cannot fail.
+	_ = w.Write(t.Header)
+	for _, row := range t.Rows {
+		_ = w.Write(row)
+	}
+	w.Flush()
+	return sb.String()
+}
+
+// CSV renders the series as CSV: one column for x plus one per series
+// column.
+func (s *Series) CSV() string {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.Columns...)...)
+	for _, p := range s.Points {
+		cells := make([]string, 0, len(p.Y)+1)
+		cells = append(cells, F(p.X, 4))
+		for _, y := range p.Y {
+			cells = append(cells, F(y, 4))
+		}
+		t.AddRow(cells...)
+	}
+	return t.CSV()
+}
+
+// CSVPrinter is anything renderable as CSV; Table and Series qualify.
+type CSVPrinter interface {
+	CSV() string
+}
+
+// FprintCSV writes a CSV rendering followed by a blank line.
+func FprintCSV(w io.Writer, c CSVPrinter) error {
+	if _, err := io.WriteString(w, c.CSV()); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

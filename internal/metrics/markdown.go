@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"io"
+	"strings"
+)
+
+// Markdown renders the table as a GitHub-flavored markdown table, used by
+// evbench to regenerate EXPERIMENTS.md content.
+func (t *Table) Markdown() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString("**")
+		sb.WriteString(t.Title)
+		sb.WriteString("**\n\n")
+	}
+	writeMarkdownRow(&sb, t.Header)
+	rule := make([]string, len(t.Header))
+	for i := range rule {
+		rule[i] = "---"
+	}
+	writeMarkdownRow(&sb, rule)
+	for _, row := range t.Rows {
+		writeMarkdownRow(&sb, row)
+	}
+	return sb.String()
+}
+
+// Markdown renders the series as a markdown table of x and column values.
+func (s *Series) Markdown() string {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.Columns...)...)
+	for _, p := range s.Points {
+		cells := make([]string, 0, len(p.Y)+1)
+		cells = append(cells, F(p.X, 0))
+		for _, y := range p.Y {
+			cells = append(cells, F(y, 2))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Markdown()
+}
+
+func writeMarkdownRow(sb *strings.Builder, cells []string) {
+	sb.WriteString("|")
+	for _, c := range cells {
+		sb.WriteString(" ")
+		sb.WriteString(strings.ReplaceAll(c, "|", "\\|"))
+		sb.WriteString(" |")
+	}
+	sb.WriteString("\n")
+}
+
+// MarkdownPrinter wraps an io.Writer so RunAll-style consumers can choose
+// markdown output.
+type MarkdownPrinter interface {
+	Markdown() string
+}
+
+// FprintMarkdown writes any markdown-capable result followed by a blank
+// line.
+func FprintMarkdown(w io.Writer, m MarkdownPrinter) error {
+	if _, err := io.WriteString(w, m.Markdown()); err != nil {
+		return err
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}

@@ -1,0 +1,172 @@
+// Package metrics provides the small formatting toolkit the benchmark
+// harness uses to print paper-style tables and figure series as aligned
+// ASCII, plus number/duration helpers.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Table is a titled grid, printed with aligned columns — the shape of the
+// paper's Tables I and II.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends one row; short rows are padded with empty cells.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Header))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// Fprint writes the table to w.
+func (t *Table) Fprint(w io.Writer) error {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	total := len(widths) - 1
+	for _, wd := range widths {
+		total += wd + 1
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	_, err := io.WriteString(w, sb.String())
+	return err
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	var sb strings.Builder
+	_ = t.Fprint(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Series is a titled multi-column series over a numeric x axis — the shape
+// of the paper's line figures.
+type Series struct {
+	Title   string
+	XLabel  string
+	Columns []string
+	Points  []Point
+}
+
+// Point is one x position with one y value per column.
+type Point struct {
+	X float64
+	Y []float64
+}
+
+// NewSeries creates a series with the given title, x label, and column
+// names.
+func NewSeries(title, xLabel string, columns ...string) *Series {
+	return &Series{Title: title, XLabel: xLabel, Columns: columns}
+}
+
+// Add appends a point.
+func (s *Series) Add(x float64, ys ...float64) {
+	s.Points = append(s.Points, Point{X: x, Y: ys})
+}
+
+// Column returns the y values of the named column in point order, and
+// whether the column exists.
+func (s *Series) Column(name string) ([]float64, bool) {
+	idx := -1
+	for i, c := range s.Columns {
+		if c == name {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil, false
+	}
+	out := make([]float64, 0, len(s.Points))
+	for _, p := range s.Points {
+		if idx < len(p.Y) {
+			out = append(out, p.Y[idx])
+		}
+	}
+	return out, true
+}
+
+// Fprint writes the series as an aligned table of x and column values.
+func (s *Series) Fprint(w io.Writer) error {
+	t := NewTable(s.Title, append([]string{s.XLabel}, s.Columns...)...)
+	for _, p := range s.Points {
+		cells := make([]string, 0, len(p.Y)+1)
+		cells = append(cells, F(p.X, 0))
+		for _, y := range p.Y {
+			cells = append(cells, F(y, 2))
+		}
+		t.AddRow(cells...)
+	}
+	return t.Fprint(w)
+}
+
+// String renders the series.
+func (s *Series) String() string {
+	var sb strings.Builder
+	_ = s.Fprint(&sb)
+	return sb.String()
+}
+
+// F formats a float with the given number of decimals, trimming a trailing
+// ".00" for whole numbers at prec 0.
+func F(v float64, prec int) string {
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// Pct formats a fraction as a percentage with two decimals, e.g. 0.9242 ->
+// "92.42%".
+func Pct(v float64) string {
+	return fmt.Sprintf("%.2f%%", v*100)
+}
+
+// Dur formats a duration rounded to milliseconds.
+func Dur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,57 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableFormatting(t *testing.T) {
+	tb := NewTable("Accuracy", "Matched EIDs", "SS", "EDP")
+	tb.AddRow("200", "92.42%", "93%")
+	tb.AddRow("400", "90.60%") // short row padded
+	out := tb.String()
+	if !strings.Contains(out, "Accuracy") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "Matched EIDs") || !strings.Contains(out, "92.42%") {
+		t.Errorf("content missing:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Errorf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has the same prefix width up to col 2.
+	if !strings.HasPrefix(lines[3], "200 ") {
+		t.Errorf("row not padded: %q", lines[3])
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := NewSeries("Fig 5", "EIDs", "SS", "EDP")
+	s.Add(100, 60, 150)
+	s.Add(200, 80, 290)
+	out := s.String()
+	if !strings.Contains(out, "Fig 5") || !strings.Contains(out, "290.00") {
+		t.Errorf("series output:\n%s", out)
+	}
+	col, ok := s.Column("EDP")
+	if !ok || len(col) != 2 || col[1] != 290 {
+		t.Errorf("Column = %v, %v", col, ok)
+	}
+	if _, ok := s.Column("missing"); ok {
+		t.Error("missing column reported present")
+	}
+}
+
+func TestFormatHelpers(t *testing.T) {
+	if got := Pct(0.9242); got != "92.42%" {
+		t.Errorf("Pct = %q", got)
+	}
+	if got := F(3.14159, 2); got != "3.14" {
+		t.Errorf("F = %q", got)
+	}
+	if got := Dur(1234567 * time.Microsecond); got != "1.235s" {
+		t.Errorf("Dur = %q", got)
+	}
+}

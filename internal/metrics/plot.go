@@ -1,0 +1,140 @@
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// plot geometry.
+const (
+	plotWidth  = 64
+	plotHeight = 16
+)
+
+// markers distinguish up to eight series columns in a plot.
+var markers = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Plot renders the series as an ASCII line chart with one marker per
+// column, a y-axis scale, and a legend — the terminal counterpart of the
+// paper's figures.
+func (s *Series) Plot() string {
+	if len(s.Points) == 0 || len(s.Columns) == 0 {
+		return s.Title + "\n(no data)\n"
+	}
+	minX, maxX := s.Points[0].X, s.Points[0].X
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, p := range s.Points {
+		minX = math.Min(minX, p.X)
+		maxX = math.Max(maxX, p.X)
+		for _, y := range p.Y {
+			minY = math.Min(minY, y)
+			maxY = math.Max(maxY, y)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return s.Title + "\n(no data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+
+	grid := make([][]byte, plotHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	col := func(x float64) int {
+		c := int(math.Round((x - minX) / (maxX - minX) * float64(plotWidth-1)))
+		return clampInt(c, 0, plotWidth-1)
+	}
+	row := func(y float64) int {
+		r := int(math.Round((y - minY) / (maxY - minY) * float64(plotHeight-1)))
+		return plotHeight - 1 - clampInt(r, 0, plotHeight-1)
+	}
+	for ci := range s.Columns {
+		marker := markers[ci%len(markers)]
+		var prevC, prevR int
+		hasPrev := false
+		for _, p := range s.Points {
+			if ci >= len(p.Y) {
+				continue
+			}
+			c, r := col(p.X), row(p.Y[ci])
+			if hasPrev {
+				drawSegment(grid, prevC, prevR, c, r, '.')
+			}
+			grid[r][c] = marker
+			prevC, prevR, hasPrev = c, r, true
+		}
+	}
+
+	var sb strings.Builder
+	sb.WriteString(s.Title)
+	sb.WriteByte('\n')
+	yLabelW := 10
+	for r := 0; r < plotHeight; r++ {
+		switch r {
+		case 0:
+			fmt.Fprintf(&sb, "%*.2f |", yLabelW, maxY)
+		case plotHeight - 1:
+			fmt.Fprintf(&sb, "%*.2f |", yLabelW, minY)
+		default:
+			sb.WriteString(strings.Repeat(" ", yLabelW))
+			sb.WriteString(" |")
+		}
+		sb.Write(grid[r])
+		sb.WriteByte('\n')
+	}
+	sb.WriteString(strings.Repeat(" ", yLabelW+1))
+	sb.WriteByte('+')
+	sb.WriteString(strings.Repeat("-", plotWidth))
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "%s %-*.0f%*.0f\n", strings.Repeat(" ", yLabelW+1), plotWidth/2, minX, plotWidth/2, maxX)
+	fmt.Fprintf(&sb, "%s x: %s;", strings.Repeat(" ", yLabelW+1), s.XLabel)
+	for ci, name := range s.Columns {
+		fmt.Fprintf(&sb, " %c=%s", markers[ci%len(markers)], name)
+	}
+	sb.WriteByte('\n')
+	return sb.String()
+}
+
+// drawSegment traces a light dotted line between two plotted points without
+// overwriting existing markers.
+func drawSegment(grid [][]byte, c0, r0, c1, r1 int, ch byte) {
+	steps := maxInt(absInt(c1-c0), absInt(r1-r0))
+	for i := 1; i < steps; i++ {
+		t := float64(i) / float64(steps)
+		c := c0 + int(math.Round(t*float64(c1-c0)))
+		r := r0 + int(math.Round(t*float64(r1-r0)))
+		if grid[r][c] == ' ' {
+			grid[r][c] = ch
+		}
+	}
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPlotBasics(t *testing.T) {
+	s := NewSeries("Fig X", "n", "SS", "EDP")
+	s.Add(100, 10, 50)
+	s.Add(200, 20, 100)
+	s.Add(300, 25, 160)
+	out := s.Plot()
+	if !strings.Contains(out, "Fig X") {
+		t.Error("missing title")
+	}
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Errorf("missing series markers:\n%s", out)
+	}
+	if !strings.Contains(out, "*=SS") || !strings.Contains(out, "o=EDP") {
+		t.Errorf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "160.00") || !strings.Contains(out, "10.00") {
+		t.Errorf("missing y-axis extremes:\n%s", out)
+	}
+	if !strings.Contains(out, "x: n;") {
+		t.Errorf("missing x label:\n%s", out)
+	}
+	// All plot body lines share the same width (no ragged grid).
+	lines := strings.Split(out, "\n")
+	gridLines := 0
+	for _, l := range lines {
+		if strings.Contains(l, "|") {
+			gridLines++
+		}
+	}
+	if gridLines != 16 {
+		t.Errorf("grid lines = %d, want 16", gridLines)
+	}
+}
+
+func TestPlotDegenerateInputs(t *testing.T) {
+	empty := NewSeries("E", "x", "y")
+	if out := empty.Plot(); !strings.Contains(out, "no data") {
+		t.Errorf("empty series plot:\n%s", out)
+	}
+	flat := NewSeries("F", "x", "y")
+	flat.Add(1, 5)
+	flat.Add(1, 5) // identical x and y: ranges are degenerate
+	if out := flat.Plot(); out == "" || strings.Contains(out, "NaN") {
+		t.Errorf("degenerate plot:\n%s", out)
+	}
+}
+
+func TestPlotSingleColumnManyPoints(t *testing.T) {
+	s := NewSeries("S", "x", "only")
+	for i := 0; i < 50; i++ {
+		s.Add(float64(i), float64(i*i))
+	}
+	out := s.Plot()
+	if strings.Count(out, "*") < 10 {
+		t.Errorf("too few markers plotted:\n%s", out)
+	}
+}

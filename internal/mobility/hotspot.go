@@ -1,0 +1,134 @@
+package mobility
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"evmatching/internal/geo"
+)
+
+// Model is a mobility source: anything that yields a position when advanced
+// through time. Walker (random waypoint) and HotspotWalker both satisfy it.
+type Model interface {
+	Advance(dt time.Duration) geo.Point
+	Pos() geo.Point
+}
+
+// Compile-time interface compliance checks.
+var (
+	_ Model = (*Walker)(nil)
+	_ Model = (*HotspotWalker)(nil)
+)
+
+// HotspotConfig parameterizes hotspot-biased random waypoint movement:
+// destinations are drawn near shared attraction points (plazas, entrances,
+// platforms) with the configured probability, producing the crowding that
+// makes spatiotemporal matching hard — many people share cells for long
+// stretches.
+type HotspotConfig struct {
+	// Walk is the underlying waypoint dynamics (speeds, pauses, region).
+	Walk Config
+	// Hotspots is the number of shared attraction points.
+	Hotspots int
+	// Attraction is the probability a new destination targets a hotspot.
+	Attraction float64
+	// Spread is the standard deviation, in meters, of destinations around
+	// their hotspot.
+	Spread float64
+}
+
+// Validate reports whether the configuration is usable.
+func (c HotspotConfig) Validate() error {
+	if err := c.Walk.Validate(); err != nil {
+		return err
+	}
+	if c.Hotspots < 1 {
+		return fmt.Errorf("%w: hotspots=%d", ErrBadModel, c.Hotspots)
+	}
+	if c.Attraction < 0 || c.Attraction > 1 {
+		return fmt.Errorf("%w: attraction=%f", ErrBadModel, c.Attraction)
+	}
+	if c.Spread < 0 {
+		return fmt.Errorf("%w: spread=%f", ErrBadModel, c.Spread)
+	}
+	return nil
+}
+
+// Hotspots draws the shared attraction points for a population; every
+// walker of one world should receive the same slice.
+func Hotspots(cfg HotspotConfig, rng *rand.Rand) ([]geo.Point, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	pts := make([]geo.Point, cfg.Hotspots)
+	r := cfg.Walk.Region
+	for i := range pts {
+		pts[i] = geo.Pt(
+			r.Min.X+rng.Float64()*r.Width(),
+			r.Min.Y+rng.Float64()*r.Height(),
+		)
+	}
+	return pts, nil
+}
+
+// HotspotWalker is a random-waypoint walker whose destinations gravitate to
+// shared hotspots.
+type HotspotWalker struct {
+	walker   *Walker
+	cfg      HotspotConfig
+	hotspots []geo.Point
+	rng      *rand.Rand
+}
+
+// NewHotspotWalker creates a walker over the shared hotspot set.
+func NewHotspotWalker(cfg HotspotConfig, hotspots []geo.Point, rng *rand.Rand) (*HotspotWalker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(hotspots) == 0 {
+		return nil, fmt.Errorf("%w: no hotspots provided", ErrBadModel)
+	}
+	w, err := NewWalker(cfg.Walk, rng)
+	if err != nil {
+		return nil, err
+	}
+	h := &HotspotWalker{walker: w, cfg: cfg, hotspots: hotspots, rng: rng}
+	// Rebias the initial leg too.
+	h.walker.dest = h.drawDest()
+	return h, nil
+}
+
+// drawDest picks the next destination: near a hotspot with probability
+// Attraction, else uniform in the region.
+func (h *HotspotWalker) drawDest() geo.Point {
+	r := h.cfg.Walk.Region
+	if h.rng.Float64() >= h.cfg.Attraction {
+		return geo.Pt(
+			r.Min.X+h.rng.Float64()*r.Width(),
+			r.Min.Y+h.rng.Float64()*r.Height(),
+		)
+	}
+	spot := h.hotspots[h.rng.Intn(len(h.hotspots))]
+	return r.Clamp(geo.Pt(
+		spot.X+h.rng.NormFloat64()*h.cfg.Spread,
+		spot.Y+h.rng.NormFloat64()*h.cfg.Spread,
+	))
+}
+
+// Pos returns the current position.
+func (h *HotspotWalker) Pos() geo.Point { return h.walker.Pos() }
+
+// Advance moves the walker forward by dt, rebiasing every fresh leg toward
+// the hotspots.
+func (h *HotspotWalker) Advance(dt time.Duration) geo.Point {
+	before := h.walker.dest
+	pos := h.walker.Advance(dt)
+	// The embedded walker drew a uniform destination when it reached a
+	// waypoint mid-step; replace it with a hotspot-biased one. Pauses and
+	// speeds remain the walker's own.
+	if h.walker.dest != before {
+		h.walker.dest = h.drawDest()
+	}
+	return pos
+}

@@ -1,0 +1,160 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"evmatching/internal/geo"
+)
+
+func hotspotConfig() HotspotConfig {
+	return HotspotConfig{
+		Walk:       testConfig(),
+		Hotspots:   3,
+		Attraction: 0.8,
+		Spread:     30,
+	}
+}
+
+func TestHotspotConfigValidate(t *testing.T) {
+	tests := []struct {
+		name   string
+		mutate func(*HotspotConfig)
+	}{
+		{name: "bad walk", mutate: func(c *HotspotConfig) { c.Walk.SpeedMin = 0 }},
+		{name: "zero hotspots", mutate: func(c *HotspotConfig) { c.Hotspots = 0 }},
+		{name: "attraction above 1", mutate: func(c *HotspotConfig) { c.Attraction = 1.5 }},
+		{name: "negative spread", mutate: func(c *HotspotConfig) { c.Spread = -1 }},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := hotspotConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Error("want validation error")
+			}
+		})
+	}
+	if err := hotspotConfig().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestHotspotsDrawnInRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	pts, err := Hotspots(hotspotConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("hotspots = %d", len(pts))
+	}
+	region := hotspotConfig().Walk.Region
+	for _, p := range pts {
+		if !region.Contains(p) {
+			t.Errorf("hotspot %v outside region", p)
+		}
+	}
+	bad := hotspotConfig()
+	bad.Hotspots = 0
+	if _, err := Hotspots(bad, rng); err == nil {
+		t.Error("want error for invalid config")
+	}
+}
+
+func TestNewHotspotWalkerValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	if _, err := NewHotspotWalker(hotspotConfig(), nil, rng); err == nil {
+		t.Error("want error for empty hotspot set")
+	}
+	bad := hotspotConfig()
+	bad.Attraction = -1
+	if _, err := NewHotspotWalker(bad, []geo.Point{geo.Pt(1, 1)}, rng); err == nil {
+		t.Error("want error for bad config")
+	}
+}
+
+func TestHotspotWalkerStaysInRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cfg := hotspotConfig()
+	spots, err := Hotspots(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewHotspotWalker(cfg, spots, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := cfg.Walk.Region
+	for i := 0; i < 3000; i++ {
+		p := w.Advance(time.Second)
+		if p.X < region.Min.X || p.X > region.Max.X || p.Y < region.Min.Y || p.Y > region.Max.Y {
+			t.Fatalf("step %d: left region at %v", i, p)
+		}
+	}
+}
+
+// TestHotspotWalkersCrowd pins the model's purpose: with strong attraction,
+// time spent near hotspots far exceeds the uniform-area baseline.
+func TestHotspotWalkersCrowd(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	cfg := hotspotConfig()
+	cfg.Walk.PauseMax = 0
+	cfg.Walk.SpeedMin, cfg.Walk.SpeedMax = 5, 10
+	cfg.Attraction = 0.9
+	spots, err := Hotspots(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const nearDist = 100.0
+	near, total := 0, 0
+	for p := 0; p < 10; p++ {
+		w, err := NewHotspotWalker(cfg, spots, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2000; i++ {
+			pos := w.Advance(time.Second)
+			total++
+			for _, s := range spots {
+				if pos.Dist(s) < nearDist {
+					near++
+					break
+				}
+			}
+		}
+	}
+	// Area fraction within 100 m of 3 hotspots on 1 km² is ≈ 9%; crowded
+	// walkers should spend far more of their time there.
+	frac := float64(near) / float64(total)
+	if frac < 0.25 {
+		t.Errorf("time near hotspots = %.1f%%, want >= 25%%", frac*100)
+	}
+}
+
+func TestHotspotWalkerDeterministic(t *testing.T) {
+	run := func() []geo.Point {
+		rng := rand.New(rand.NewSource(7))
+		cfg := hotspotConfig()
+		spots, err := Hotspots(cfg, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := NewHotspotWalker(cfg, spots, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]geo.Point, 50)
+		for i := range out {
+			out[i] = w.Advance(time.Second)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("step %d differs", i)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+// Package mobility implements the random waypoint model (Camp, Boleng &
+// Davies, 2002) that the paper uses to drive each human object's location,
+// velocity, and acceleration changes across the surveilled region (§VI-A).
+package mobility
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"evmatching/internal/geo"
+)
+
+// ErrBadModel reports invalid mobility parameters.
+var ErrBadModel = errors.New("mobility: invalid model parameters")
+
+// Config parameterizes a random waypoint walker.
+type Config struct {
+	// Region bounds the walk.
+	Region geo.Rect
+	// SpeedMin and SpeedMax bound the per-leg speed in m/s.
+	SpeedMin float64
+	SpeedMax float64
+	// PauseMax bounds the uniform pause drawn at each waypoint; zero means
+	// no pausing.
+	PauseMax time.Duration
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.Region.Width() <= 0 || c.Region.Height() <= 0 {
+		return fmt.Errorf("%w: empty region", ErrBadModel)
+	}
+	if c.SpeedMin <= 0 || c.SpeedMax < c.SpeedMin {
+		return fmt.Errorf("%w: speeds [%f, %f]", ErrBadModel, c.SpeedMin, c.SpeedMax)
+	}
+	if c.PauseMax < 0 {
+		return fmt.Errorf("%w: negative pause", ErrBadModel)
+	}
+	return nil
+}
+
+// Walker is one random-waypoint mobile. It is not safe for concurrent use;
+// the dataset generator drives one walker per person.
+type Walker struct {
+	cfg   Config
+	rng   *rand.Rand
+	pos   geo.Point
+	dest  geo.Point
+	speed float64       // m/s toward dest
+	pause time.Duration // remaining pause at the current waypoint
+}
+
+// NewWalker creates a walker at a uniformly random starting position with its
+// first leg already chosen. The caller owns rng; sharing one rng across
+// walkers keeps a whole simulation reproducible from a single seed.
+func NewWalker(cfg Config, rng *rand.Rand) (*Walker, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	w := &Walker{cfg: cfg, rng: rng}
+	w.pos = w.randomPoint()
+	w.nextLeg()
+	return w, nil
+}
+
+// Pos returns the walker's current position.
+func (w *Walker) Pos() geo.Point { return w.pos }
+
+// randomPoint draws a uniform point in the region.
+func (w *Walker) randomPoint() geo.Point {
+	r := w.cfg.Region
+	return geo.Pt(
+		r.Min.X+w.rng.Float64()*r.Width(),
+		r.Min.Y+w.rng.Float64()*r.Height(),
+	)
+}
+
+// nextLeg draws a fresh destination, speed, and pause.
+func (w *Walker) nextLeg() {
+	w.dest = w.randomPoint()
+	w.speed = w.cfg.SpeedMin + w.rng.Float64()*(w.cfg.SpeedMax-w.cfg.SpeedMin)
+	if w.cfg.PauseMax > 0 {
+		w.pause = time.Duration(w.rng.Int63n(int64(w.cfg.PauseMax) + 1))
+	}
+}
+
+// Advance moves the walker forward by dt and returns the new position,
+// consuming pauses and starting new legs as waypoints are reached.
+func (w *Walker) Advance(dt time.Duration) geo.Point {
+	remaining := dt.Seconds()
+	for remaining > 1e-12 {
+		if w.pause > 0 {
+			pauseSec := w.pause.Seconds()
+			if pauseSec >= remaining {
+				w.pause -= time.Duration(remaining * float64(time.Second))
+				return w.pos
+			}
+			remaining -= pauseSec
+			w.pause = 0
+		}
+		distToDest := w.pos.Dist(w.dest)
+		travel := w.speed * remaining
+		if travel < distToDest {
+			w.pos = w.pos.Lerp(w.dest, travel/distToDest)
+			return w.pos
+		}
+		// Reached the waypoint: consume the travel time and start anew.
+		if w.speed > 0 {
+			remaining -= distToDest / w.speed
+		}
+		w.pos = w.dest
+		w.nextLeg()
+	}
+	return w.pos
+}
+
+// Sample advances the walker n times by dt, returning the n sampled
+// positions (not including the starting position).
+func (w *Walker) Sample(n int, dt time.Duration) []geo.Point {
+	out := make([]geo.Point, n)
+	for i := range out {
+		out[i] = w.Advance(dt)
+	}
+	return out
+}

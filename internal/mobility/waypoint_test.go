@@ -1,0 +1,162 @@
+package mobility
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"evmatching/internal/geo"
+)
+
+func testConfig() Config {
+	return Config{
+		Region:   geo.Square(geo.Pt(0, 0), 1000),
+		SpeedMin: 0.5,
+		SpeedMax: 2.0,
+		PauseMax: 5 * time.Second,
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr bool
+	}{
+		{name: "valid", mutate: func(*Config) {}, wantErr: false},
+		{name: "empty region", mutate: func(c *Config) { c.Region = geo.Rect{} }, wantErr: true},
+		{name: "zero speed", mutate: func(c *Config) { c.SpeedMin = 0 }, wantErr: true},
+		{name: "inverted speeds", mutate: func(c *Config) { c.SpeedMax = 0.1 }, wantErr: true},
+		{name: "negative pause", mutate: func(c *Config) { c.PauseMax = -time.Second }, wantErr: true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			cfg := testConfig()
+			tt.mutate(&cfg)
+			if err := cfg.Validate(); (err != nil) != tt.wantErr {
+				t.Errorf("Validate() error = %v, wantErr %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestWalkerStaysInRegion(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	w, err := NewWalker(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	region := testConfig().Region
+	for i := 0; i < 5000; i++ {
+		p := w.Advance(time.Second)
+		if p.X < region.Min.X || p.X > region.Max.X || p.Y < region.Min.Y || p.Y > region.Max.Y {
+			t.Fatalf("step %d: walker left region at %v", i, p)
+		}
+	}
+}
+
+func TestWalkerSpeedBounded(t *testing.T) {
+	cfg := testConfig()
+	cfg.PauseMax = 0
+	rng := rand.New(rand.NewSource(8))
+	w, err := NewWalker(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := w.Pos()
+	dt := time.Second
+	for i := 0; i < 2000; i++ {
+		p := w.Advance(dt)
+		// Per-step displacement never exceeds SpeedMax * dt; it can be less
+		// when a waypoint is reached mid-step and the heading turns.
+		if d := p.Dist(prev); d > cfg.SpeedMax*dt.Seconds()+1e-9 {
+			t.Fatalf("step %d: moved %v m in one second, max speed %v", i, d, cfg.SpeedMax)
+		}
+		prev = p
+	}
+}
+
+func TestWalkerPausesHoldPosition(t *testing.T) {
+	cfg := testConfig()
+	cfg.PauseMax = time.Hour // essentially always pausing at waypoints
+	rng := rand.New(rand.NewSource(4))
+	w, err := NewWalker(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drive the walker to its first waypoint, then observe the pause.
+	var reached bool
+	for i := 0; i < 100000 && !reached; i++ {
+		before := w.Pos()
+		w.Advance(time.Second)
+		if w.pause > time.Minute && w.Pos() == before {
+			reached = true
+		}
+		if w.pause > time.Minute {
+			held := w.Pos()
+			if got := w.Advance(time.Second); got != held {
+				t.Fatalf("walker moved during pause: %v -> %v", held, got)
+			}
+			reached = true
+		}
+	}
+	if !reached {
+		t.Fatal("walker never reached a waypoint")
+	}
+}
+
+func TestWalkerDeterministicWithSeed(t *testing.T) {
+	run := func() []geo.Point {
+		rng := rand.New(rand.NewSource(77))
+		w, err := NewWalker(testConfig(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return w.Sample(100, time.Second)
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample %d differs: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestWalkerEventuallyTraversesRegion(t *testing.T) {
+	cfg := testConfig()
+	cfg.PauseMax = 0
+	cfg.SpeedMin, cfg.SpeedMax = 5, 10
+	rng := rand.New(rand.NewSource(12))
+	w, err := NewWalker(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After enough walking, the visited area should span multiple quadrants.
+	visited := map[[2]int]bool{}
+	for i := 0; i < 20000; i++ {
+		p := w.Advance(time.Second)
+		visited[[2]int{int(p.X / 500), int(p.Y / 500)}] = true
+	}
+	if len(visited) < 4 {
+		t.Errorf("walker visited only %d of 4 quadrants", len(visited))
+	}
+}
+
+func TestSampleLength(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	w, err := NewWalker(testConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := w.Sample(37, time.Second); len(got) != 37 {
+		t.Errorf("Sample returned %d points, want 37", len(got))
+	}
+}
+
+func TestNewWalkerRejectsBadConfig(t *testing.T) {
+	cfg := testConfig()
+	cfg.SpeedMin = -1
+	if _, err := NewWalker(cfg, rand.New(rand.NewSource(1))); err == nil {
+		t.Error("want error for bad config")
+	}
+}

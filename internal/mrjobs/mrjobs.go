@@ -1,0 +1,263 @@
+// Package mrjobs expresses the EV-Matching stages as MapReduce jobs (paper
+// §V). The key operation — intersecting an EID partition with the
+// E-Scenarios of one timestamp — is implemented with the (key, value)
+// shuffle exactly as Algorithm 3 describes: map emits (eid, setID) for every
+// set membership, the reduce groups each EID's memberships into a signature,
+// and the merge groups EIDs by signature into the refined partition. The V
+// stage parallelizes per-scenario feature extraction and per-EID comparison
+// across mappers (§V-C).
+package mrjobs
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+
+	"evmatching/internal/ids"
+	"evmatching/internal/mapreduce"
+	"evmatching/internal/scenario"
+	"evmatching/internal/vfilter"
+)
+
+// Set-ID prefixes distinguish partition sets from scenario sets in the
+// shuffle (both participate in the intersection).
+const (
+	partitionSetPrefix = "P"
+	scenarioSetPrefix  = "S"
+)
+
+// SplitInput is one Algorithm-3 iteration's input: the current partition and
+// the E-Scenarios selected at one timestamp, pre-filtered to the target EIDs
+// (the preprocess step).
+type SplitInput struct {
+	// Sets holds the current partition's sets (inclusive members only).
+	Sets [][]ids.EID
+	// Scenarios holds the EID sets of the selected E-Scenarios.
+	Scenarios []*scenario.EScenario
+}
+
+// SplitResult is the refined partition after one iteration.
+type SplitResult struct {
+	// Sets is the new partition, each set sorted, ordered by smallest EID.
+	Sets [][]ids.EID
+	// UsedScenarios lists the scenario IDs whose sets appeared in at least
+	// one signature group boundary (candidates for recording).
+	UsedScenarios []scenario.ID
+}
+
+// SplitIteration refines the partition by every provided scenario at once,
+// using two chained MapReduce jobs: membership shuffle then signature merge.
+// The result equals sequentially intersecting each set with each scenario.
+func SplitIteration(ctx context.Context, exec mapreduce.Executor, in SplitInput) (*SplitResult, error) {
+	if len(in.Sets) == 0 {
+		return &SplitResult{}, nil
+	}
+	targets := make(map[ids.EID]bool)
+	input := make([]mapreduce.KeyValue, 0, len(in.Sets)+len(in.Scenarios))
+	for i, set := range in.Sets {
+		strs := make([]string, len(set))
+		for j, e := range set {
+			strs[j] = string(e)
+			targets[e] = true
+		}
+		input = append(input, mapreduce.KeyValue{
+			Key:   fmt.Sprintf("%s%06d", partitionSetPrefix, i),
+			Value: strings.Join(strs, ","),
+		})
+	}
+	for _, s := range in.Scenarios {
+		var strs []string
+		for _, e := range s.SortedEIDs() {
+			if s.Inclusive(e) && targets[e] {
+				strs = append(strs, string(e))
+			}
+		}
+		if len(strs) == 0 {
+			continue
+		}
+		input = append(input, mapreduce.KeyValue{
+			Key:   fmt.Sprintf("%s%06d", scenarioSetPrefix, s.ID),
+			Value: strings.Join(strs, ","),
+		})
+	}
+
+	// Job 1 — membership shuffle (Algorithm 3 Map + Reduce): emit
+	// (eid, setID) for every membership, then fold each EID's set IDs into
+	// a sorted signature.
+	shuffle := &mapreduce.Job{
+		Name:   "ev.split.shuffle",
+		Input:  input,
+		Map:    MembershipMap,
+		Reduce: SignatureReduce,
+	}
+	// Job 2 — merge (Algorithm 3 Merge): group EIDs by identical signature;
+	// each group is one element of the refined partition.
+	merge := &mapreduce.Job{
+		Name:   "ev.split.merge",
+		Map:    identityMap,
+		Reduce: MergeReduce,
+	}
+	res, err := mapreduce.Chain(ctx, exec, []*mapreduce.Job{shuffle, merge}, nil)
+	if err != nil {
+		return nil, fmt.Errorf("mrjobs: split iteration: %w", err)
+	}
+
+	out := &SplitResult{}
+	usedSc := make(map[scenario.ID]bool)
+	for _, kv := range res.Output {
+		var set []ids.EID
+		for _, e := range strings.Split(kv.Value, ",") {
+			if e != "" {
+				set = append(set, ids.EID(e))
+			}
+		}
+		if len(set) == 0 {
+			continue
+		}
+		out.Sets = append(out.Sets, set)
+		for _, sid := range strings.Split(kv.Key, "|") {
+			if strings.HasPrefix(sid, scenarioSetPrefix) {
+				var id int
+				if _, err := fmt.Sscanf(sid[len(scenarioSetPrefix):], "%d", &id); err == nil {
+					usedSc[scenario.ID(id)] = true
+				}
+			}
+		}
+	}
+	sort.Slice(out.Sets, func(i, j int) bool { return out.Sets[i][0] < out.Sets[j][0] })
+	for id := range usedSc {
+		out.UsedScenarios = append(out.UsedScenarios, id)
+	}
+	sort.Slice(out.UsedScenarios, func(i, j int) bool { return out.UsedScenarios[i] < out.UsedScenarios[j] })
+	return out, nil
+}
+
+// MembershipMap emits (eid, setID) for every EID listed in the set record
+// (Algorithm 3 Map).
+func MembershipMap(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+	for _, e := range strings.Split(in.Value, ",") {
+		if e != "" {
+			emit(mapreduce.KeyValue{Key: e, Value: in.Key})
+		}
+	}
+	return nil
+}
+
+// SignatureReduce folds one EID's set memberships into a canonical signature
+// key (Algorithm 3 Reduce: emit (eidsetidlist, eid)).
+func SignatureReduce(key string, values []string, emit mapreduce.Emitter) error {
+	sigs := make([]string, len(values))
+	copy(sigs, values)
+	sort.Strings(sigs)
+	emit(mapreduce.KeyValue{Key: strings.Join(sigs, "|"), Value: key})
+	return nil
+}
+
+// MergeReduce groups the EIDs sharing one signature into a partition element
+// (Algorithm 3 Merge: emit (eidsetidlist, eidlist)).
+func MergeReduce(key string, values []string, emit mapreduce.Emitter) error {
+	eids := make([]string, len(values))
+	copy(eids, values)
+	sort.Strings(eids)
+	emit(mapreduce.KeyValue{Key: key, Value: strings.Join(eids, ",")})
+	return nil
+}
+
+func identityMap(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+	emit(in)
+	return nil
+}
+
+// ExtractScenarios runs the parallel feature-extraction stage (§V-C): each
+// mapper processes one V-Scenario through the filter, which caches the
+// features for the comparison stage. These visual operations have no data
+// dependency, so they parallelize freely.
+func ExtractScenarios(ctx context.Context, exec mapreduce.Executor, f *vfilter.Filter, scenarios []scenario.ID) error {
+	if len(scenarios) == 0 {
+		return nil
+	}
+	input := make([]mapreduce.KeyValue, len(scenarios))
+	for i, id := range scenarios {
+		input[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%d", id), Value: ""}
+	}
+	job := &mapreduce.Job{
+		Name:  "ev.vstage.extract",
+		Input: input,
+		Map: func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+			var id int
+			if _, err := fmt.Sscanf(in.Key, "%d", &id); err != nil {
+				return fmt.Errorf("bad scenario id %q: %w", in.Key, err)
+			}
+			if _, err := f.Features(scenario.ID(id)); err != nil {
+				return err
+			}
+			emit(mapreduce.KeyValue{Key: in.Key, Value: "ok"})
+			return nil
+		},
+	}
+	if _, err := exec.Run(ctx, job); err != nil {
+		return fmt.Errorf("mrjobs: extract: %w", err)
+	}
+	return nil
+}
+
+// Assignment is one EID's V-stage work item: the scenario list selected by
+// set splitting.
+type Assignment struct {
+	EID  ids.EID
+	List []scenario.ID
+}
+
+// MatchAssignments runs the parallel comparison stage: the V-Scenarios of
+// one EID's list are conveyed to the same mapper, so multiple EIDs'
+// comparisons proceed in parallel. Exclusions (already-matched VIDs) apply
+// to every mapper. Results are keyed by EID.
+func MatchAssignments(ctx context.Context, exec mapreduce.Executor, f *vfilter.Filter, assignments []Assignment, exclude map[ids.VID]bool) (map[ids.EID]vfilter.Result, error) {
+	if len(assignments) == 0 {
+		return map[ids.EID]vfilter.Result{}, nil
+	}
+	byEID := make(map[ids.EID]Assignment, len(assignments))
+	input := make([]mapreduce.KeyValue, len(assignments))
+	for i, a := range assignments {
+		byEID[a.EID] = a
+		input[i] = mapreduce.KeyValue{Key: string(a.EID), Value: ""}
+	}
+	results := make(map[ids.EID]vfilter.Result, len(assignments))
+	type keyed struct {
+		eid ids.EID
+		res vfilter.Result
+	}
+	resCh := make(chan keyed, 1)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for kr := range resCh {
+			results[kr.eid] = kr.res
+		}
+	}()
+	job := &mapreduce.Job{
+		Name:  "ev.vstage.compare",
+		Input: input,
+		Map: func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+			a, ok := byEID[ids.EID(in.Key)]
+			if !ok {
+				return fmt.Errorf("unknown assignment %q", in.Key)
+			}
+			res, err := f.Match(a.EID, a.List, exclude)
+			if err != nil {
+				return err
+			}
+			resCh <- keyed{eid: a.EID, res: res}
+			emit(mapreduce.KeyValue{Key: in.Key, Value: string(res.VID)})
+			return nil
+		},
+	}
+	_, err := exec.Run(ctx, job)
+	close(resCh)
+	<-done
+	if err != nil {
+		return nil, fmt.Errorf("mrjobs: compare: %w", err)
+	}
+	return results, nil
+}

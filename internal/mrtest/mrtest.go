@@ -1,0 +1,142 @@
+// Package mrtest provides a conformance suite for mapreduce.Executor
+// implementations: any executor — serial, parallel, or the distributed
+// cluster adapter — must produce identical, deterministic results for the
+// same jobs. New executor backends get correctness for the price of one
+// function call in their tests.
+package mrtest
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strconv"
+	"strings"
+	"testing"
+
+	"evmatching/internal/mapreduce"
+)
+
+// Funcs carries the named functions a conformance run uses. Distributed
+// executors need them pre-registered under the same behavior; in-process
+// executors can take them straight from here.
+type Funcs struct {
+	// WordCountMap splits values into words, emitting (word, "1").
+	WordCountMap mapreduce.MapFunc
+	// SumReduce sums integer values per key.
+	SumReduce mapreduce.ReduceFunc
+}
+
+// StandardFuncs returns the canonical conformance functions.
+func StandardFuncs() Funcs {
+	return Funcs{
+		WordCountMap: func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
+			for _, w := range strings.Fields(in.Value) {
+				emit(mapreduce.KeyValue{Key: w, Value: "1"})
+			}
+			return nil
+		},
+		SumReduce: func(key string, values []string, emit mapreduce.Emitter) error {
+			sum := 0
+			for _, v := range values {
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					return err
+				}
+				sum += n
+			}
+			emit(mapreduce.KeyValue{Key: key, Value: strconv.Itoa(sum)})
+			return nil
+		},
+	}
+}
+
+// Conformance runs the executor through the shared behavioral checks,
+// comparing its output to the serial reference on every job shape.
+func Conformance(t *testing.T, exec mapreduce.Executor) {
+	t.Helper()
+	fns := StandardFuncs()
+	ctx := context.Background()
+	ref := mapreduce.SerialExecutor{}
+
+	jobs := map[string]func() *mapreduce.Job{
+		"basic": func() *mapreduce.Job {
+			return wordJob(fns, "a b a", "b c", "c c c a")
+		},
+		"empty input": func() *mapreduce.Job {
+			return wordJob(fns)
+		},
+		"single record": func() *mapreduce.Job {
+			return wordJob(fns, "solo")
+		},
+		"many keys": func() *mapreduce.Job {
+			lines := make([]string, 40)
+			for i := range lines {
+				lines[i] = fmt.Sprintf("k%d k%d k%d", i%11, (i*3)%11, (i*7)%11)
+			}
+			return wordJob(fns, lines...)
+		},
+		"map only": func() *mapreduce.Job {
+			j := wordJob(fns, "x y", "y z")
+			j.Reduce = nil
+			return j
+		},
+		"explicit reducers": func() *mapreduce.Job {
+			j := wordJob(fns, "p q r s t", "q r")
+			j.NumReducers = 5
+			return j
+		},
+	}
+	for name, build := range jobs {
+		t.Run(name, func(t *testing.T) {
+			want, err := ref.Run(ctx, build())
+			if err != nil {
+				t.Fatalf("reference: %v", err)
+			}
+			got, err := exec.Run(ctx, build())
+			if err != nil {
+				t.Fatalf("executor: %v", err)
+			}
+			if !reflect.DeepEqual(got.Output, want.Output) {
+				t.Errorf("output differs from serial reference:\ngot  %v\nwant %v", got.Output, want.Output)
+			}
+			// Determinism: a second run is byte-identical.
+			again, err := exec.Run(ctx, build())
+			if err != nil {
+				t.Fatalf("executor rerun: %v", err)
+			}
+			if !reflect.DeepEqual(got.Output, again.Output) {
+				t.Errorf("executor output not deterministic")
+			}
+		})
+	}
+
+	t.Run("map error propagates", func(t *testing.T) {
+		boom := errors.New("conformance boom")
+		job := wordJob(fns, "a")
+		job.Map = func(mapreduce.KeyValue, mapreduce.Emitter) error { return boom }
+		if _, err := exec.Run(ctx, job); err == nil {
+			t.Error("want map error to surface")
+		}
+	})
+
+	t.Run("invalid job rejected", func(t *testing.T) {
+		if _, err := exec.Run(ctx, &mapreduce.Job{Name: "no-map"}); err == nil {
+			t.Error("want validation error")
+		}
+	})
+}
+
+// wordJob builds a word-count job over the given lines.
+func wordJob(fns Funcs, lines ...string) *mapreduce.Job {
+	input := make([]mapreduce.KeyValue, len(lines))
+	for i, l := range lines {
+		input[i] = mapreduce.KeyValue{Key: strconv.Itoa(i), Value: l}
+	}
+	return &mapreduce.Job{
+		Name:   "conformance-wc",
+		Input:  input,
+		Map:    fns.WordCountMap,
+		Reduce: fns.SumReduce,
+	}
+}

@@ -1,0 +1,310 @@
+// Package partition implements EID set splitting, the E stage of EV-Matching
+// (paper §IV-B1, Algorithm 1). A Partition tracks the sets of mutually
+// undistinguishable EIDs as a binary split tree: each effective E-Scenario
+// splits a leaf into the EIDs appearing in the scenario (left child) and the
+// rest (right child). When every leaf holds a single (inclusive) EID, the
+// scenarios recorded along each EID's root-to-leaf path form its
+// distinguishing list for the V stage.
+//
+// The practical setting (§IV-C2, Theorem 4.3) is supported through vague
+// attributes: an EID that is vague — near a cell border, or only
+// intermittently observed — is never used to confirm a split. A node-inclusive
+// EID that is only vaguely present in the splitting scenario keeps its
+// definite home on the right (not-confirmed) side and leaves a vague copy on
+// the left, so every EID always has exactly one inclusive home leaf while its
+// possible drift locations remain marked.
+package partition
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+// ErrNoTargets reports an attempt to build a partition with no EIDs.
+var ErrNoTargets = errors.New("partition: no target EIDs")
+
+// ErrUnknownEID reports a query for an EID outside the partition.
+var ErrUnknownEID = errors.New("partition: unknown EID")
+
+// Node is one set of mutually undistinguishable EIDs in the split tree.
+// Leaves hold live sets; internal nodes remember the scenario that split
+// them.
+type Node struct {
+	// EIDs maps each member to its attribute. Inclusive members definitely
+	// belong to this set; vague members may belong here or in a sibling.
+	EIDs map[ids.EID]scenario.Attr
+	// Scenario is the E-Scenario that split this node (internal nodes only).
+	Scenario scenario.ID
+	// Left holds the EIDs confirmed by Scenario; Right holds the rest.
+	Left  *Node
+	Right *Node
+}
+
+// isLeaf reports whether n has not been split.
+func (n *Node) isLeaf() bool { return n.Left == nil && n.Right == nil }
+
+// InclusiveCount returns the number of inclusive members.
+func (n *Node) InclusiveCount() int {
+	c := 0
+	for _, a := range n.EIDs {
+		if a == scenario.AttrInclusive {
+			c++
+		}
+	}
+	return c
+}
+
+// InclusiveEIDs returns the sorted inclusive members.
+func (n *Node) InclusiveEIDs() []ids.EID {
+	out := make([]ids.EID, 0, len(n.EIDs))
+	for e, a := range n.EIDs {
+		if a == scenario.AttrInclusive {
+			out = append(out, e)
+		}
+	}
+	return ids.SortEIDs(out)
+}
+
+// Partition is the evolving partition of the target EIDs, with the split
+// tree that produced it. It is not safe for concurrent use.
+type Partition struct {
+	root     *Node
+	leaves   []*Node
+	home     map[ids.EID]*Node // inclusive home leaf of each target EID
+	recorded []scenario.ID
+	inRec    map[scenario.ID]bool
+}
+
+// New creates the initial one-set partition over the target EIDs, all
+// inclusive (paper: "Initially, all EIDs are in one set").
+func New(targets []ids.EID) (*Partition, error) {
+	if len(targets) == 0 {
+		return nil, ErrNoTargets
+	}
+	root := &Node{EIDs: make(map[ids.EID]scenario.Attr, len(targets)), Scenario: scenario.NoID}
+	p := &Partition{
+		root:  root,
+		home:  make(map[ids.EID]*Node, len(targets)),
+		inRec: make(map[scenario.ID]bool),
+	}
+	for _, e := range targets {
+		if e == ids.None {
+			return nil, fmt.Errorf("partition: target list contains the empty EID")
+		}
+		root.EIDs[e] = scenario.AttrInclusive
+		p.home[e] = root
+	}
+	p.leaves = []*Node{root}
+	return p, nil
+}
+
+// NumSets returns the current number of sets (leaves) in the partition.
+func (p *Partition) NumSets() int { return len(p.leaves) }
+
+// NumTargets returns the number of EIDs being distinguished.
+func (p *Partition) NumTargets() int { return len(p.home) }
+
+// Done reports whether every set holds at most one inclusive EID, i.e. all
+// target EIDs are distinguished.
+func (p *Partition) Done() bool {
+	for _, leaf := range p.leaves {
+		if leaf.InclusiveCount() > 1 {
+			return false
+		}
+	}
+	return true
+}
+
+// Recorded returns the IDs of the effective scenarios, in the order they
+// were applied. The slice is shared; callers must not modify it.
+func (p *Partition) Recorded() []scenario.ID { return p.recorded }
+
+// Sets returns the inclusive membership of every current set, each sorted,
+// ordered by their smallest EID. Vague copies are omitted.
+func (p *Partition) Sets() [][]ids.EID {
+	out := make([][]ids.EID, 0, len(p.leaves))
+	for _, leaf := range p.leaves {
+		if in := leaf.InclusiveEIDs(); len(in) > 0 {
+			out = append(out, in)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// SplitBy refines the partition with one E-Scenario, splitting every set it
+// can effectively separate (Algorithm 1's SplitBy applied to all sets). A
+// split is effective only when both sides keep at least one inclusive EID;
+// scenarios that split nothing are skipped and not recorded (paper Remark).
+// It returns whether the partition changed.
+func (p *Partition) SplitBy(s *scenario.EScenario) bool {
+	changed := false
+	// Iterate over a snapshot: splits replace leaves as we go.
+	snapshot := p.leaves
+	var nextLeaves []*Node
+	for _, leaf := range snapshot {
+		left, right, ok := splitNode(leaf, s)
+		if !ok {
+			nextLeaves = append(nextLeaves, leaf)
+			continue
+		}
+		leaf.Scenario = s.ID
+		leaf.Left, leaf.Right = left, right
+		nextLeaves = append(nextLeaves, left, right)
+		for e, a := range left.EIDs {
+			if a == scenario.AttrInclusive {
+				p.home[e] = left
+			}
+		}
+		for e, a := range right.EIDs {
+			if a == scenario.AttrInclusive {
+				p.home[e] = right
+			}
+		}
+		changed = true
+	}
+	if changed {
+		p.leaves = nextLeaves
+		if !p.inRec[s.ID] {
+			p.inRec[s.ID] = true
+			p.recorded = append(p.recorded, s.ID)
+		}
+	}
+	return changed
+}
+
+// splitNode computes the left/right children of leaf under scenario s, or
+// ok=false when the split would not be effective.
+func splitNode(leaf *Node, s *scenario.EScenario) (left, right *Node, ok bool) {
+	if leaf.InclusiveCount() < 2 {
+		return nil, nil, false
+	}
+	left = &Node{EIDs: make(map[ids.EID]scenario.Attr), Scenario: scenario.NoID}
+	right = &Node{EIDs: make(map[ids.EID]scenario.Attr), Scenario: scenario.NoID}
+	for e, attr := range leaf.EIDs {
+		sAttr, in := s.AttrOf(e)
+		switch {
+		case !in:
+			// Not observed in the scenario: stays on the right with its
+			// original attribute.
+			right.EIDs[e] = attr
+		case attr == scenario.AttrInclusive && sAttr == scenario.AttrInclusive:
+			// Confirmed in both: separated to the left.
+			left.EIDs[e] = scenario.AttrInclusive
+		case attr == scenario.AttrInclusive:
+			// Definitely in this set but only vaguely in the scenario: the
+			// scenario cannot confirm it, so its home stays right while the
+			// left keeps a vague copy (it may truly have been there).
+			right.EIDs[e] = scenario.AttrInclusive
+			left.EIDs[e] = scenario.AttrVague
+		default:
+			// Vague in the set: remains uncertain on both sides.
+			left.EIDs[e] = scenario.AttrVague
+			right.EIDs[e] = scenario.AttrVague
+		}
+	}
+	if countInclusive(left.EIDs) == 0 || countInclusive(right.EIDs) == 0 {
+		return nil, nil, false
+	}
+	return left, right, true
+}
+
+func countInclusive(m map[ids.EID]scenario.Attr) int {
+	c := 0
+	for _, a := range m {
+		if a == scenario.AttrInclusive {
+			c++
+		}
+	}
+	return c
+}
+
+// PositiveScenarios returns, for target EID e, the scenarios along its
+// root-to-home path in which e was confirmed (left turns): the EID's
+// coarse-grained distinguishing trajectory handed to the V stage.
+func (p *Partition) PositiveScenarios(e ids.EID) ([]scenario.ID, error) {
+	home, ok := p.home[e]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEID, e)
+	}
+	var out []scenario.ID
+	n := p.root
+	for n != home && !n.isLeaf() {
+		if n.Left.EIDs[e] == scenario.AttrInclusive {
+			out = append(out, n.Scenario)
+			n = n.Left
+		} else {
+			n = n.Right
+		}
+	}
+	return out, nil
+}
+
+// Resolved reports whether e's home set contains no other inclusive EID.
+func (p *Partition) Resolved(e ids.EID) (bool, error) {
+	home, ok := p.home[e]
+	if !ok {
+		return false, fmt.Errorf("%w: %s", ErrUnknownEID, e)
+	}
+	return home.InclusiveCount() == 1, nil
+}
+
+// Unresolved returns the sorted target EIDs whose sets still hold more than
+// one inclusive EID after splitting (candidates for matching refining).
+func (p *Partition) Unresolved() []ids.EID {
+	var out []ids.EID
+	for e, home := range p.home {
+		if home.InclusiveCount() > 1 {
+			out = append(out, e)
+		}
+	}
+	return ids.SortEIDs(out)
+}
+
+// AmbiguousWith returns the other EIDs that share e's home set, inclusive or
+// vague: the identities whose VIDs may be confused with e's.
+func (p *Partition) AmbiguousWith(e ids.EID) ([]ids.EID, error) {
+	home, ok := p.home[e]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnknownEID, e)
+	}
+	out := make([]ids.EID, 0, len(home.EIDs)-1)
+	for other := range home.EIDs {
+		if other != e {
+			out = append(out, other)
+		}
+	}
+	return ids.SortEIDs(out), nil
+}
+
+// PostOrder returns the target EIDs in the matching order of Theorem 4.1:
+// the post-order traversal of the split tree, so that when an EID is
+// matched, every EID it could be confused with inside its positive-scenario
+// intersection has already been matched and its VID can be ruled out.
+// Within one leaf, EIDs are ordered lexicographically.
+func (p *Partition) PostOrder() []ids.EID {
+	out := make([]ids.EID, 0, len(p.home))
+	seen := make(map[ids.EID]bool, len(p.home))
+	var walk func(n *Node)
+	walk = func(n *Node) {
+		if n == nil {
+			return
+		}
+		walk(n.Left)
+		walk(n.Right)
+		if n.isLeaf() {
+			for _, e := range n.InclusiveEIDs() {
+				if p.home[e] == n && !seen[e] {
+					seen[e] = true
+					out = append(out, e)
+				}
+			}
+		}
+	}
+	walk(p.root)
+	return out
+}

@@ -1,0 +1,131 @@
+// Package scenario defines EV-Scenarios (paper Definition 1): snapshots of
+// the EID and VID sets appearing in one spatial cell during one time window.
+// An EScenario holds the electronically observed identities with their
+// inclusive/vague attribution; the corresponding VScenario holds the visual
+// detections captured in the same cell and window.
+package scenario
+
+import (
+	"fmt"
+
+	"evmatching/internal/feature"
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+)
+
+// ID uniquely identifies a scenario (an E-Scenario and its corresponding
+// V-Scenario share the ID).
+type ID int
+
+// NoID marks an absent scenario reference.
+const NoID ID = -1
+
+// Attr is the zone attribute of an EID within an E-Scenario: inclusive EIDs
+// were confidently inside the cell, vague EIDs were near the border (or
+// appeared only intermittently) and may belong to a neighboring scenario.
+type Attr uint8
+
+// Attr values. The zero value is invalid so that a missing map entry is
+// distinguishable from a real attribute.
+const (
+	AttrInclusive Attr = iota + 1
+	AttrVague
+)
+
+// String implements fmt.Stringer.
+func (a Attr) String() string {
+	switch a {
+	case AttrInclusive:
+		return "inclusive"
+	case AttrVague:
+		return "vague"
+	default:
+		return "invalid"
+	}
+}
+
+// EScenario is the electronic half of an EV-Scenario: the set of EIDs
+// captured in one cell during one window, each with its zone attribute.
+type EScenario struct {
+	ID     ID               `json:"id"`
+	Cell   geo.CellID       `json:"cell"`
+	Window int              `json:"window"`
+	EIDs   map[ids.EID]Attr `json:"eids"`
+}
+
+// Contains reports whether e appears in the scenario (in any zone).
+func (s *EScenario) Contains(e ids.EID) bool {
+	_, ok := s.EIDs[e]
+	return ok
+}
+
+// AttrOf returns the zone attribute of e and whether e appears at all.
+func (s *EScenario) AttrOf(e ids.EID) (Attr, bool) {
+	a, ok := s.EIDs[e]
+	return a, ok
+}
+
+// Inclusive reports whether e appears with the inclusive attribute.
+func (s *EScenario) Inclusive(e ids.EID) bool {
+	return s.EIDs[e] == AttrInclusive
+}
+
+// Len returns the number of EIDs in the scenario.
+func (s *EScenario) Len() int { return len(s.EIDs) }
+
+// SortedEIDs returns the scenario's EIDs in sorted order, for deterministic
+// iteration.
+func (s *EScenario) SortedEIDs() []ids.EID {
+	out := make([]ids.EID, 0, len(s.EIDs))
+	for e := range s.EIDs {
+		out = append(out, e)
+	}
+	return ids.SortEIDs(out)
+}
+
+// Detection is one captured human figure in a V-Scenario. Matching code may
+// read VID (the re-identification label, available under the paper's
+// VID-consistency assumption) and Patch (raw pixels requiring feature
+// extraction). TruePerson is ground truth reserved for evaluation.
+type Detection struct {
+	VID        ids.VID       `json:"vid"`
+	Patch      feature.Patch `json:"patch"`
+	TruePerson int           `json:"truePerson"`
+}
+
+// VScenario is the visual half of an EV-Scenario: the detections captured in
+// the cell during the window.
+type VScenario struct {
+	ID         ID          `json:"id"`
+	Cell       geo.CellID  `json:"cell"`
+	Window     int         `json:"window"`
+	Detections []Detection `json:"detections"`
+}
+
+// VIDs returns the distinct VID labels present, in sorted order.
+func (s *VScenario) VIDs() []ids.VID {
+	seen := make(map[ids.VID]bool, len(s.Detections))
+	out := make([]ids.VID, 0, len(s.Detections))
+	for _, d := range s.Detections {
+		if !seen[d.VID] {
+			seen[d.VID] = true
+			out = append(out, d.VID)
+		}
+	}
+	return ids.SortVIDs(out)
+}
+
+// HasVID reports whether any detection carries the given VID label.
+func (s *VScenario) HasVID(v ids.VID) bool {
+	for _, d := range s.Detections {
+		if d.VID == v {
+			return true
+		}
+	}
+	return false
+}
+
+// String implements fmt.Stringer.
+func (s *EScenario) String() string {
+	return fmt.Sprintf("E-Scenario %d (cell %d, window %d, %d EIDs)", s.ID, s.Cell, s.Window, len(s.EIDs))
+}

@@ -1,0 +1,136 @@
+package scenario
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"evmatching/internal/geo"
+	"evmatching/internal/spatial"
+)
+
+// Store indexes the EV-Scenarios of a dataset by ID, by time window, and
+// spatially, so both the E stage (window-ordered scans) and V stage (fetch
+// the V-Scenario for a selected ID) are cheap.
+type Store struct {
+	layout geo.Layout
+	esc    []*EScenario      // dense, index == int(ID)
+	vsc    []*VScenario      // parallel to esc; nil when no detections
+	byWin  map[int][]ID      // window -> scenario IDs, each sorted by cell
+	tree   *spatial.Quadtree // scenario cell centers, payload ID (built lazily)
+}
+
+// NewStore creates an empty store over the given layout.
+func NewStore(layout geo.Layout) *Store {
+	return &Store{layout: layout, byWin: make(map[int][]ID)}
+}
+
+// Layout returns the cell layout scenarios are defined over.
+func (st *Store) Layout() geo.Layout { return st.layout }
+
+// Add registers an EV-Scenario pair, assigning and returning its ID. The
+// VScenario may be nil when no detections were captured in the cell. The
+// pair's Cell and Window must agree.
+func (st *Store) Add(e *EScenario, v *VScenario) (ID, error) {
+	if e == nil {
+		return NoID, fmt.Errorf("scenario: nil E-Scenario")
+	}
+	if v != nil && (v.Cell != e.Cell || v.Window != e.Window) {
+		return NoID, fmt.Errorf("scenario: EV pair mismatch: E(cell %d win %d) vs V(cell %d win %d)",
+			e.Cell, e.Window, v.Cell, v.Window)
+	}
+	id := ID(len(st.esc))
+	e.ID = id
+	if v != nil {
+		v.ID = id
+	}
+	st.esc = append(st.esc, e)
+	st.vsc = append(st.vsc, v)
+	st.byWin[e.Window] = append(st.byWin[e.Window], id)
+	st.tree = nil // invalidate spatial index
+	return id, nil
+}
+
+// Len returns the number of stored scenario pairs.
+func (st *Store) Len() int { return len(st.esc) }
+
+// E returns the E-Scenario with the given ID, or nil if out of range.
+func (st *Store) E(id ID) *EScenario {
+	if int(id) < 0 || int(id) >= len(st.esc) {
+		return nil
+	}
+	return st.esc[id]
+}
+
+// V returns the V-Scenario with the given ID, or nil if out of range or no
+// detections were captured for that scenario.
+func (st *Store) V(id ID) *VScenario {
+	if int(id) < 0 || int(id) >= len(st.vsc) {
+		return nil
+	}
+	return st.vsc[id]
+}
+
+// Windows returns the sorted list of time windows that have scenarios.
+func (st *Store) Windows() []int {
+	out := make([]int, 0, len(st.byWin))
+	for w := range st.byWin {
+		out = append(out, w)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// AtWindow returns the IDs of scenarios in the given window, sorted by cell.
+func (st *Store) AtWindow(w int) []ID {
+	idsAt := st.byWin[w]
+	out := make([]ID, len(idsAt))
+	copy(out, idsAt)
+	sort.Slice(out, func(i, j int) bool { return st.esc[out[i]].Cell < st.esc[out[j]].Cell })
+	return out
+}
+
+// ShuffledWindows returns all windows in a random order drawn from rng; the
+// set-splitting E stage consumes scenarios one random timestamp at a time
+// (paper Algorithm 3 preprocess step).
+func (st *Store) ShuffledWindows(rng *rand.Rand) []int {
+	ws := st.Windows()
+	rng.Shuffle(len(ws), func(i, j int) { ws[i], ws[j] = ws[j], ws[i] })
+	return ws
+}
+
+// QueryRegion returns the IDs of scenarios whose cell center falls within r,
+// across all windows, using the spatial index.
+func (st *Store) QueryRegion(r geo.Rect) ([]ID, error) {
+	if st.tree == nil {
+		if err := st.buildTree(); err != nil {
+			return nil, err
+		}
+	}
+	items := st.tree.Query(r)
+	out := make([]ID, 0, len(items))
+	for _, it := range items {
+		id, ok := it.Data.(ID)
+		if !ok {
+			return nil, fmt.Errorf("scenario: corrupt spatial index payload %T", it.Data)
+		}
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out, nil
+}
+
+func (st *Store) buildTree() error {
+	tree, err := spatial.New(st.layout.Bounds())
+	if err != nil {
+		return fmt.Errorf("scenario: build spatial index: %w", err)
+	}
+	for _, e := range st.esc {
+		center := st.layout.Bounds().Clamp(st.layout.Center(e.Cell))
+		if err := tree.Insert(center, e.ID); err != nil {
+			return fmt.Errorf("scenario: index scenario %d: %w", e.ID, err)
+		}
+	}
+	st.tree = tree
+	return nil
+}

@@ -1,0 +1,209 @@
+// Package spatial provides a point quadtree used to index located items —
+// scenario centers, observations, detections — and answer the spatial range
+// and nearest-neighbor queries that large-scale EV datasets need (the
+// moving-object indexing substrate discussed in the paper's related work).
+package spatial
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"evmatching/internal/geo"
+)
+
+// ErrOutOfBounds reports an insert outside the tree's region.
+var ErrOutOfBounds = errors.New("spatial: point outside tree bounds")
+
+// Item is a located payload stored in the tree.
+type Item struct {
+	Pos  geo.Point
+	Data any
+}
+
+// maxLeafItems is the node capacity before a split; small enough to keep
+// range queries cheap, large enough to avoid deep trees for clustered data.
+const maxLeafItems = 8
+
+// maxDepth bounds subdivision so coincident points cannot recurse forever.
+const maxDepth = 24
+
+// Quadtree is a point-region quadtree over a fixed bounding rectangle.
+// The zero value is not usable; construct with New.
+type Quadtree struct {
+	root *node
+	size int
+}
+
+type node struct {
+	bounds   geo.Rect
+	depth    int
+	items    []Item
+	children *[4]*node // nil for leaves
+}
+
+// New creates an empty quadtree covering bounds.
+func New(bounds geo.Rect) (*Quadtree, error) {
+	if bounds.Width() <= 0 || bounds.Height() <= 0 {
+		return nil, fmt.Errorf("spatial: empty bounds %+v", bounds)
+	}
+	return &Quadtree{root: &node{bounds: bounds}}, nil
+}
+
+// Len returns the number of stored items.
+func (t *Quadtree) Len() int { return t.size }
+
+// Bounds returns the region covered by the tree.
+func (t *Quadtree) Bounds() geo.Rect { return t.root.bounds }
+
+// Insert stores an item at p. Points on the outer max border are accepted by
+// clamping, since region borders are a common place for simulated positions.
+func (t *Quadtree) Insert(p geo.Point, data any) error {
+	if !t.root.bounds.Contains(p) {
+		clamped := t.root.bounds.Clamp(p)
+		if clamped.Dist(p) > 1e-9 {
+			return fmt.Errorf("%w: %v", ErrOutOfBounds, p)
+		}
+		p = nudgeInside(t.root.bounds, clamped)
+	}
+	t.root.insert(Item{Pos: p, Data: data})
+	t.size++
+	return nil
+}
+
+// nudgeInside moves a point on the max-open border infinitesimally inward.
+func nudgeInside(r geo.Rect, p geo.Point) geo.Point {
+	if p.X >= r.Max.X {
+		p.X = math.Nextafter(r.Max.X, r.Min.X)
+	}
+	if p.Y >= r.Max.Y {
+		p.Y = math.Nextafter(r.Max.Y, r.Min.Y)
+	}
+	return p
+}
+
+func (n *node) insert(it Item) {
+	if n.children == nil {
+		if len(n.items) < maxLeafItems || n.depth >= maxDepth {
+			n.items = append(n.items, it)
+			return
+		}
+		n.split()
+	}
+	n.child(it.Pos).insert(it)
+}
+
+// split converts a leaf into an internal node, redistributing its items.
+func (n *node) split() {
+	c := n.bounds.Center()
+	var kids [4]*node
+	quads := [4]geo.Rect{
+		{Min: n.bounds.Min, Max: c},
+		{Min: geo.Pt(c.X, n.bounds.Min.Y), Max: geo.Pt(n.bounds.Max.X, c.Y)},
+		{Min: geo.Pt(n.bounds.Min.X, c.Y), Max: geo.Pt(c.X, n.bounds.Max.Y)},
+		{Min: c, Max: n.bounds.Max},
+	}
+	for i := range kids {
+		kids[i] = &node{bounds: quads[i], depth: n.depth + 1}
+	}
+	n.children = &kids
+	items := n.items
+	n.items = nil
+	for _, it := range items {
+		n.child(it.Pos).insert(it)
+	}
+}
+
+// child returns the quadrant leaf for p; p is assumed inside n.bounds.
+func (n *node) child(p geo.Point) *node {
+	c := n.bounds.Center()
+	idx := 0
+	if p.X >= c.X {
+		idx++
+	}
+	if p.Y >= c.Y {
+		idx += 2
+	}
+	return n.children[idx]
+}
+
+// Query appends all items whose position lies within r (Min-closed,
+// Max-open) and returns the result.
+func (t *Quadtree) Query(r geo.Rect) []Item {
+	var out []Item
+	t.root.query(r, &out)
+	return out
+}
+
+func (n *node) query(r geo.Rect, out *[]Item) {
+	if !n.bounds.Intersects(r) {
+		return
+	}
+	for _, it := range n.items {
+		if r.Contains(it.Pos) {
+			*out = append(*out, it)
+		}
+	}
+	if n.children != nil {
+		for _, c := range n.children {
+			c.query(r, out)
+		}
+	}
+}
+
+// QueryRadius returns all items within dist of center.
+func (t *Quadtree) QueryRadius(center geo.Point, dist float64) []Item {
+	box := geo.Rect{
+		Min: geo.Pt(center.X-dist, center.Y-dist),
+		Max: geo.Pt(center.X+dist+1e-12, center.Y+dist+1e-12),
+	}
+	boxed := t.Query(box)
+	out := boxed[:0]
+	for _, it := range boxed {
+		if it.Pos.Dist(center) <= dist {
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// Nearest returns the stored item closest to p and true, or a zero Item and
+// false if the tree is empty.
+func (t *Quadtree) Nearest(p geo.Point) (Item, bool) {
+	if t.size == 0 {
+		return Item{}, false
+	}
+	best := Item{}
+	bestDist := math.Inf(1)
+	t.root.nearest(p, &best, &bestDist)
+	return best, true
+}
+
+func (n *node) nearest(p geo.Point, best *Item, bestDist *float64) {
+	if rectDist(n.bounds, p) > *bestDist {
+		return
+	}
+	for _, it := range n.items {
+		if d := it.Pos.Dist(p); d < *bestDist {
+			*best, *bestDist = it, d
+		}
+	}
+	if n.children == nil {
+		return
+	}
+	// Visit the quadrant containing p first to tighten the bound early.
+	first := n.child(p)
+	first.nearest(p, best, bestDist)
+	for _, c := range n.children {
+		if c != first {
+			c.nearest(p, best, bestDist)
+		}
+	}
+}
+
+// rectDist returns the distance from p to rectangle r (0 if inside).
+func rectDist(r geo.Rect, p geo.Point) float64 {
+	dx := math.Max(math.Max(r.Min.X-p.X, p.X-r.Max.X), 0)
+	dy := math.Max(math.Max(r.Min.Y-p.Y, p.Y-r.Max.Y), 0)
+	return math.Hypot(dx, dy)
+}

@@ -1,0 +1,189 @@
+package spatial
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"evmatching/internal/geo"
+)
+
+func newTestTree(t *testing.T, side float64) *Quadtree {
+	t.Helper()
+	qt, err := New(geo.Square(geo.Pt(0, 0), side))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return qt
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(geo.Rect{}); err == nil {
+		t.Error("want error for empty bounds")
+	}
+}
+
+func TestInsertAndLen(t *testing.T) {
+	qt := newTestTree(t, 100)
+	for i := 0; i < 50; i++ {
+		p := geo.Pt(float64(i*2), float64(i))
+		if err := qt.Insert(p, i); err != nil {
+			t.Fatalf("Insert(%v): %v", p, err)
+		}
+	}
+	if qt.Len() != 50 {
+		t.Errorf("Len = %d, want 50", qt.Len())
+	}
+}
+
+func TestInsertOutOfBounds(t *testing.T) {
+	qt := newTestTree(t, 100)
+	if err := qt.Insert(geo.Pt(150, 50), nil); err == nil {
+		t.Error("want error for out-of-bounds insert")
+	}
+	// The max border is accepted by nudging inward.
+	if err := qt.Insert(geo.Pt(100, 100), "corner"); err != nil {
+		t.Errorf("max-border insert: %v", err)
+	}
+	if got, ok := qt.Nearest(geo.Pt(99, 99)); !ok || got.Data != "corner" {
+		t.Errorf("Nearest after border insert = %+v, %v", got, ok)
+	}
+}
+
+func TestQueryMatchesBruteForce(t *testing.T) {
+	qt := newTestTree(t, 1000)
+	rng := rand.New(rand.NewSource(11))
+	pts := make([]geo.Point, 500)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		if err := qt.Insert(pts[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 50; trial++ {
+		r := geo.NewRect(
+			geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+			geo.Pt(rng.Float64()*1000, rng.Float64()*1000),
+		)
+		want := map[int]bool{}
+		for i, p := range pts {
+			if r.Contains(p) {
+				want[i] = true
+			}
+		}
+		got := qt.Query(r)
+		if len(got) != len(want) {
+			t.Fatalf("Query returned %d items, want %d", len(got), len(want))
+		}
+		for _, it := range got {
+			idx, ok := it.Data.(int)
+			if !ok || !want[idx] {
+				t.Fatalf("Query returned unexpected item %+v", it)
+			}
+		}
+	}
+}
+
+func TestQueryRadiusMatchesBruteForce(t *testing.T) {
+	qt := newTestTree(t, 100)
+	rng := rand.New(rand.NewSource(5))
+	pts := make([]geo.Point, 300)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*100, rng.Float64()*100)
+		if err := qt.Insert(pts[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	center := geo.Pt(50, 50)
+	for _, radius := range []float64{0, 5, 20, 80, 200} {
+		want := 0
+		for _, p := range pts {
+			if p.Dist(center) <= radius {
+				want++
+			}
+		}
+		if got := len(qt.QueryRadius(center, radius)); got != want {
+			t.Errorf("QueryRadius(%v) = %d items, want %d", radius, got, want)
+		}
+	}
+}
+
+func TestNearestMatchesBruteForce(t *testing.T) {
+	qt := newTestTree(t, 1000)
+	rng := rand.New(rand.NewSource(99))
+	pts := make([]geo.Point, 400)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		if err := qt.Insert(pts[i], i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 100; trial++ {
+		q := geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+		bestDist := math.Inf(1)
+		for _, p := range pts {
+			if d := p.Dist(q); d < bestDist {
+				bestDist = d
+			}
+		}
+		got, ok := qt.Nearest(q)
+		if !ok {
+			t.Fatal("Nearest on non-empty tree returned !ok")
+		}
+		if d := got.Pos.Dist(q); math.Abs(d-bestDist) > 1e-9 {
+			t.Fatalf("Nearest dist = %v, brute force = %v", d, bestDist)
+		}
+	}
+}
+
+func TestNearestEmpty(t *testing.T) {
+	qt := newTestTree(t, 10)
+	if _, ok := qt.Nearest(geo.Pt(5, 5)); ok {
+		t.Error("Nearest on empty tree should return false")
+	}
+}
+
+func TestCoincidentPointsDoNotRecurseForever(t *testing.T) {
+	qt := newTestTree(t, 10)
+	p := geo.Pt(3, 3)
+	for i := 0; i < 200; i++ {
+		if err := qt.Insert(p, i); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if qt.Len() != 200 {
+		t.Errorf("Len = %d, want 200", qt.Len())
+	}
+	if got := qt.Query(geo.Square(geo.Pt(2, 2), 2)); len(got) != 200 {
+		t.Errorf("Query found %d coincident items, want 200", len(got))
+	}
+}
+
+func BenchmarkQuadtreeInsert(b *testing.B) {
+	bounds := geo.Square(geo.Pt(0, 0), 1000)
+	rng := rand.New(rand.NewSource(1))
+	pts := make([]geo.Point, 4096)
+	for i := range pts {
+		pts[i] = geo.Pt(rng.Float64()*1000, rng.Float64()*1000)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		qt, _ := New(bounds)
+		for _, p := range pts {
+			_ = qt.Insert(p, nil)
+		}
+	}
+}
+
+func BenchmarkQuadtreeQuery(b *testing.B) {
+	qt, _ := New(geo.Square(geo.Pt(0, 0), 1000))
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 10000; i++ {
+		_ = qt.Insert(geo.Pt(rng.Float64()*1000, rng.Float64()*1000), i)
+	}
+	r := geo.Square(geo.Pt(400, 400), 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = qt.Query(r)
+	}
+}

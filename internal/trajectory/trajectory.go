@@ -1,0 +1,199 @@
+// Package trajectory materializes the paper's §III data model: within an
+// observation period each person has one E-Trajectory (the accumulated
+// E-Locations of their device) and multiple V-Trajectory segments (linked
+// V-Locations that break on occlusion or missed detections). The builders
+// derive both from a scenario store at cell granularity — the "rough"
+// locations EV-Matching operates on — and the similarity measure quantifies
+// how spatiotemporally close two trajectories are.
+package trajectory
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+// ErrEmpty reports an operation on an empty trajectory.
+var ErrEmpty = errors.New("trajectory: empty trajectory")
+
+// Point is one located observation: the center of the cell the identity was
+// observed in during one window.
+type Point struct {
+	Window int
+	Cell   geo.CellID
+	Pos    geo.Point
+	// Vague marks E-observations attributed to the vague zone.
+	Vague bool
+}
+
+// ETrajectory is the E-Location history of one EID.
+type ETrajectory struct {
+	EID    ids.EID
+	Points []Point // ordered by window
+}
+
+// Segment is one contiguous run of V-Locations for a VID.
+type Segment struct {
+	Points []Point // ordered by window, consecutive-ish
+}
+
+// VTrajectory is the V-Location history of one VID, split into segments
+// wherever the identity disappears from view for more than the builder's
+// gap tolerance (occlusion, missed detection, leaving coverage).
+type VTrajectory struct {
+	VID      ids.VID
+	Segments []Segment
+}
+
+// BuildE extracts the E-Trajectory of an EID from the store.
+func BuildE(st *scenario.Store, e ids.EID) (*ETrajectory, error) {
+	if st == nil {
+		return nil, errors.New("trajectory: nil store")
+	}
+	out := &ETrajectory{EID: e}
+	for _, w := range st.Windows() {
+		// An EID can be vague in several neighboring cells within one
+		// window (drift); keep one point per window, preferring the
+		// inclusive sighting over the first vague one.
+		var best *Point
+		for _, id := range st.AtWindow(w) {
+			esc := st.E(id)
+			attr, ok := esc.AttrOf(e)
+			if !ok {
+				continue
+			}
+			p := Point{
+				Window: w,
+				Cell:   esc.Cell,
+				Pos:    st.Layout().Center(esc.Cell),
+				Vague:  attr == scenario.AttrVague,
+			}
+			if attr == scenario.AttrInclusive {
+				best = &p
+				break
+			}
+			if best == nil {
+				best = &p
+			}
+		}
+		if best != nil {
+			out.Points = append(out.Points, *best)
+		}
+	}
+	return out, nil
+}
+
+// BuildV extracts the V-Trajectory of a VID from the store, starting a new
+// segment whenever the VID is unseen for more than maxGap windows.
+func BuildV(st *scenario.Store, v ids.VID, maxGap int) (*VTrajectory, error) {
+	if st == nil {
+		return nil, errors.New("trajectory: nil store")
+	}
+	if maxGap < 1 {
+		return nil, fmt.Errorf("trajectory: maxGap %d", maxGap)
+	}
+	out := &VTrajectory{VID: v}
+	var current []Point
+	lastWindow := math.MinInt
+	for _, w := range st.Windows() {
+		for _, id := range st.AtWindow(w) {
+			vsc := st.V(id)
+			if vsc == nil || !vsc.HasVID(v) {
+				continue
+			}
+			p := Point{Window: w, Cell: vsc.Cell, Pos: st.Layout().Center(vsc.Cell)}
+			if len(current) > 0 && w-lastWindow > maxGap {
+				out.Segments = append(out.Segments, Segment{Points: current})
+				current = nil
+			}
+			current = append(current, p)
+			lastWindow = w
+			break // one detection placement per window
+		}
+	}
+	if len(current) > 0 {
+		out.Segments = append(out.Segments, Segment{Points: current})
+	}
+	return out, nil
+}
+
+// Len returns the number of E-Locations.
+func (t *ETrajectory) Len() int { return len(t.Points) }
+
+// At returns the E-Location at the given window, if observed.
+func (t *ETrajectory) At(window int) (Point, bool) {
+	i := sort.Search(len(t.Points), func(i int) bool { return t.Points[i].Window >= window })
+	if i < len(t.Points) && t.Points[i].Window == window {
+		return t.Points[i], true
+	}
+	return Point{}, false
+}
+
+// Span returns the first and last observed windows.
+func (t *ETrajectory) Span() (first, last int, err error) {
+	if len(t.Points) == 0 {
+		return 0, 0, fmt.Errorf("%w: EID %s", ErrEmpty, t.EID)
+	}
+	return t.Points[0].Window, t.Points[len(t.Points)-1].Window, nil
+}
+
+// Len returns the total number of V-Locations across segments.
+func (t *VTrajectory) Len() int {
+	n := 0
+	for _, s := range t.Segments {
+		n += len(s.Points)
+	}
+	return n
+}
+
+// At returns the V-Location at the given window, if observed.
+func (t *VTrajectory) At(window int) (Point, bool) {
+	for _, s := range t.Segments {
+		for _, p := range s.Points {
+			if p.Window == window {
+				return p, true
+			}
+		}
+	}
+	return Point{}, false
+}
+
+// Similarity measures how spatiotemporally close an E-Trajectory and a
+// V-Trajectory are: one minus the mean distance between co-observed
+// locations, normalized by the layout diagonal. 1 means identical cell
+// centers at every shared window; 0 means no shared windows or maximal
+// separation. It is the trajectory-level counterpart of the paper's
+// observation that "two people are rarely at the same position all the
+// time" (§III-B).
+func Similarity(et *ETrajectory, vt *VTrajectory, bounds geo.Rect) (float64, error) {
+	if et == nil || vt == nil {
+		return 0, errors.New("trajectory: nil trajectory")
+	}
+	diag := bounds.Min.Dist(bounds.Max)
+	if diag == 0 {
+		return 0, errors.New("trajectory: empty bounds")
+	}
+	var sum float64
+	shared := 0
+	for _, p := range et.Points {
+		q, ok := vt.At(p.Window)
+		if !ok {
+			continue
+		}
+		shared++
+		sum += p.Pos.Dist(q.Pos)
+	}
+	if shared == 0 {
+		return 0, nil
+	}
+	sim := 1 - (sum/float64(shared))/diag
+	if sim < 0 {
+		sim = 0
+	}
+	return sim, nil
+}

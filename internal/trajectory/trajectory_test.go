@@ -1,0 +1,231 @@
+package trajectory
+
+import (
+	"math/rand"
+	"testing"
+
+	"evmatching/internal/dataset"
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+func testWorld(t *testing.T, mutate func(*dataset.Config)) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 80
+	cfg.Density = 10
+	cfg.NumWindows = 20
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestBuildEValidation(t *testing.T) {
+	if _, err := BuildE(nil, "x"); err == nil {
+		t.Error("want error for nil store")
+	}
+}
+
+func TestBuildVValidation(t *testing.T) {
+	if _, err := BuildV(nil, "x", 1); err == nil {
+		t.Error("want error for nil store")
+	}
+	ds := testWorld(t, nil)
+	if _, err := BuildV(ds.Store, "x", 0); err == nil {
+		t.Error("want error for zero maxGap")
+	}
+}
+
+func TestETrajectoryCoversAllWindows(t *testing.T) {
+	// Ideal world: every EID is inclusively observed in every window.
+	ds := testWorld(t, nil)
+	e := ds.AllEIDs()[3]
+	et, err := BuildE(ds.Store, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Len() != ds.Config.NumWindows {
+		t.Errorf("E-Trajectory has %d points, want %d", et.Len(), ds.Config.NumWindows)
+	}
+	for _, p := range et.Points {
+		if p.Vague {
+			t.Error("ideal world produced vague E-location")
+		}
+		if p.Cell == geo.NoCell {
+			t.Error("point without a cell")
+		}
+	}
+	first, last, err := et.Span()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != 0 || last != ds.Config.NumWindows-1 {
+		t.Errorf("Span = [%d, %d]", first, last)
+	}
+	if _, ok := et.At(5); !ok {
+		t.Error("At(5) not found")
+	}
+	if _, ok := et.At(9999); ok {
+		t.Error("At(9999) found")
+	}
+}
+
+func TestETrajectorySpanEmpty(t *testing.T) {
+	et := &ETrajectory{EID: "ghost"}
+	if _, _, err := et.Span(); err == nil {
+		t.Error("want ErrEmpty")
+	}
+}
+
+func TestVTrajectorySingleSegmentWhenAlwaysSeen(t *testing.T) {
+	ds := testWorld(t, nil)
+	p := ds.Persons[5]
+	vt, err := BuildV(ds.Store, p.VID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vt.Segments) != 1 {
+		t.Errorf("segments = %d, want 1 in ideal world", len(vt.Segments))
+	}
+	if vt.Len() != ds.Config.NumWindows {
+		t.Errorf("V-Trajectory has %d points, want %d", vt.Len(), ds.Config.NumWindows)
+	}
+}
+
+func TestVTrajectorySegmentsSplitOnMisses(t *testing.T) {
+	ds := testWorld(t, func(c *dataset.Config) {
+		c.VIDMissingRate = 0.3
+		c.Seed = 4
+	})
+	multi := 0
+	for _, p := range ds.Persons[:20] {
+		vt, err := BuildV(ds.Store, p.VID, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vt.Segments) > 1 {
+			multi++
+		}
+		if vt.Len() >= ds.Config.NumWindows {
+			t.Errorf("person %d: no misses despite 30%% missing rate", p.Index)
+		}
+	}
+	if multi == 0 {
+		t.Error("no person has multiple V-Trajectory segments at 30% missing")
+	}
+}
+
+func TestMatchedPairTrajectoriesAreSimilar(t *testing.T) {
+	// The core invariant behind EV-Matching: a person's E-Trajectory and
+	// V-Trajectory coincide, and differ from other persons'.
+	ds := testWorld(t, nil)
+	bounds := ds.Layout.Bounds()
+	p0, p1 := ds.Persons[0], ds.Persons[1]
+	et0, err := BuildE(ds.Store, p0.EID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt0, err := BuildV(ds.Store, p0.VID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vt1, err := BuildV(ds.Store, p1.VID, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	own, err := Similarity(et0, vt0, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := Similarity(et0, vt1, bounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if own < 0.99 {
+		t.Errorf("own-pair similarity = %v, want ~1 in ideal world", own)
+	}
+	if other >= own {
+		t.Errorf("cross-pair similarity %v >= own %v", other, own)
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	ds := testWorld(t, nil)
+	bounds := ds.Layout.Bounds()
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 20; i++ {
+		a := ds.Persons[rng.Intn(len(ds.Persons))]
+		b := ds.Persons[rng.Intn(len(ds.Persons))]
+		et, err := BuildE(ds.Store, a.EID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vt, err := BuildV(ds.Store, b.VID, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Similarity(et, vt, bounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s < 0 || s > 1 {
+			t.Fatalf("similarity %v out of [0,1]", s)
+		}
+	}
+}
+
+func TestSimilarityValidation(t *testing.T) {
+	if _, err := Similarity(nil, nil, geo.Rect{}); err == nil {
+		t.Error("want error for nil trajectories")
+	}
+	et := &ETrajectory{}
+	vt := &VTrajectory{}
+	if _, err := Similarity(et, vt, geo.Rect{}); err == nil {
+		t.Error("want error for empty bounds")
+	}
+	s, err := Similarity(et, vt, geo.Square(geo.Pt(0, 0), 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 0 {
+		t.Errorf("no shared windows similarity = %v, want 0", s)
+	}
+}
+
+func TestBuildEPrefersInclusiveSighting(t *testing.T) {
+	// Hand-built store: EID vague in cell 1, inclusive in cell 2, same
+	// window. The trajectory should carry the inclusive sighting.
+	layout, err := geo.NewGridLayout(geo.Square(geo.Pt(0, 0), 100), 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := scenario.NewStore(layout)
+	if _, err := st.Add(&scenario.EScenario{
+		Cell: 1, Window: 0,
+		EIDs: map[ids.EID]scenario.Attr{"e": scenario.AttrVague},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Add(&scenario.EScenario{
+		Cell: 2, Window: 0,
+		EIDs: map[ids.EID]scenario.Attr{"e": scenario.AttrInclusive},
+	}, nil); err != nil {
+		t.Fatal(err)
+	}
+	et, err := BuildE(st, "e")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if et.Len() != 1 {
+		t.Fatalf("points = %d", et.Len())
+	}
+	if et.Points[0].Cell != 2 || et.Points[0].Vague {
+		t.Errorf("point = %+v, want inclusive cell 2", et.Points[0])
+	}
+}

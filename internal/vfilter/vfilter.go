@@ -1,0 +1,330 @@
+// Package vfilter implements VID filtering, the V stage of EV-Matching
+// (paper §IV-B2). Given the E-Scenario list selected for an EID by set
+// splitting, it processes only the corresponding V-Scenarios: it extracts
+// appearance features from every detection (paying the video-processing
+// cost, once per scenario thanks to a shared cache — the reuse that gives SS
+// its win over EDP), scores every candidate VID with
+// P(v) = Π_S max_d sim(v, d) (Equation 1 and the simplification of §IV-B2),
+// and majority-votes the per-scenario winners.
+package vfilter
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+
+	"evmatching/internal/feature"
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+// ErrNoStore reports construction without a scenario store.
+var ErrNoStore = errors.New("vfilter: nil scenario store")
+
+// Config parameterizes the filter.
+type Config struct {
+	// Extractor recovers feature vectors from detection patches.
+	Extractor feature.Extractor
+	// AcceptMajority is the minimum fraction of per-scenario votes the
+	// winning VID must collect for the match to be acceptable (matching
+	// refining re-runs unacceptable EIDs). Zero means any plurality wins.
+	AcceptMajority float64
+}
+
+// Stats counts the visual-processing work performed, the paper's proxy for V
+// stage cost: unique scenarios processed, feature extractions, and feature
+// comparisons.
+type Stats struct {
+	ScenariosProcessed int
+	Extractions        int
+	Comparisons        int
+}
+
+// Result is the outcome of matching one EID.
+type Result struct {
+	EID ids.EID
+	// VID is the matched visual identity (majority of per-scenario picks),
+	// or ids.NoVID when no candidate was available.
+	VID ids.VID
+	// Probability is the matched VID's trajectory probability Π P(v ∈ S).
+	Probability float64
+	// MajorityFrac is the fraction of voting scenarios won by VID.
+	MajorityFrac float64
+	// PerScenario records each scenario's winning VID, aligned with the
+	// scenario list passed to Match (NoVID for scenarios with no usable
+	// detections).
+	PerScenario []ids.VID
+	// Acceptable reports whether the vote clears Config.AcceptMajority.
+	Acceptable bool
+	// RunnerUp is the second-choice VID by trajectory probability, and
+	// Margin the ratio P(VID)/P(RunnerUp) — a margin near 1 flags a match
+	// worth refining or reviewing. Margin is +Inf for a lone candidate.
+	RunnerUp ids.VID
+	Margin   float64
+}
+
+// cacheEntry holds one V-Scenario's extracted features, computed once.
+type cacheEntry struct {
+	once  sync.Once
+	feats []feature.Vector // parallel to the scenario's detections
+	err   error
+}
+
+// Filter matches EIDs to VIDs over one scenario store. It is safe for
+// concurrent Match calls; the extraction cache is shared so each V-Scenario
+// is processed at most once per Filter.
+type Filter struct {
+	store *scenario.Store
+	cfg   Config
+
+	mu    sync.Mutex
+	cache map[scenario.ID]*cacheEntry
+	stats Stats
+}
+
+// New creates a Filter over the store.
+func New(store *scenario.Store, cfg Config) (*Filter, error) {
+	if store == nil {
+		return nil, ErrNoStore
+	}
+	if cfg.Extractor.Dim < 2 {
+		return nil, fmt.Errorf("vfilter: extractor dim %d", cfg.Extractor.Dim)
+	}
+	if cfg.AcceptMajority < 0 || cfg.AcceptMajority > 1 {
+		return nil, fmt.Errorf("vfilter: AcceptMajority %f out of [0,1]", cfg.AcceptMajority)
+	}
+	return &Filter{store: store, cfg: cfg, cache: make(map[scenario.ID]*cacheEntry)}, nil
+}
+
+// Stats returns a snapshot of the accumulated work counters.
+func (f *Filter) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Features returns the extracted feature vectors of the V-Scenario with the
+// given ID, computing and caching them on first use. A scenario with no
+// detections yields (nil, nil).
+func (f *Filter) Features(id scenario.ID) ([]feature.Vector, error) {
+	v := f.store.V(id)
+	if v == nil || len(v.Detections) == 0 {
+		return nil, nil
+	}
+	f.mu.Lock()
+	entry := f.cache[id]
+	if entry == nil {
+		entry = &cacheEntry{}
+		f.cache[id] = entry
+	}
+	f.mu.Unlock()
+
+	entry.once.Do(func() {
+		feats := make([]feature.Vector, len(v.Detections))
+		for i := range v.Detections {
+			vec, err := f.cfg.Extractor.Extract(v.Detections[i].Patch)
+			if err != nil {
+				entry.err = fmt.Errorf("vfilter: extract scenario %d detection %d: %w", id, i, err)
+				return
+			}
+			feats[i] = vec
+		}
+		entry.feats = feats
+		f.mu.Lock()
+		f.stats.ScenariosProcessed++
+		f.stats.Extractions += len(feats)
+		f.mu.Unlock()
+	})
+	return entry.feats, entry.err
+}
+
+// candidate accumulates one VID's evidence across the scenario list.
+type candidate struct {
+	vid   ids.VID
+	feats []feature.Vector // its own detections, for the representative
+	prob  float64
+}
+
+// Match finds the VID for EID e among the V-Scenarios of the given list,
+// excluding already-matched VIDs (the rule-out of Theorem 4.1). The list is
+// the EID's positive scenario list from set splitting.
+func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) (Result, error) {
+	res := Result{EID: e, VID: ids.NoVID, PerScenario: make([]ids.VID, len(list))}
+	if len(list) == 0 {
+		return res, nil
+	}
+
+	// Gather per-scenario features and the candidate VID pool.
+	type scFeats struct {
+		v     *scenario.VScenario
+		feats []feature.Vector
+	}
+	scans := make([]scFeats, len(list))
+	cands := make(map[ids.VID]*candidate)
+	for i, id := range list {
+		feats, err := f.Features(id)
+		if err != nil {
+			return res, err
+		}
+		v := f.store.V(id)
+		scans[i] = scFeats{v: v, feats: feats}
+		if v == nil {
+			continue
+		}
+		for d, det := range v.Detections {
+			if exclude[det.VID] {
+				continue
+			}
+			c := cands[det.VID]
+			if c == nil {
+				c = &candidate{vid: det.VID, prob: 1}
+				cands[det.VID] = c
+			}
+			c.feats = append(c.feats, feats[d])
+		}
+	}
+	if len(cands) == 0 {
+		return res, nil
+	}
+
+	// Trajectory pruning: the matched VID is "the only one having the same
+	// trajectory with this EID" (paper §IV-B2), and a VID absent from more
+	// than half the detecting scenarios can never carry the majority vote —
+	// so drop such candidates outright. This keeps the candidate pool from
+	// growing with crowd density (where each scenario contributes a hundred
+	// bystander VIDs) and saves their feature comparisons. If nothing
+	// clears the bar (severe VID missing), every candidate stays eligible.
+	detecting := 0
+	for _, sc := range scans {
+		if sc.v != nil && len(sc.feats) > 0 {
+			detecting++
+		}
+	}
+	if need := (detecting + 1) / 2; need > 1 {
+		presence := make(map[ids.VID]int, len(cands))
+		for _, sc := range scans {
+			if sc.v == nil {
+				continue
+			}
+			seen := make(map[ids.VID]bool, len(sc.v.Detections))
+			for _, det := range sc.v.Detections {
+				if _, ok := cands[det.VID]; ok && !seen[det.VID] {
+					seen[det.VID] = true
+					presence[det.VID]++
+				}
+			}
+		}
+		pruned := make(map[ids.VID]*candidate, len(cands))
+		for vid, c := range cands {
+			if presence[vid] >= need {
+				pruned[vid] = c
+			}
+		}
+		if len(pruned) > 0 {
+			cands = pruned
+		}
+	}
+
+	// Representative feature per candidate, then trajectory probability
+	// P(v) = Π_S max_d sim(rep_v, d) over the scenarios with detections.
+	comparisons := 0
+	reps := make(map[ids.VID]feature.Vector, len(cands))
+	for vid, c := range cands {
+		rep, err := feature.Mean(c.feats)
+		if err != nil {
+			return res, fmt.Errorf("vfilter: representative for %s: %w", vid, err)
+		}
+		reps[vid] = rep
+	}
+	for _, sc := range scans {
+		if sc.v == nil || len(sc.feats) == 0 {
+			continue
+		}
+		for _, c := range cands {
+			best := 0.0
+			rep := reps[c.vid]
+			for _, df := range sc.feats {
+				s, err := feature.Sim(rep, df)
+				if err != nil {
+					return res, err
+				}
+				comparisons++
+				if s > best {
+					best = s
+				}
+			}
+			c.prob *= best
+		}
+	}
+	f.mu.Lock()
+	f.stats.Comparisons += comparisons
+	f.mu.Unlock()
+
+	// Per-scenario vote: each scenario elects the present candidate with the
+	// highest trajectory probability.
+	votes := make(map[ids.VID]int)
+	voting := 0
+	for i, sc := range scans {
+		res.PerScenario[i] = ids.NoVID
+		if sc.v == nil {
+			continue
+		}
+		var winner ids.VID
+		bestProb := -1.0
+		for _, det := range sc.v.Detections {
+			c, ok := cands[det.VID]
+			if !ok {
+				continue
+			}
+			if c.prob > bestProb || (c.prob == bestProb && c.vid < winner) {
+				winner, bestProb = c.vid, c.prob
+			}
+		}
+		if winner != ids.NoVID {
+			res.PerScenario[i] = winner
+			votes[winner]++
+			voting++
+		}
+	}
+	if voting == 0 {
+		return res, nil
+	}
+
+	// Majority decision; ties break toward the higher trajectory
+	// probability, then lexicographically for determinism.
+	var best ids.VID
+	bestVotes := -1
+	for vid, n := range votes {
+		switch {
+		case n > bestVotes:
+			best, bestVotes = vid, n
+		case n == bestVotes:
+			if cands[vid].prob > cands[best].prob ||
+				(cands[vid].prob == cands[best].prob && vid < best) {
+				best = vid
+			}
+		}
+	}
+	res.VID = best
+	res.Probability = cands[best].prob
+	res.MajorityFrac = float64(bestVotes) / float64(voting)
+	res.Acceptable = res.MajorityFrac >= f.cfg.AcceptMajority
+
+	// Runner-up diagnostics: the strongest other candidate by trajectory
+	// probability.
+	res.Margin = math.Inf(1)
+	bestOther := -1.0
+	for vid, c := range cands {
+		if vid == best {
+			continue
+		}
+		if c.prob > bestOther || (c.prob == bestOther && vid < res.RunnerUp) {
+			res.RunnerUp, bestOther = vid, c.prob
+		}
+	}
+	if bestOther > 0 {
+		res.Margin = res.Probability / bestOther
+	}
+	return res, nil
+}
