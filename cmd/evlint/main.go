@@ -1,0 +1,159 @@
+// Command evlint runs the project's static-analysis pass suite over the
+// module and exits nonzero on findings, so it can gate CI.
+//
+// Usage:
+//
+//	evlint [-rules maprange,errwrap,goroutine,seedcheck] [-v] [patterns]
+//
+// Patterns follow the go tool loosely: "./..." (the default) lints the whole
+// module; a package directory (with or without a trailing /...) restricts
+// the report to packages under it. Analysis always type-checks the full
+// module so cross-package types resolve.
+//
+// Suppress a finding by annotating the line (or the line above) with
+//
+//	//evlint:ignore <rule> <reason>
+//
+// The reason is mandatory; reasonless directives are themselves findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"evmatching/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("evlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		rules   = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		verbose = fs.Bool("v", false, "report package count and type-check diagnostics")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers, err := selectAnalyzers(*rules)
+	if err != nil {
+		fmt.Fprintln(stderr, "evlint:", err)
+		return 2
+	}
+
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		fmt.Fprintln(stderr, "evlint:", err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "evlint:", err)
+		return 2
+	}
+	pkgs, err = filterPackages(pkgs, root, fs.Args())
+	if err != nil {
+		fmt.Fprintln(stderr, "evlint:", err)
+		return 2
+	}
+	if *verbose {
+		fmt.Fprintf(stderr, "evlint: %d packages\n", len(pkgs))
+		for _, p := range pkgs {
+			for _, te := range p.TypeErrors {
+				fmt.Fprintf(stderr, "evlint: typecheck %s: %v\n", p.Path, te)
+			}
+		}
+	}
+
+	findings := lint.Run(pkgs, analyzers)
+	cwd, _ := os.Getwd()
+	for _, f := range findings {
+		pos := f.Pos
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Rule, f.Message)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "evlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -rules flag against the registered suite.
+func selectAnalyzers(rules string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if rules == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var out []*lint.Analyzer
+	for _, name := range strings.Split(rules, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown rule %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// filterPackages restricts the report to packages matching the patterns.
+func filterPackages(pkgs []*lint.Package, root string, patterns []string) ([]*lint.Package, error) {
+	if len(patterns) == 0 {
+		return pkgs, nil
+	}
+	var keep []*lint.Package
+	matched := false
+	for _, pat := range patterns {
+		if pat == "./..." || pat == "..." || pat == "all" {
+			return pkgs, nil
+		}
+		recursive := false
+		if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+			recursive = true
+			pat = rest
+		}
+		dir, err := filepath.Abs(pat)
+		if err != nil {
+			return nil, fmt.Errorf("resolve pattern %q: %w", pat, err)
+		}
+		for _, p := range pkgs {
+			if p.Dir == dir || (recursive && strings.HasPrefix(p.Dir, dir+string(filepath.Separator))) {
+				keep = append(keep, p)
+				matched = true
+			}
+		}
+	}
+	if !matched {
+		return nil, fmt.Errorf("no packages match %v", patterns)
+	}
+	return dedupPackages(keep), nil
+}
+
+func dedupPackages(pkgs []*lint.Package) []*lint.Package {
+	seen := make(map[string]bool, len(pkgs))
+	out := pkgs[:0]
+	for _, p := range pkgs {
+		if !seen[p.Path] {
+			seen[p.Path] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}

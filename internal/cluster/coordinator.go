@@ -26,6 +26,12 @@ const (
 // ErrCoordinatorClosed reports job submission after Close.
 var ErrCoordinatorClosed = errors.New("cluster: coordinator closed")
 
+// ErrTaskFailed reports a deterministic task execution failure: a worker ran
+// the job's function and it returned an error. It is distinct from a lost
+// worker (which the lease-based retry path re-executes silently); callers
+// distinguish the two with errors.Is(err, ErrTaskFailed).
+var ErrTaskFailed = errors.New("cluster: task failed")
+
 // JobSpec names the functions and shape of one distributed job. The
 // functions must be registered under these names in every worker's Registry.
 type JobSpec struct {
@@ -365,7 +371,7 @@ func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
 		// Execution failure (not a crash): fail the whole job; losing a
 		// worker is recoverable, a deterministic function error is not.
 		if job.failed == nil {
-			job.failed = errors.New(args.Err)
+			job.failed = fmt.Errorf("%w: %s", ErrTaskFailed, args.Err)
 			close(job.done)
 		}
 		return nil

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	"evmatching/internal/dataset"
+)
+
+// runFingerprint regenerates the world and reruns the match from scratch, so
+// every map involved — store indexes, partitions, candidate pools — is a
+// fresh instance with a fresh iteration seed.
+func runFingerprint(t *testing.T, opts Options) string {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 40
+	cfg.Density = 6
+	cfg.NumWindows = 12
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	m := newMatcher(t, ds, opts)
+	rep, err := m.Match(context.Background(), ds.AllEIDs()[:12])
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	return rep.Fingerprint()
+}
+
+// TestMatchReportDeterministic is the regression test for the maprange
+// fixes: the same configuration must produce byte-identical report
+// fingerprints run after run, for both algorithms and both modes. Before
+// ss.go/vfilter iterated sorted key slices, map-order randomization could
+// flip refine decisions, runner-up picks, and error ordering.
+func TestMatchReportDeterministic(t *testing.T) {
+	cases := []struct {
+		name string
+		opts Options
+	}{
+		{"ss-serial", Options{Algorithm: AlgorithmSS, Mode: ModeSerial, Seed: 7}},
+		{"ss-parallel", Options{Algorithm: AlgorithmSS, Mode: ModeParallel, Seed: 7, Workers: 4}},
+		{"edp-serial", Options{Algorithm: AlgorithmEDP, Mode: ModeSerial, Seed: 7}},
+		{"edp-parallel", Options{Algorithm: AlgorithmEDP, Mode: ModeParallel, Seed: 7, Workers: 4}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			first := runFingerprint(t, tc.opts)
+			if !strings.Contains(first, "vid=") {
+				t.Fatalf("fingerprint carries no results:\n%s", first)
+			}
+			for run := 1; run <= 2; run++ {
+				if got := runFingerprint(t, tc.opts); got != first {
+					t.Fatalf("run %d diverged from first run:\n--- first\n%s\n--- run %d\n%s", run, first, run, got)
+				}
+			}
+		})
+	}
+}
+
+// TestSerialParallelAssignmentsAgree pins the §V equivalence at the
+// assignment level: the MapReduce parallelization must not change which VID
+// each EID is matched to. (Diagnostics like runner-up and comparison counts
+// legitimately differ — serial rule-out shrinks later candidate pools.)
+func TestSerialParallelAssignmentsAgree(t *testing.T) {
+	assignments := func(fp string) string {
+		var out []string
+		for _, line := range strings.Split(fp, "\n") {
+			if i := strings.Index(line, " prob="); i >= 0 {
+				out = append(out, line[:i])
+			}
+		}
+		return strings.Join(out, "\n")
+	}
+	serial := assignments(runFingerprint(t, Options{Algorithm: AlgorithmSS, Mode: ModeSerial, Seed: 11}))
+	parallel := assignments(runFingerprint(t, Options{Algorithm: AlgorithmSS, Mode: ModeParallel, Seed: 11, Workers: 4}))
+	if serial != parallel {
+		t.Fatalf("serial and parallel assignments diverge:\n--- serial\n%s\n--- parallel\n%s", serial, parallel)
+	}
+}

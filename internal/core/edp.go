@@ -53,8 +53,10 @@ func (m *Matcher) matchEDP(ctx context.Context, targets []ids.EID) (*Report, err
 	if err != nil {
 		return nil, err
 	}
-	for e, res := range results {
-		rep.Results[e] = res
+	for _, e := range targets {
+		if res, ok := results[e]; ok {
+			rep.Results[e] = res
+		}
 	}
 	rep.VTime = time.Since(vStart)
 	return rep, nil
@@ -83,13 +85,13 @@ func (m *Matcher) edpSelect(e ids.EID, salt int64) []scenario.ID {
 		list = append(list, found.ID)
 		if candidates == nil {
 			candidates = make(map[ids.EID]bool, found.Len())
-			for other, attr := range found.EIDs {
-				if attr == scenario.AttrInclusive {
+			for _, other := range found.SortedEIDs() {
+				if found.Inclusive(other) {
 					candidates[other] = true
 				}
 			}
 		} else {
-			for other := range candidates {
+			for _, other := range ids.SortedEIDKeys(candidates) {
 				if !found.Inclusive(other) {
 					delete(candidates, other)
 				}

@@ -91,6 +91,7 @@ func dedupEIDs(targets []ids.EID) []ids.EID {
 // view shares s's ID so recorded scenarios resolve to real store entries.
 func filterScenario(s *scenario.EScenario, targets map[ids.EID]bool) *scenario.EScenario {
 	var kept map[ids.EID]scenario.Attr
+	//evlint:ignore maprange builds a map view keyed by distinct EIDs; insertion order cannot affect its contents
 	for e, a := range s.EIDs {
 		if targets[e] {
 			if kept == nil {

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+	"strings"
 	"time"
 
 	"evmatching/internal/ids"
@@ -67,6 +69,31 @@ func (r *Report) AvgScenariosPerEID() float64 {
 		sum += n
 	}
 	return float64(sum) / float64(len(r.PerEID))
+}
+
+// Fingerprint renders every result-affecting field of the report in a
+// canonical textual form: targets in sorted order, each with its match
+// outcome, scenario-list length, and per-scenario votes, followed by the
+// aggregate counters. Timing fields are excluded. Two runs over the same
+// dataset and options must produce byte-identical fingerprints — the
+// determinism guarantee evlint's maprange rule protects (see DESIGN.md).
+func (r *Report) Fingerprint() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "algorithm=%s mode=%s\n", r.Algorithm, r.Mode)
+	for _, e := range r.Targets {
+		res := r.Results[e]
+		fmt.Fprintf(&sb, "%s vid=%s prob=%.12g maj=%.12g acceptable=%t runnerup=%s margin=%.12g list=%d votes=[",
+			e, res.VID, res.Probability, res.MajorityFrac, res.Acceptable, res.RunnerUp, res.Margin, r.PerEID[e])
+		for i, v := range res.PerScenario {
+			if i > 0 {
+				sb.WriteByte(' ')
+			}
+			sb.WriteString(string(v))
+		}
+		sb.WriteString("]\n")
+	}
+	fmt.Fprintf(&sb, "selected=%d refines=%d vstats=%+v\n", r.SelectedScenarios, r.RefineRounds, r.VStats)
+	return sb.String()
 }
 
 // Matched returns how many targets received a non-empty VID.

@@ -35,7 +35,8 @@ func (m *Matcher) matchSS(ctx context.Context, targets []ids.EID, filter *vfilte
 		if err != nil {
 			return nil, err
 		}
-		for e, list := range lists {
+		for _, e := range pending {
+			list := lists[e]
 			rep.PerEID[e] = len(list)
 			for _, id := range list {
 				selected[id] = true
@@ -169,12 +170,12 @@ func (m *Matcher) padToUnique(e ids.EID, list []scenario.ID, windows []int) []sc
 	narrow := func(s *scenario.EScenario) {
 		if cands == nil {
 			cands = make(map[ids.EID]bool, s.Len())
-			for other := range s.EIDs {
+			for _, other := range s.SortedEIDs() {
 				cands[other] = true
 			}
 			return
 		}
-		for other := range cands {
+		for _, other := range ids.SortedEIDKeys(cands) {
 			if !s.Contains(other) {
 				delete(cands, other)
 			}
@@ -283,7 +284,7 @@ func (m *Matcher) vStage(ctx context.Context, filter *vfilter.Filter, p *partiti
 	}
 	if len(losers) > 0 {
 		exclude := cloneVIDSet(accepted)
-		for vid := range winner {
+		for _, vid := range ids.SortedVIDKeys(winner) {
 			exclude[vid] = true
 		}
 		for _, e := range losers {
@@ -310,6 +311,7 @@ func (m *Matcher) vStage(ctx context.Context, filter *vfilter.Filter, p *partiti
 
 func cloneVIDSet(in map[ids.VID]bool) map[ids.VID]bool {
 	out := make(map[ids.VID]bool, len(in))
+	//evlint:ignore maprange pure set copy; the resulting map is identical under any iteration order
 	for v := range in {
 		out[v] = true
 	}

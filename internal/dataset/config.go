@@ -234,7 +234,7 @@ func (c Config) Validate() error {
 	case c.MinFrac < 0 || c.MinFrac > c.InclusiveFrac:
 		return fmt.Errorf("%w: MinFrac=%f", ErrBadConfig, c.MinFrac)
 	case c.ELocal.Validate() != nil:
-		return fmt.Errorf("%w: %v", ErrBadConfig, c.ELocal.Validate())
+		return fmt.Errorf("%w: %w", ErrBadConfig, c.ELocal.Validate())
 	case c.EIDMissingRate < 0 || c.EIDMissingRate >= 1:
 		return fmt.Errorf("%w: EIDMissingRate=%f", ErrBadConfig, c.EIDMissingRate)
 	case c.VIDMissingRate < 0 || c.VIDMissingRate >= 1:

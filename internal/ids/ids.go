@@ -69,3 +69,22 @@ func SortVIDs(vids []VID) []VID {
 	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
 	return vids
 }
+
+// SortedEIDKeys returns the keys of an EID-keyed map in sorted order, the
+// deterministic replacement for ranging over the map directly.
+func SortedEIDKeys[V any](m map[EID]V) []EID {
+	out := make([]EID, 0, len(m))
+	for e := range m {
+		out = append(out, e)
+	}
+	return SortEIDs(out)
+}
+
+// SortedVIDKeys returns the keys of a VID-keyed map in sorted order.
+func SortedVIDKeys[V any](m map[VID]V) []VID {
+	out := make([]VID, 0, len(m))
+	for v := range m {
+		out = append(out, v)
+	}
+	return SortVIDs(out)
+}

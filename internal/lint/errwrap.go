@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+)
+
+// ErrWrapAnalyzer flags fmt.Errorf calls that interpolate an error operand
+// (via %v, %s, ...) without wrapping it with %w. Unwrapped errors break the
+// errors.Is / errors.As chains callers rely on — the cluster coordinator's
+// retry path inspects failure causes, and context cancellation must stay
+// detectable through every layer.
+func ErrWrapAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "errwrap",
+		Doc:  "flag fmt.Errorf with an error operand but no %w verb",
+		Run:  runErrWrap,
+	}
+}
+
+func runErrWrap(p *Pass) []Finding {
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgFunc(p, call.Fun, "fmt", "Errorf") || len(call.Args) < 2 {
+				return true
+			}
+			format, ok := constString(p, call.Args[0])
+			if !ok {
+				return true
+			}
+			wraps := countVerb(format, 'w')
+			errArgs := 0
+			var firstErr ast.Expr
+			for _, arg := range call.Args[1:] {
+				if isErrorExpr(p, arg) {
+					errArgs++
+					if firstErr == nil {
+						firstErr = arg
+					}
+				}
+			}
+			if errArgs > wraps {
+				out = append(out, Finding{
+					Rule: "errwrap",
+					Pos:  p.Fset.Position(call.Pos()),
+					Message: fmt.Sprintf("fmt.Errorf formats error %s without %%w; wrap it so errors.Is/errors.As keep working",
+						exprString(firstErr)),
+				})
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isPkgFunc reports whether fun is a selector pkg.name where pkg is the
+// package imported from pkgPath (falling back to the bare name when type
+// information is unavailable).
+func isPkgFunc(p *Pass, fun ast.Expr, pkgPath, name string) bool {
+	sel, ok := fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := p.Info.Uses[id]; ok {
+		pn, ok := obj.(*types.PkgName)
+		return ok && pn.Imported().Path() == pkgPath
+	}
+	return id.Name == pathBase(pkgPath)
+}
+
+// constString extracts a compile-time constant string value.
+func constString(p *Pass, e ast.Expr) (string, bool) {
+	tv, ok := p.Info.Types[e]
+	if ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+		return constant.StringVal(tv.Value), true
+	}
+	if lit, ok := e.(*ast.BasicLit); ok && len(lit.Value) >= 2 {
+		return strings.Trim(lit.Value, "`\""), true
+	}
+	return "", false
+}
+
+// countVerb counts occurrences of the formatting verb v, skipping %%.
+func countVerb(format string, v byte) int {
+	n := 0
+	for i := 0; i+1 < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		if format[i+1] == '%' {
+			i++
+			continue
+		}
+		// Skip flags, width, and precision between % and the verb.
+		j := i + 1
+		for j < len(format) && strings.IndexByte("+-# 0123456789.*", format[j]) >= 0 {
+			j++
+		}
+		if j < len(format) && format[j] == v {
+			n++
+		}
+		i = j
+	}
+	return n
+}
+
+// isErrorExpr reports whether e is error-typed.
+func isErrorExpr(p *Pass, e ast.Expr) bool {
+	t := p.Info.TypeOf(e)
+	if t == nil {
+		// Without type information, still catch the idiomatic identifier.
+		id, ok := e.(*ast.Ident)
+		return ok && (id.Name == "err" || strings.HasSuffix(id.Name, "Err"))
+	}
+	return implementsError(t)
+}
+
+func implementsError(t types.Type) bool {
+	iface, ok := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if !ok {
+		return false
+	}
+	return types.Implements(t, iface) || types.Implements(types.NewPointer(t), iface)
+}

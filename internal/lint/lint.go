@@ -1,0 +1,191 @@
+// Package lint implements evlint, the project's static-analysis pass suite.
+// It enforces the correctness disciplines the EV-Matching reproduction
+// depends on — deterministic iteration in result-affecting packages, error
+// wrapping, goroutine join discipline, and seedable randomness — as named,
+// individually testable analyzers built only on go/ast, go/parser, and
+// go/types.
+//
+// A finding can be suppressed by annotating the offending line (or the line
+// directly above it) with
+//
+//	//evlint:ignore <rule> <reason>
+//
+// The reason is mandatory: a directive without one suppresses nothing and is
+// itself reported, so every escape hatch documents why the rule does not
+// apply.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Finding is one rule violation at a source position.
+type Finding struct {
+	Rule    string
+	Pos     token.Position
+	Message string
+}
+
+// String formats the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Rule, f.Message)
+}
+
+// Pass hands one type-checked package to an analyzer.
+type Pass struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// Analyzer is one named rule over a package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) []Finding
+}
+
+// Analyzers returns the full pass suite in its canonical order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		MapRangeAnalyzer(),
+		ErrWrapAnalyzer(),
+		GoroutineAnalyzer(),
+		SeedCheckAnalyzer(),
+	}
+}
+
+// ignoreDirective is one parsed //evlint:ignore comment.
+type ignoreDirective struct {
+	rule   string
+	reason string
+	pos    token.Position
+}
+
+const directivePrefix = "//evlint:ignore"
+
+// directives extracts the ignore directives of every file in the package,
+// keyed by file name then line.
+func directives(p *Pass) (map[string]map[int]ignoreDirective, []Finding) {
+	out := make(map[string]map[int]ignoreDirective)
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, directivePrefix) {
+					continue
+				}
+				pos := p.Fset.Position(c.Pos())
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, directivePrefix))
+				rule, reason, _ := strings.Cut(rest, " ")
+				reason = strings.TrimSpace(reason)
+				if rule == "" || reason == "" {
+					bad = append(bad, Finding{
+						Rule:    "ignore",
+						Pos:     pos,
+						Message: "evlint:ignore directive needs a rule and a reason: //evlint:ignore <rule> <reason>",
+					})
+					continue
+				}
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]ignoreDirective)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = ignoreDirective{rule: rule, reason: reason, pos: pos}
+			}
+		}
+	}
+	return out, bad
+}
+
+// suppressed reports whether a finding of rule at pos is covered by a
+// directive on the same line or the line directly above.
+func suppressed(dirs map[string]map[int]ignoreDirective, rule string, pos token.Position) bool {
+	byLine := dirs[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	for _, line := range []int{pos.Line, pos.Line - 1} {
+		if d, ok := byLine[line]; ok && d.rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// Run applies every analyzer to every package, applies suppressions, and
+// returns the surviving findings sorted by position.
+func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	var all []Finding
+	for _, pkg := range pkgs {
+		pass := &Pass{Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+		dirs, bad := directives(pass)
+		all = append(all, bad...)
+		for _, a := range analyzers {
+			for _, f := range a.Run(pass) {
+				if !suppressed(dirs, f.Rule, f.Pos) {
+					all = append(all, f)
+				}
+			}
+		}
+	}
+	SortFindings(all)
+	return all
+}
+
+// SortFindings orders findings by file, line, column, then rule.
+func SortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Rule < b.Rule
+	})
+}
+
+// pathHasSuffix reports whether the package import path equals suffix or ends
+// with "/"+suffix — how analyzers scope themselves to project packages
+// without hardcoding the module name.
+func pathHasSuffix(path, suffix string) bool {
+	return path == suffix || strings.HasSuffix(path, "/"+suffix)
+}
+
+// enclosingFunc returns the innermost function body containing pos, walking
+// both declarations and function literals.
+func enclosingFunc(file *ast.File, pos token.Pos) *ast.BlockStmt {
+	var best *ast.BlockStmt
+	ast.Inspect(file, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		var body *ast.BlockStmt
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			body = fn.Body
+		case *ast.FuncLit:
+			body = fn.Body
+		default:
+			return true
+		}
+		if body != nil && body.Pos() <= pos && pos < body.End() {
+			best = body // keep descending: innermost wins
+		}
+		return true
+	})
+	return best
+}

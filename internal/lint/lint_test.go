@@ -1,0 +1,125 @@
+package lint
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// fixtureCases pairs each analyzer with its fixture package. The import path
+// poses as a project package so the scoped analyzers (maprange, goroutine)
+// consider the fixture in range.
+var fixtureCases = []struct {
+	rule       string
+	importPath string
+}{
+	{"maprange", "example.com/fixture/internal/core"},
+	{"errwrap", "example.com/fixture/internal/retry"},
+	{"goroutine", "example.com/fixture/internal/cluster"},
+	{"seedcheck", "example.com/fixture/internal/seed"},
+}
+
+// lintFixture runs the full pass suite over testdata/src/<name> and renders
+// the findings with basenamed files, one per line.
+func lintFixture(t *testing.T, name, importPath string) string {
+	t.Helper()
+	pkg, err := LoadDir(filepath.Join("testdata", "src", name), importPath)
+	if err != nil {
+		t.Fatalf("LoadDir: %v", err)
+	}
+	if pkg == nil {
+		t.Fatalf("fixture %s has no linted files", name)
+	}
+	for _, te := range pkg.TypeErrors {
+		t.Errorf("fixture %s does not type-check: %v", name, te)
+	}
+	var sb strings.Builder
+	for _, f := range Run([]*Package{pkg}, Analyzers()) {
+		f.Pos.Filename = filepath.Base(f.Pos.Filename)
+		sb.WriteString(f.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// TestAnalyzerGoldens locks each analyzer's findings over its fixture to a
+// golden file: the positive cases must fire at exactly the recorded
+// positions, and the suppressed and clean cases must stay absent.
+// Regenerate with: go test ./internal/lint/ -run TestAnalyzerGoldens -update
+func TestAnalyzerGoldens(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.rule, func(t *testing.T) {
+			got := lintFixture(t, tc.rule, tc.importPath)
+			// Guard the golden mechanism itself: an analyzer that silently
+			// stopped firing would otherwise just regenerate an empty golden.
+			if !strings.Contains(got, ": "+tc.rule+": ") {
+				t.Errorf("no %s findings on the positive fixture:\n%s", tc.rule, got)
+			}
+			golden := filepath.Join("testdata", tc.rule+".golden")
+			if *update {
+				if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("read golden (regenerate with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings diverge from %s:\n--- got\n%s--- want\n%s", golden, got, want)
+			}
+		})
+	}
+}
+
+// TestScopedAnalyzersRespectPackagePaths: the same fixtures produce no
+// maprange/goroutine findings when loaded under a path outside the
+// result-affecting and concurrency-heavy package lists.
+func TestScopedAnalyzersRespectPackagePaths(t *testing.T) {
+	for _, name := range []string{"maprange", "goroutine"} {
+		t.Run(name, func(t *testing.T) {
+			out := lintFixture(t, name, "example.com/fixture/internal/unscoped")
+			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+				if strings.Contains(line, ": "+name+": ") {
+					t.Errorf("scoped rule %s fired outside its packages: %s", name, line)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionNeedsReason: a reasonless directive suppresses nothing and
+// is itself a finding (fixture maprange carries one).
+func TestSuppressionNeedsReason(t *testing.T) {
+	out := lintFixture(t, "maprange", "example.com/fixture/internal/core")
+	if !strings.Contains(out, ": ignore: ") {
+		t.Errorf("reasonless directive was not reported:\n%s", out)
+	}
+}
+
+// TestModuleIsLintClean: the pass suite over this repository itself reports
+// nothing — the acceptance criterion the CI gate enforces.
+func TestModuleIsLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := LoadModule(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("loaded only %d packages; loader lost the module", len(pkgs))
+	}
+	for _, f := range Run(pkgs, Analyzers()) {
+		t.Errorf("finding on clean tree: %s", f)
+	}
+}

@@ -1,0 +1,45 @@
+// Package retry is an errwrap fixture; the rule applies in every package.
+package retry
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// Bad formats an error with %v, breaking the errors.Is chain: flagged.
+func Bad(err error) error {
+	return fmt.Errorf("retry failed: %v", err)
+}
+
+// BadString drops the error into %s: flagged.
+func BadString(attempt int, err error) error {
+	return fmt.Errorf("attempt %d: %s", attempt, err)
+}
+
+// BadPartial wraps one error but interpolates a second: flagged.
+func BadPartial(err error) error {
+	return fmt.Errorf("%w: %v", errBase, err)
+}
+
+// Suppressed intentionally breaks the chain and says why: not reported.
+func Suppressed(err error) error {
+	//evlint:ignore errwrap user-facing message; the cause is logged separately
+	return fmt.Errorf("retry failed: %v", err)
+}
+
+// CleanWrap wraps with %w: not flagged.
+func CleanWrap(err error) error {
+	return fmt.Errorf("retry failed: %w", err)
+}
+
+// CleanDouble wraps both errors (Go 1.20+ multi-%w): not flagged.
+func CleanDouble(err error) error {
+	return fmt.Errorf("%w: %w", errBase, err)
+}
+
+// CleanNoError has no error operand at all: not flagged.
+func CleanNoError(n int) error {
+	return fmt.Errorf("bad count %d (max 100%%)", n)
+}

@@ -1,0 +1,87 @@
+// Package cluster is a goroutine-discipline fixture posing as a
+// concurrency-heavy package (the test loads it under an import path ending
+// internal/cluster).
+package cluster
+
+import "sync"
+
+func work() {}
+
+// Bad launches a goroutine nothing ever joins: flagged.
+func Bad() {
+	go func() {
+		work()
+	}()
+}
+
+// Suppressed is a documented daemon: not reported.
+func Suppressed() {
+	//evlint:ignore goroutine accept loop runs for the process lifetime; Close unblocks it
+	go func() {
+		work()
+	}()
+}
+
+// CleanWaitGroup joins through a WaitGroup: not flagged.
+func CleanWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// CleanChannel signals completion over a channel the launcher receives from:
+// not flagged.
+func CleanChannel() {
+	done := make(chan struct{})
+	go func() {
+		work()
+		close(done)
+	}()
+	<-done
+}
+
+// CleanSend sends its result; the caller is handed the channel: not flagged.
+func CleanSend() <-chan int {
+	out := make(chan int, 1)
+	go func() {
+		out <- 1
+	}()
+	return out
+}
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BadMutexCopy copies a lock out of its struct: flagged.
+func BadMutexCopy(g *guarded) {
+	m := g.mu
+	m.Lock()
+	defer m.Unlock()
+	g.n++
+}
+
+// BadMutexParam receives a lock by value: flagged.
+func BadMutexParam(mu sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// SuppressedMutexParam documents the copy: not reported.
+//
+//evlint:ignore goroutine fixture exercising the suppressed parameter form
+func SuppressedMutexParam(mu sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}
+
+// CleanMutexPointer passes the lock by pointer: not flagged.
+func CleanMutexPointer(mu *sync.Mutex) {
+	mu.Lock()
+	defer mu.Unlock()
+}

@@ -1,0 +1,89 @@
+// Package core is a maprange fixture posing as a result-affecting package
+// (the test loads it under an import path ending internal/core).
+package core
+
+import "sort"
+
+// Bad iterates a map with an order-sensitive body: flagged.
+func Bad(m map[string]int) int {
+	last := 0
+	for _, v := range m {
+		last = v
+	}
+	return last
+}
+
+// BadNested flags map ranges inside function literals too.
+func BadNested(m map[string]bool) func() []string {
+	return func() []string {
+		var out []string
+		for k := range m {
+			if m[k] {
+				out = append(out, k)
+			}
+			out = append(out, k)
+		}
+		return out
+	}
+}
+
+// Suppressed documents why order cannot matter and is not reported.
+func Suppressed(dst, src map[string]bool) {
+	//evlint:ignore maprange set copy; the result is identical under any iteration order
+	for k := range src {
+		dst[k] = true
+	}
+}
+
+// BadDirective has a reasonless directive: the directive itself is reported
+// and the range stays flagged.
+func BadDirective(m map[string]int) {
+	//evlint:ignore maprange
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// CleanCollect uses the collect-then-sort idiom: not flagged.
+func CleanCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CleanGuardedCollect is collect-then-sort behind an if guard: not flagged.
+func CleanGuardedCollect(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k, v := range m {
+		if v > 0 {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// CleanCount only increments integer accumulators: not flagged.
+func CleanCount(m map[string]int) (int, int) {
+	n, sum := 0, 0
+	for _, v := range m {
+		if v < 0 {
+			continue
+		}
+		n++
+		sum += v
+	}
+	return n, sum
+}
+
+// CleanSlice ranges a slice, which is ordered: not flagged.
+func CleanSlice(s []int) int {
+	total := 0
+	for _, v := range s {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,27 @@
+// Package seed is a seedcheck fixture; the rule applies in every non-test
+// package.
+package seed
+
+import "math/rand"
+
+// Bad draws from the process-global source: flagged.
+func Bad() int {
+	return rand.Intn(10)
+}
+
+// BadShuffle mutates through the global source: flagged.
+func BadShuffle(s []int) {
+	rand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// Suppressed documents a result-neutral use: not reported.
+func Suppressed() float64 {
+	//evlint:ignore seedcheck backoff jitter; never reaches match results
+	return rand.Float64()
+}
+
+// Clean threads an explicitly seeded generator: not flagged.
+func Clean(seedVal int64) int {
+	r := rand.New(rand.NewSource(seedVal))
+	return r.Intn(10)
+}

@@ -91,7 +91,7 @@ func (p *Partition) TreeStats() Stats {
 		walk(n.Right, depth+1)
 	}
 	walk(p.root, 0)
-	for e := range p.home {
+	for _, e := range ids.SortedEIDKeys(p.home) {
 		if ok, err := p.Resolved(e); err == nil && ok {
 			st.Resolved++
 		}

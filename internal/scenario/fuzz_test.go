@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"evmatching/internal/feature"
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+)
+
+// fuzzPair builds a small valid EV-Scenario pair for the seed corpus.
+func fuzzPair() (*EScenario, *VScenario) {
+	e := &EScenario{
+		Cell:   3,
+		Window: 2,
+		EIDs: map[ids.EID]Attr{
+			"imsi-1": AttrInclusive,
+			"imsi-2": AttrVague,
+		},
+	}
+	v := &VScenario{
+		Cell:   3,
+		Window: 2,
+		Detections: []Detection{
+			{VID: "vid-1", Patch: feature.Patch{W: 2, H: 3, Pix: []byte{1, 2, 3, 4, 5, 6}}},
+			{VID: "vid-2", Patch: feature.Patch{W: 0, H: 0, Pix: nil}},
+		},
+	}
+	return e, v
+}
+
+// FuzzParseScenario feeds arbitrary bytes to the EV-Scenario pair decoder:
+// corrupt input must produce an error wrapping ErrBadScenario, never a panic
+// or a half-valid pair, and anything that decodes must survive re-encoding
+// and Store.Add.
+func FuzzParseScenario(f *testing.F) {
+	// One seed per input shape: a full valid pair, an E-only pair, a
+	// cell/window-mismatched pair, a bad zone attribute, broken patch
+	// geometry, and non-JSON noise.
+	e, v := fuzzPair()
+	valid, err := EncodePair(e, v)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	if eOnly, err := EncodePair(e, nil); err == nil {
+		f.Add(eOnly)
+	}
+	mismatched := &VScenario{Cell: v.Cell + 1, Window: v.Window, Detections: v.Detections}
+	if bad, err := EncodePair(e, mismatched); err == nil {
+		f.Add(bad)
+	}
+	f.Add([]byte(`{"e":{"cell":1,"window":0,"eids":{"x":9}}}`))
+	f.Add([]byte(`{"e":{"cell":1,"window":0,"eids":{"x":1}},"v":{"cell":1,"window":0,"detections":[{"vid":"a","patch":{"w":4,"h":4,"pix":"AQ=="}}]}}`))
+	f.Add([]byte{})
+	f.Add([]byte("garbage"))
+
+	layout, err := geo.NewGridLayout(geo.Rect{Max: geo.Point{X: 100, Y: 100}}, 4, 4)
+	if err != nil {
+		f.Fatal(err)
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pe, pv, err := ParsePair(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadScenario) {
+				t.Fatalf("ParsePair error does not wrap ErrBadScenario: %v", err)
+			}
+			if pe != nil || pv != nil {
+				t.Fatal("ParsePair returned a half-valid pair alongside an error")
+			}
+			return
+		}
+		// A decoded pair must re-encode, decode back to an equal pair, and
+		// register in a store without panicking.
+		out, err := EncodePair(pe, pv)
+		if err != nil {
+			t.Fatalf("EncodePair on decoded pair: %v", err)
+		}
+		pe2, pv2, err := ParsePair(out)
+		if err != nil {
+			t.Fatalf("re-decode of encoded pair: %v", err)
+		}
+		out2, err := EncodePair(pe2, pv2)
+		if err != nil {
+			t.Fatalf("second EncodePair: %v", err)
+		}
+		if !bytes.Equal(out, out2) {
+			t.Fatalf("round trip not stable:\n%s\nvs\n%s", out, out2)
+		}
+		st := NewStore(layout)
+		if _, err := st.Add(pe, pv); err != nil {
+			t.Fatalf("Store.Add rejected a validated pair: %v", err)
+		}
+	})
+}

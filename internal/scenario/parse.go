@@ -1,0 +1,77 @@
+package scenario
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"evmatching/internal/ids"
+)
+
+// ErrBadScenario reports a scenario pair that decoded but fails validation.
+var ErrBadScenario = errors.New("scenario: invalid scenario pair")
+
+// pairJSON is the interchange form of one EV-Scenario pair: the electronic
+// half is mandatory, the visual half optional (cells without cameras).
+type pairJSON struct {
+	E *EScenario `json:"e"`
+	V *VScenario `json:"v,omitempty"`
+}
+
+// ParsePair decodes one EV-Scenario pair from JSON and validates it: the
+// E-Scenario must be present with well-formed EIDs and attributes, and a
+// V-Scenario, when present, must reference the same cell and window and
+// carry geometrically consistent detection patches. Corrupt input yields an
+// error wrapping ErrBadScenario — never a panic or a half-valid pair.
+func ParsePair(data []byte) (*EScenario, *VScenario, error) {
+	var p pairJSON
+	if err := json.Unmarshal(data, &p); err != nil {
+		return nil, nil, fmt.Errorf("%w: %w", ErrBadScenario, err)
+	}
+	if p.E == nil {
+		return nil, nil, fmt.Errorf("%w: missing e-scenario", ErrBadScenario)
+	}
+	if p.E.Window < 0 {
+		return nil, nil, fmt.Errorf("%w: negative window %d", ErrBadScenario, p.E.Window)
+	}
+	// Sorted iteration keeps which validation error surfaces first
+	// deterministic (evlint: maprange).
+	for _, e := range p.E.SortedEIDs() {
+		if e == ids.None {
+			return nil, nil, fmt.Errorf("%w: empty EID", ErrBadScenario)
+		}
+		if a := p.E.EIDs[e]; a != AttrInclusive && a != AttrVague {
+			return nil, nil, fmt.Errorf("%w: EID %s has attribute %d", ErrBadScenario, e, a)
+		}
+	}
+	if v := p.V; v != nil {
+		if v.Cell != p.E.Cell || v.Window != p.E.Window {
+			return nil, nil, fmt.Errorf("%w: EV pair mismatch: E(cell %d win %d) vs V(cell %d win %d)",
+				ErrBadScenario, p.E.Cell, p.E.Window, v.Cell, v.Window)
+		}
+		for i, d := range v.Detections {
+			if d.VID == ids.NoVID {
+				return nil, nil, fmt.Errorf("%w: detection %d has no VID", ErrBadScenario, i)
+			}
+			patch := d.Patch
+			if patch.W < 0 || patch.H < 0 || len(patch.Pix) != patch.W*patch.H {
+				return nil, nil, fmt.Errorf("%w: detection %d patch %dx%d with %d pixels",
+					ErrBadScenario, i, patch.W, patch.H, len(patch.Pix))
+			}
+		}
+	}
+	return p.E, p.V, nil
+}
+
+// EncodePair renders a validated EV-Scenario pair to its JSON interchange
+// form, the inverse of ParsePair.
+func EncodePair(e *EScenario, v *VScenario) ([]byte, error) {
+	if e == nil {
+		return nil, fmt.Errorf("%w: missing e-scenario", ErrBadScenario)
+	}
+	data, err := json.Marshal(pairJSON{E: e, V: v})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: encode pair: %w", err)
+	}
+	return data, nil
+}

@@ -216,6 +216,7 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 			}
 		}
 		pruned := make(map[ids.VID]*candidate, len(cands))
+		//evlint:ignore maprange builds a filtered map with distinct keys; iteration order cannot affect its contents
 		for vid, c := range cands {
 			if presence[vid] >= need {
 				pruned[vid] = c
@@ -228,10 +229,14 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 
 	// Representative feature per candidate, then trajectory probability
 	// P(v) = Π_S max_d sim(rep_v, d) over the scenarios with detections.
+	// candOrder fixes one deterministic candidate order for every later
+	// decision loop: error paths, votes, and runner-up selection must not
+	// depend on map iteration order.
+	candOrder := ids.SortedVIDKeys(cands)
 	comparisons := 0
 	reps := make(map[ids.VID]feature.Vector, len(cands))
-	for vid, c := range cands {
-		rep, err := feature.Mean(c.feats)
+	for _, vid := range candOrder {
+		rep, err := feature.Mean(cands[vid].feats)
 		if err != nil {
 			return res, fmt.Errorf("vfilter: representative for %s: %w", vid, err)
 		}
@@ -241,9 +246,10 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 		if sc.v == nil || len(sc.feats) == 0 {
 			continue
 		}
-		for _, c := range cands {
+		for _, vid := range candOrder {
+			c := cands[vid]
 			best := 0.0
-			rep := reps[c.vid]
+			rep := reps[vid]
 			for _, df := range sc.feats {
 				s, err := feature.Sim(rep, df)
 				if err != nil {
@@ -295,7 +301,11 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	// probability, then lexicographically for determinism.
 	var best ids.VID
 	bestVotes := -1
-	for vid, n := range votes {
+	for _, vid := range candOrder {
+		n, voted := votes[vid]
+		if !voted {
+			continue
+		}
 		switch {
 		case n > bestVotes:
 			best, bestVotes = vid, n
@@ -315,11 +325,11 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	// probability.
 	res.Margin = math.Inf(1)
 	bestOther := -1.0
-	for vid, c := range cands {
+	for _, vid := range candOrder {
 		if vid == best {
 			continue
 		}
-		if c.prob > bestOther || (c.prob == bestOther && vid < res.RunnerUp) {
+		if c := cands[vid]; c.prob > bestOther || (c.prob == bestOther && vid < res.RunnerUp) {
 			res.RunnerUp, bestOther = vid, c.prob
 		}
 	}
