@@ -4,10 +4,16 @@
 //
 // Usage:
 //
-//	evserve -data world.gob [-addr 127.0.0.1:8080] [-mode serial|parallel]
+//	evserve -data world.gob [-addr 127.0.0.1:8080] [-mode serial|parallel|cluster] [-workers 3]
 //
 // Endpoints: /healthz, /match?eid=, /reverse?vid=, /trajectory?eid=,
-// /whowasat?cell=&window=.
+// /whowasat?cell=&window=, /metricsz.
+//
+// In cluster mode the matching phase runs on the fault-tolerant distributed
+// runtime (an in-process coordinator plus -workers workers over localhost
+// RPC), degrading to the serial path if the pool collapses; its recovery
+// counters — retries, evictions, speculative wins — are then served at
+// /metricsz.
 package main
 
 import (
@@ -18,9 +24,13 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sync"
 	"time"
 
 	"evmatching"
+	"evmatching/internal/cluster"
+	"evmatching/internal/mapreduce"
+	"evmatching/internal/metrics"
 	"evmatching/internal/server"
 )
 
@@ -31,6 +41,80 @@ func main() {
 	}
 }
 
+// startCluster boots an in-process coordinator and workers over localhost
+// RPC and returns the adapted executor plus a shutdown function that joins
+// every goroutine and removes the shared scratch directory.
+func startCluster(workers int) (*cluster.Executor, func(), error) {
+	dir, err := os.MkdirTemp("", "evserve-cluster-")
+	if err != nil {
+		return nil, nil, err
+	}
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Dir: dir})
+	if err != nil {
+		_ = os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = coord.Close()
+		_ = os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	addr := coord.Serve(lis)
+	reg := cluster.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		w, err := cluster.NewWorker(addr, cluster.WorkerConfig{
+			ID:       fmt.Sprintf("evserve-w%d", i),
+			Dir:      dir,
+			Registry: reg,
+		})
+		if err != nil {
+			cancel()
+			_ = coord.Close()
+			wg.Wait()
+			_ = os.RemoveAll(dir)
+			return nil, nil, err
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	exec, err := cluster.NewExecutor(coord, reg)
+	if err != nil {
+		cancel()
+		_ = coord.Close()
+		wg.Wait()
+		_ = os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	// Graceful degradation: if every worker dies, the matching phase falls
+	// back to the in-process serial engine rather than failing the command.
+	exec.Fallback = mapreduce.SerialExecutor{}
+	shutdown := func() {
+		_ = coord.Close()
+		cancel()
+		wg.Wait()
+		_ = os.RemoveAll(dir)
+	}
+	return exec, shutdown, nil
+}
+
+// publishClusterStats copies the coordinator's fault-recovery totals into the
+// registry served at /metricsz.
+func publishClusterStats(reg *metrics.Registry, stats cluster.Stats, fallbacks int64) {
+	reg.Set("cluster.retries", stats.Retries)
+	reg.Set("cluster.evictions", stats.Evictions)
+	reg.Set("cluster.speculative_dispatches", stats.SpeculativeDispatches)
+	reg.Set("cluster.speculative_wins", stats.SpeculativeWins)
+	reg.Set("cluster.stale_reports", stats.StaleReports)
+	reg.Set("cluster.dead_workers", stats.DeadWorkers)
+	reg.Set("cluster.fallbacks", fallbacks)
+}
+
 // run starts the server; when ready is non-nil, the bound address is sent on
 // it once the listener is up (used by tests).
 func run(args []string, ready chan<- string) error {
@@ -38,7 +122,8 @@ func run(args []string, ready chan<- string) error {
 	var (
 		data     = fs.String("data", "", "dataset file from evgen (required)")
 		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
-		modeName = fs.String("mode", "serial", "matching mode: serial or parallel")
+		modeName = fs.String("mode", "serial", "matching mode: serial, parallel, or cluster")
+		workers  = fs.Int("workers", 3, "worker count for -mode cluster")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -50,12 +135,26 @@ func run(args []string, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
+	reg := metrics.NewRegistry()
 	opts := evmatching.Options{}
+	var clusterExec *cluster.Executor
 	switch *modeName {
 	case "serial":
 		opts.Mode = evmatching.ModeSerial
 	case "parallel":
 		opts.Mode = evmatching.ModeParallel
+	case "cluster":
+		if *workers < 1 {
+			return fmt.Errorf("-mode cluster needs -workers >= 1, got %d", *workers)
+		}
+		exec, shutdown, err := startCluster(*workers)
+		if err != nil {
+			return err
+		}
+		defer shutdown()
+		opts.Mode = evmatching.ModeParallel
+		opts.Executor = exec
+		clusterExec = exec
 	default:
 		return fmt.Errorf("unknown mode %q", *modeName)
 	}
@@ -77,8 +176,11 @@ func run(args []string, ready chan<- string) error {
 	fmt.Printf("indexed %d pairs in %v (accuracy vs truth %.1f%%)\n",
 		idx.Len(), time.Since(start).Round(time.Millisecond),
 		rep.Accuracy(ds.TruthVID)*100)
+	if clusterExec != nil {
+		publishClusterStats(reg, clusterExec.Stats(), clusterExec.Fallbacks())
+	}
 
-	srv, err := server.New(ds, idx)
+	srv, err := server.New(ds, idx, server.WithMetrics(reg.Snapshot))
 	if err != nil {
 		return err
 	}

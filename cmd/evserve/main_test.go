@@ -29,31 +29,38 @@ func writeDataset(t *testing.T) string {
 	return path
 }
 
-func TestServeEndToEnd(t *testing.T) {
-	data := writeDataset(t)
-
+// serveArgs boots run in the background with stdout silenced and returns the
+// bound address.
+func serveArgs(t *testing.T, args []string) string {
+	t.Helper()
 	old := os.Stdout
 	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	os.Stdout = devnull
-	defer func() {
+	t.Cleanup(func() {
 		os.Stdout = old
 		devnull.Close()
-	}()
+	})
 
 	ready := make(chan string, 1)
 	go func() {
 		// http.Serve never returns cleanly; the process exit tears it down.
-		_ = run([]string{"-data", data, "-addr", "127.0.0.1:0"}, ready)
+		_ = run(args, ready)
 	}()
-	var addr string
 	select {
-	case addr = <-ready:
-	case <-time.After(30 * time.Second):
+	case addr := <-ready:
+		return addr
+	case <-time.After(60 * time.Second):
 		t.Fatal("server never became ready")
+		return ""
 	}
+}
+
+func TestServeEndToEnd(t *testing.T) {
+	data := writeDataset(t)
+	addr := serveArgs(t, []string{"-data", data, "-addr", "127.0.0.1:0"})
 
 	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
 	if err != nil {
@@ -70,6 +77,59 @@ func TestServeEndToEnd(t *testing.T) {
 	if health.Persons != 40 || health.Matched == 0 {
 		t.Errorf("health = %+v", health)
 	}
+
+	// Serial mode still serves /metricsz — just with no cluster counters.
+	mresp, err := http.Get(fmt.Sprintf("http://%s/metricsz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	if mresp.StatusCode != http.StatusOK {
+		t.Errorf("/metricsz status = %d", mresp.StatusCode)
+	}
+}
+
+func TestServeClusterMode(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster-mode end-to-end skipped in -short")
+	}
+	data := writeDataset(t)
+	addr := serveArgs(t, []string{"-data", data, "-addr", "127.0.0.1:0", "-mode", "cluster", "-workers", "2"})
+
+	resp, err := http.Get(fmt.Sprintf("http://%s/healthz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var health struct {
+		Matched int `json:"matched"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Matched == 0 {
+		t.Errorf("cluster mode matched nothing: %+v", health)
+	}
+
+	mresp, err := http.Get(fmt.Sprintf("http://%s/metricsz", addr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mresp.Body.Close()
+	var counters map[string]int64
+	if err := json.NewDecoder(mresp.Body).Decode(&counters); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"cluster.retries", "cluster.evictions", "cluster.speculative_wins", "cluster.fallbacks",
+	} {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("/metricsz missing %s: %v", name, counters)
+		}
+	}
+	if counters["cluster.fallbacks"] != 0 {
+		t.Errorf("healthy cluster should not fall back, got %d", counters["cluster.fallbacks"])
+	}
 }
 
 func TestRunValidation(t *testing.T) {
@@ -82,5 +142,8 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-data", "missing.gob"}, nil); err == nil {
 		t.Error("want error for missing dataset")
+	}
+	if err := run([]string{"-data", data, "-mode", "cluster", "-workers", "0"}, nil); err == nil {
+		t.Error("want error for cluster mode with zero workers")
 	}
 }

@@ -35,11 +35,15 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mrcoord", flag.ContinueOnError)
 	var (
-		dir      = fs.String("dir", "", "shared data directory (required)")
-		addr     = fs.String("addr", "127.0.0.1:7777", "listen address for worker RPC")
-		in       = fs.String("in", "", "input text file (required)")
-		reducers = fs.Int("reducers", 4, "number of reduce partitions")
-		maps     = fs.Int("maps", 8, "number of map tasks")
+		dir         = fs.String("dir", "", "shared data directory (required)")
+		addr        = fs.String("addr", "127.0.0.1:7777", "listen address for worker RPC")
+		in          = fs.String("in", "", "input text file (required)")
+		reducers    = fs.Int("reducers", 4, "number of reduce partitions")
+		maps        = fs.Int("maps", 8, "number of map tasks")
+		taskTimeout = fs.Duration("task-timeout", cluster.DefaultTaskTimeout, "lease before a task is re-executed")
+		hbTimeout   = fs.Duration("heartbeat-timeout", 0, "silence before a worker is declared dead (0: 2x task timeout)")
+		specAfter   = fs.Duration("speculative-after", 0, "age before a straggler task is speculatively re-dispatched (0: half the task timeout, negative: disabled)")
+		poolTimeout = fs.Duration("pool-timeout", 0, "empty-pool duration before a job fails with ErrNoWorkers (0: wait forever)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,7 +66,13 @@ func run(args []string) error {
 		return err
 	}
 
-	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Dir: *dir})
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+		Dir:              *dir,
+		TaskTimeout:      *taskTimeout,
+		HeartbeatTimeout: *hbTimeout,
+		SpeculativeAfter: *specAfter,
+		PoolTimeout:      *poolTimeout,
+	})
 	if err != nil {
 		return err
 	}
@@ -88,5 +98,10 @@ func run(args []string) error {
 	}
 	fmt.Printf("# %d lines mapped, %d words emitted\n",
 		res.Counters.Get(mapreduce.CounterMapIn), res.Counters.Get(mapreduce.CounterMapOut))
+	if st := coord.Stats(); st != (cluster.Stats{}) {
+		fmt.Printf("# recovery: %d retries, %d evictions, %d speculative (%d won), %d stale reports, %d dead workers\n",
+			st.Retries, st.Evictions, st.SpeculativeDispatches, st.SpeculativeWins,
+			st.StaleReports, st.DeadWorkers)
+	}
 	return nil
 }

@@ -4,6 +4,11 @@
 // Usage:
 //
 //	mrworker -dir /shared/dir -addr 127.0.0.1:7777 [-id worker-1]
+//
+// The -chaos-* flags turn the worker into a deterministic fault injector for
+// exercising the coordinator's recovery paths across real processes: with a
+// non-zero -chaos-seed, the worker crashes, stalls, drops and duplicates
+// reports, and loses heartbeats per the seeded plan (see internal/chaos).
 package main
 
 import (
@@ -13,6 +18,7 @@ import (
 	"fmt"
 	"os"
 
+	"evmatching/internal/chaos"
 	"evmatching/internal/cluster"
 )
 
@@ -26,9 +32,17 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("mrworker", flag.ContinueOnError)
 	var (
-		dir  = fs.String("dir", "", "shared data directory (must match the coordinator)")
-		addr = fs.String("addr", "127.0.0.1:7777", "coordinator RPC address")
-		id   = fs.String("id", "", "worker id (default: generated)")
+		dir       = fs.String("dir", "", "shared data directory (must match the coordinator)")
+		addr      = fs.String("addr", "127.0.0.1:7777", "coordinator RPC address")
+		id        = fs.String("id", "", "worker id (default: generated)")
+		heartbeat = fs.Duration("heartbeat", cluster.DefaultHeartbeatInterval, "liveness ping interval (negative: disabled)")
+
+		chaosSeed  = fs.Int64("chaos-seed", 0, "fault-injection seed (0: no faults)")
+		chaosCrash = fs.Float64("chaos-crash", 0, "probability of crashing around a task")
+		chaosStall = fs.Float64("chaos-stall", 0, "probability of stalling before reporting")
+		chaosDrop  = fs.Float64("chaos-drop", 0, "probability of dropping a task report")
+		chaosDup   = fs.Float64("chaos-dup", 0, "probability of duplicating a task report")
+		chaosHB    = fs.Float64("chaos-hbloss", 0, "probability of losing a heartbeat burst")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -40,7 +54,23 @@ func run(args []string) error {
 	if err := cluster.RegisterWordCount(reg); err != nil {
 		return err
 	}
-	w, err := cluster.NewWorker(*addr, cluster.WorkerConfig{ID: *id, Dir: *dir, Registry: reg})
+	wc := cluster.WorkerConfig{ID: *id, Dir: *dir, Registry: reg, HeartbeatInterval: *heartbeat}
+	if *chaosSeed != 0 {
+		inj, err := chaos.NewInjector(*chaosSeed, chaos.Config{
+			CrashBeforeExecute: *chaosCrash,
+			CrashBeforeReport:  *chaosCrash,
+			Stall:              *chaosStall,
+			DropReport:         *chaosDrop,
+			DuplicateReport:    *chaosDup,
+			HeartbeatLoss:      *chaosHB,
+		})
+		if err != nil {
+			return err
+		}
+		wc.Faults = inj
+		fmt.Printf("fault injection armed with seed %d\n", *chaosSeed)
+	}
+	w, err := cluster.NewWorker(*addr, wc)
 	if err != nil {
 		return err
 	}

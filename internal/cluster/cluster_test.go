@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"reflect"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"evmatching/internal/mapreduce"
+	"evmatching/internal/mrtest"
 )
 
 // newTestRegistry registers word-count functions.
@@ -56,14 +58,36 @@ func newTestRegistry(t *testing.T) *Registry {
 type testCluster struct {
 	coord   *Coordinator
 	addr    string
+	dir     string
+	reg     *Registry
+	ctx     context.Context
 	workers sync.WaitGroup
 	cancel  context.CancelFunc
 }
 
-func startCluster(t *testing.T, nWorkers int, timeout time.Duration, crashAfter map[int]int) *testCluster {
+// addWorker starts one more worker against the running cluster.
+func (tc *testCluster) addWorker(t *testing.T, wc WorkerConfig) {
 	t.Helper()
-	dir := t.TempDir()
-	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir, TaskTimeout: timeout})
+	wc.Dir = tc.dir
+	wc.Registry = tc.reg
+	w, err := NewWorker(tc.addr, wc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.workers.Add(1)
+	go func() {
+		defer tc.workers.Done()
+		_ = w.Run(tc.ctx)
+	}()
+}
+
+// startClusterCfg boots a cluster with full control over the coordinator
+// config (Dir is filled in) and per-worker config tweaks.
+func startClusterCfg(t *testing.T, nWorkers int, cfg CoordinatorConfig, worker func(i int, wc *WorkerConfig)) *testCluster {
+	t.Helper()
+	mrtest.CheckGoroutines(t)
+	cfg.Dir = t.TempDir()
+	coord, err := NewCoordinator(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,28 +97,15 @@ func startCluster(t *testing.T, nWorkers int, timeout time.Duration, crashAfter 
 	}
 	addr := coord.Serve(lis)
 	ctx, cancel := context.WithCancel(context.Background())
-	tc := &testCluster{coord: coord, addr: addr, cancel: cancel}
-	reg := newTestRegistry(t)
+	tc := &testCluster{coord: coord, addr: addr, dir: cfg.Dir, reg: newTestRegistry(t), ctx: ctx, cancel: cancel}
 	for i := 0; i < nWorkers; i++ {
-		cfg := WorkerConfig{
-			ID:       fmt.Sprintf("w%d", i),
-			Dir:      dir,
-			Registry: reg,
+		wc := WorkerConfig{ID: fmt.Sprintf("w%d", i)}
+		if worker != nil {
+			worker(i, &wc)
 		}
-		if crashAfter != nil {
-			cfg.CrashAfter = crashAfter[i]
-		}
-		w, err := NewWorker(addr, cfg)
-		if err != nil {
-			t.Fatal(err)
-		}
-		tc.workers.Add(1)
-		go func() {
-			defer tc.workers.Done()
-			// Workers exit via TaskExit after Close, via crash injection,
-			// or via context cancellation at test teardown.
-			_ = w.Run(ctx)
-		}()
+		// Workers exit via TaskExit after Close, via crash injection, or via
+		// context cancellation at test teardown.
+		tc.addWorker(t, wc)
 	}
 	t.Cleanup(func() {
 		_ = coord.Close()
@@ -102,6 +113,32 @@ func startCluster(t *testing.T, nWorkers int, timeout time.Duration, crashAfter 
 		tc.workers.Wait()
 	})
 	return tc
+}
+
+func startCluster(t *testing.T, nWorkers int, timeout time.Duration, crashAfter map[int]int) *testCluster {
+	t.Helper()
+	return startClusterCfg(t, nWorkers, CoordinatorConfig{TaskTimeout: timeout}, func(i int, wc *WorkerConfig) {
+		if crashAfter != nil {
+			wc.CrashAfter = crashAfter[i]
+		}
+	})
+}
+
+// waitStatus polls the coordinator until cond accepts a status snapshot,
+// replacing bare sleeps with condition polling so slow machines don't flake.
+func waitStatus(t *testing.T, coord *Coordinator, what string, cond func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st := coord.Status()
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("status never became %s; last = %+v", what, st)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
 }
 
 func wordLines(lines []string) []mapreduce.KeyValue {
@@ -193,7 +230,7 @@ func TestDistributedWithCombiner(t *testing.T) {
 
 func TestWorkerCrashRecovery(t *testing.T) {
 	// Worker 0 silently dies before reporting its first task; the lease
-	// expires and workers 1..2 redo the work.
+	// expires (or a speculative copy lands) and workers 1..2 redo the work.
 	tc := startCluster(t, 3, 300*time.Millisecond, map[int]int{0: 1})
 	lines := []string{"a b", "b c", "c a", "a a"}
 	res, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines(lines))
@@ -222,6 +259,171 @@ func TestAllButOneWorkerCrash(t *testing.T) {
 	}
 }
 
+func TestHeartbeatEvictionRecoversCrashedWorker(t *testing.T) {
+	// The task lease is a full minute, so only heartbeat-based failure
+	// detection can recover worker 0's silently dropped task in time. Start
+	// with just the crashing worker, wait until it provably holds a lease,
+	// then add the rescuer — avoiding the race where the healthy worker
+	// drains the whole job first.
+	tc := startClusterCfg(t, 1, CoordinatorConfig{
+		TaskTimeout:      time.Minute,
+		HeartbeatTimeout: 150 * time.Millisecond,
+		SpeculativeAfter: -1, // isolate the heartbeat path
+	}, func(i int, wc *WorkerConfig) {
+		wc.HeartbeatInterval = 25 * time.Millisecond
+		wc.PollInterval = 2 * time.Millisecond
+		wc.CrashAfter = 1
+	})
+	done := make(chan struct{})
+	var res *mapreduce.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = tc.coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"a b", "b"}))
+	}()
+	waitStatus(t, tc.coord, "leased to the crashing worker", func(st JobStatus) bool {
+		return st.MapsRunning > 0
+	})
+	tc.addWorker(t, WorkerConfig{
+		ID:                "rescue",
+		PollInterval:      2 * time.Millisecond,
+		HeartbeatInterval: 25 * time.Millisecond,
+	})
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	want := []mapreduce.KeyValue{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+	st := tc.coord.Stats()
+	if st.DeadWorkers == 0 {
+		t.Errorf("crashed worker never declared dead: %+v", st)
+	}
+	if st.Evictions == 0 || st.Retries == 0 {
+		t.Errorf("dropped task never evicted+retried: %+v", st)
+	}
+}
+
+// stallPlan is a FaultPlan stalling every report of one worker.
+type stallPlan struct {
+	worker string
+	delay  time.Duration
+}
+
+func (p stallPlan) TaskFault(workerID, _ string, _ TaskKind, _ int) TaskFault {
+	if workerID == p.worker {
+		return TaskFault{StallBeforeReport: p.delay}
+	}
+	return TaskFault{}
+}
+
+func (p stallPlan) DropHeartbeat(string, int) bool { return false }
+
+func TestSpeculativeReDispatchMasksStraggler(t *testing.T) {
+	// Worker 0 stalls every report far beyond the test's patience; the
+	// coordinator must hand its tasks to a second worker speculatively.
+	// The straggler runs alone until it provably holds a lease, so the fast
+	// worker cannot drain the job before any straggling happens.
+	tc := startClusterCfg(t, 1, CoordinatorConfig{
+		TaskTimeout:      time.Minute,
+		SpeculativeAfter: 30 * time.Millisecond,
+	}, func(i int, wc *WorkerConfig) {
+		wc.PollInterval = 2 * time.Millisecond
+		wc.Faults = stallPlan{worker: "w0", delay: time.Minute}
+	})
+	done := make(chan struct{})
+	var res *mapreduce.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = tc.coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"s t", "t"}))
+	}()
+	waitStatus(t, tc.coord, "leased to the straggler", func(st JobStatus) bool {
+		return st.MapsRunning > 0
+	})
+	tc.addWorker(t, WorkerConfig{ID: "fast", PollInterval: 2 * time.Millisecond})
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	want := []mapreduce.KeyValue{{Key: "s", Value: "1"}, {Key: "t", Value: "2"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+	st := tc.coord.Stats()
+	if st.SpeculativeDispatches == 0 || st.SpeculativeWins == 0 {
+		t.Errorf("straggler never speculatively re-dispatched: %+v", st)
+	}
+}
+
+// lossyPlan drops every report of one worker and duplicates every report of
+// another.
+type lossyPlan struct {
+	dropper, duper string
+}
+
+func (p lossyPlan) TaskFault(workerID, _ string, _ TaskKind, _ int) TaskFault {
+	switch workerID {
+	case p.dropper:
+		return TaskFault{DropReport: true}
+	case p.duper:
+		return TaskFault{DuplicateReport: true}
+	}
+	return TaskFault{}
+}
+
+func (p lossyPlan) DropHeartbeat(string, int) bool { return false }
+
+func TestDroppedAndDuplicatedReports(t *testing.T) {
+	tc := startClusterCfg(t, 2, CoordinatorConfig{
+		TaskTimeout:      120 * time.Millisecond,
+		SpeculativeAfter: 40 * time.Millisecond,
+	}, func(i int, wc *WorkerConfig) {
+		wc.PollInterval = 5 * time.Millisecond
+		wc.Faults = lossyPlan{dropper: "w0", duper: "w1"}
+	})
+	res, err := tc.coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"u v", "v"}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []mapreduce.KeyValue{{Key: "u", Value: "1"}, {Key: "v", Value: "2"}}
+	if !reflect.DeepEqual(res.Output, want) {
+		t.Errorf("Output = %v, want %v", res.Output, want)
+	}
+	if st := tc.coord.Stats(); st.StaleReports == 0 {
+		t.Errorf("duplicated reports never recorded as stale: %+v", st)
+	}
+}
+
+func TestPoolCollapseFailsWithErrNoWorkers(t *testing.T) {
+	// No workers ever connect; collapse detection must fail the job rather
+	// than hang.
+	mrtest.CheckGoroutines(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Dir:         t.TempDir(),
+		TaskTimeout: 200 * time.Millisecond,
+		PoolTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(lis)
+	defer coord.Close()
+	_, err = coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"a"}))
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Fatalf("err = %v, want ErrNoWorkers", err)
+	}
+	if st := coord.Status(); st.JobID != "" {
+		t.Errorf("post-collapse status = %+v, want idle", st)
+	}
+}
+
 func TestDeterministicFunctionErrorFailsJob(t *testing.T) {
 	tc := startCluster(t, 2, time.Minute, nil)
 	spec := wcSpec()
@@ -233,6 +435,7 @@ func TestDeterministicFunctionErrorFailsJob(t *testing.T) {
 
 func TestRunJobContextCancel(t *testing.T) {
 	// No workers: the job can never finish; cancellation must unblock.
+	mrtest.CheckGoroutines(t)
 	dir := t.TempDir()
 	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir})
 	if err != nil {
@@ -265,6 +468,7 @@ func TestSequentialJobs(t *testing.T) {
 }
 
 func TestCoordinatorClosedRejectsJobs(t *testing.T) {
+	mrtest.CheckGoroutines(t)
 	dir := t.TempDir()
 	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir})
 	if err != nil {
@@ -342,6 +546,22 @@ func TestNewCoordinatorValidation(t *testing.T) {
 	if _, err := NewCoordinator(CoordinatorConfig{Dir: "x", TaskTimeout: -time.Second}); err == nil {
 		t.Error("want error for negative timeout")
 	}
+	if _, err := NewCoordinator(CoordinatorConfig{Dir: "x", HeartbeatTimeout: -time.Second}); err == nil {
+		t.Error("want error for negative heartbeat timeout")
+	}
+	if _, err := NewCoordinator(CoordinatorConfig{Dir: "x", PoolTimeout: -time.Second}); err == nil {
+		t.Error("want error for negative pool timeout")
+	}
+	c, err := NewCoordinator(CoordinatorConfig{Dir: "x", TaskTimeout: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.cfg.HeartbeatTimeout != 2*time.Second || c.cfg.SpeculativeAfter != 500*time.Millisecond {
+		t.Errorf("derived defaults = %+v", c.cfg)
+	}
+	if c.cfg.RetryBase != DefaultRetryBase || c.cfg.RetryMax != DefaultRetryMax {
+		t.Errorf("retry defaults = %+v", c.cfg)
+	}
 }
 
 func TestNewWorkerValidation(t *testing.T) {
@@ -364,6 +584,7 @@ func TestTaskKindString(t *testing.T) {
 }
 
 func TestStatusIdleAndActive(t *testing.T) {
+	mrtest.CheckGoroutines(t)
 	dir := t.TempDir()
 	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir})
 	if err != nil {
@@ -387,21 +608,9 @@ func TestStatusIdleAndActive(t *testing.T) {
 		defer close(done)
 		_, _ = coord.RunJob(ctx, wcSpec(), wordLines([]string{"a b"}))
 	}()
-	deadline := time.After(5 * time.Second)
-	for {
-		st := coord.Status()
-		if st.JobID != "" {
-			if st.MapsTotal == 0 || st.MapsDone != 0 || st.Name != "wordcount" {
-				t.Errorf("active status = %+v", st)
-			}
-			break
-		}
-		select {
-		case <-deadline:
-			t.Fatal("job never became active")
-		default:
-			time.Sleep(10 * time.Millisecond)
-		}
+	st := waitStatus(t, coord, "active", func(st JobStatus) bool { return st.JobID != "" })
+	if st.MapsTotal == 0 || st.MapsDone != 0 || st.Name != "wordcount" {
+		t.Errorf("active status = %+v", st)
 	}
 	cancel()
 	<-done
@@ -417,7 +626,5 @@ func TestStatusProgressesWithWorkers(t *testing.T) {
 		t.Fatal("no output")
 	}
 	// After completion the coordinator is idle again.
-	if st := tc.coord.Status(); st.JobID != "" {
-		t.Errorf("post-job status = %+v, want idle", st)
-	}
+	waitStatus(t, tc.coord, "idle", func(st JobStatus) bool { return st.JobID == "" })
 }

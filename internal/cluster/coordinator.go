@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
 	"net"
 	"net/rpc"
 	"sort"
@@ -19,6 +20,10 @@ const (
 	// DefaultTaskTimeout is the lease after which an unreported task is
 	// assumed lost and re-queued for another worker.
 	DefaultTaskTimeout = 10 * time.Second
+	// DefaultRetryBase is the first re-execution backoff step.
+	DefaultRetryBase = 25 * time.Millisecond
+	// DefaultRetryMax caps the exponential re-execution backoff.
+	DefaultRetryMax = 2 * time.Second
 	// RPCServiceName is the registered net/rpc service name.
 	RPCServiceName = "EVCoordinator"
 )
@@ -31,6 +36,11 @@ var ErrCoordinatorClosed = errors.New("cluster: coordinator closed")
 // worker (which the lease-based retry path re-executes silently); callers
 // distinguish the two with errors.Is(err, ErrTaskFailed).
 var ErrTaskFailed = errors.New("cluster: task failed")
+
+// ErrNoWorkers reports that the worker pool collapsed: no live worker was
+// heard from for the configured PoolTimeout while tasks remained. The
+// Executor uses it to degrade gracefully to an in-process engine.
+var ErrNoWorkers = errors.New("cluster: worker pool collapsed")
 
 // JobSpec names the functions and shape of one distributed job. The
 // functions must be registered under these names in every worker's Registry.
@@ -67,6 +77,28 @@ type CoordinatorConfig struct {
 	Dir string
 	// TaskTimeout is the task lease; 0 means DefaultTaskTimeout.
 	TaskTimeout time.Duration
+	// HeartbeatTimeout declares a worker dead when nothing has been heard
+	// from it for this long; the dead worker's leases are evicted
+	// immediately instead of waiting out the full task lease. 0 means
+	// 2×TaskTimeout.
+	HeartbeatTimeout time.Duration
+	// RetryBase and RetryMax bound the capped exponential backoff (with
+	// seeded jitter) before a recovered task becomes claimable again.
+	// 0 means DefaultRetryBase / DefaultRetryMax.
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// SpeculativeAfter re-dispatches an in-progress task to a second worker
+	// once it has run at least this long and the requester has nothing else
+	// to do — the straggler mitigation of speculative execution. 0 means
+	// TaskTimeout/2; negative disables speculation.
+	SpeculativeAfter time.Duration
+	// PoolTimeout fails the running job with ErrNoWorkers when no live
+	// worker has been heard from for this long while tasks remain. 0
+	// disables collapse detection (the job waits indefinitely for workers).
+	PoolTimeout time.Duration
+	// Seed drives the retry-backoff jitter; every delay is a pure function
+	// of (Seed, job, task, attempt), so recovery timing is reproducible.
+	Seed int64
 }
 
 type taskState int
@@ -78,14 +110,19 @@ const (
 )
 
 type taskInfo struct {
-	state   taskState
-	started time.Time
-	worker  string
+	state       taskState
+	started     time.Time
+	worker      string // current primary assignee
+	specWorker  string // speculative assignee, "" when none
+	specStarted time.Time
+	attempts    int       // primary claims so far
+	eligible    time.Time // backoff gate: earliest next claim
 }
 
 type activeJob struct {
 	id          string
 	spec        JobSpec
+	submitted   time.Time
 	mapTasks    []taskInfo
 	reduceTasks []taskInfo
 	mapsLeft    int
@@ -100,10 +137,13 @@ type activeJob struct {
 type Coordinator struct {
 	cfg CoordinatorConfig
 
-	mu     sync.Mutex
-	job    *activeJob
-	seq    int
-	closed bool
+	mu        sync.Mutex
+	job       *activeJob
+	seq       int
+	closed    bool
+	workers   map[string]time.Time // live workers by last contact
+	lastAlive time.Time            // most recent contact from any worker
+	stats     Stats
 
 	jobMu sync.Mutex // serializes RunJob callers
 
@@ -122,7 +162,22 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 	if cfg.TaskTimeout < 0 {
 		return nil, fmt.Errorf("cluster: negative task timeout")
 	}
-	return &Coordinator{cfg: cfg}, nil
+	if cfg.HeartbeatTimeout == 0 {
+		cfg.HeartbeatTimeout = 2 * cfg.TaskTimeout
+	}
+	if cfg.RetryBase == 0 {
+		cfg.RetryBase = DefaultRetryBase
+	}
+	if cfg.RetryMax == 0 {
+		cfg.RetryMax = DefaultRetryMax
+	}
+	if cfg.SpeculativeAfter == 0 {
+		cfg.SpeculativeAfter = cfg.TaskTimeout / 2
+	}
+	if cfg.HeartbeatTimeout < 0 || cfg.RetryBase < 0 || cfg.RetryMax < 0 || cfg.PoolTimeout < 0 {
+		return nil, fmt.Errorf("cluster: negative coordinator timeout")
+	}
+	return &Coordinator{cfg: cfg, workers: make(map[string]time.Time)}, nil
 }
 
 // Serve starts accepting worker RPC connections on lis until Close. It
@@ -197,6 +252,8 @@ func (c *Coordinator) RunJob(ctx context.Context, spec JobSpec, input []mapreduc
 	if chunk == 0 {
 		chunk = 1
 	}
+	// Whatever happens below, never leave partial job files behind.
+	defer func() { _ = removeJobFiles(c.cfg.Dir, jobID) }()
 	for m := 0; m < spec.NumMapTasks; m++ {
 		lo := m * chunk
 		hi := lo + chunk
@@ -214,6 +271,7 @@ func (c *Coordinator) RunJob(ctx context.Context, spec JobSpec, input []mapreduc
 	job := &activeJob{
 		id:          jobID,
 		spec:        spec,
+		submitted:   time.Now(),
 		mapTasks:    newTasks(spec.NumMapTasks),
 		reduceTasks: newTasks(spec.NumReducers),
 		mapsLeft:    spec.NumMapTasks,
@@ -232,10 +290,29 @@ func (c *Coordinator) RunJob(ctx context.Context, spec JobSpec, input []mapreduc
 		c.mu.Unlock()
 	}()
 
-	select {
-	case <-ctx.Done():
-		return nil, fmt.Errorf("cluster: job %q: %w", spec.Name, ctx.Err())
-	case <-job.done:
+	// Wait for completion, sweeping periodically so dead workers are
+	// detected (and pool collapse declared) even when no worker polls.
+	tick := c.cfg.TaskTimeout / 8
+	if tick < 5*time.Millisecond {
+		tick = 5 * time.Millisecond
+	}
+	if tick > 250*time.Millisecond {
+		tick = 250 * time.Millisecond
+	}
+	ticker := time.NewTicker(tick)
+	defer ticker.Stop()
+wait:
+	for {
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster: job %q: %w", spec.Name, ctx.Err())
+		case <-job.done:
+			break wait
+		case <-ticker.C:
+			c.mu.Lock()
+			c.sweepLocked(time.Now())
+			c.mu.Unlock()
+		}
 	}
 	if job.failed != nil {
 		return nil, fmt.Errorf("cluster: job %q: %w", spec.Name, job.failed)
@@ -276,6 +353,153 @@ func sortKVs(kvs []mapreduce.KeyValue) {
 	})
 }
 
+// touchLocked records a sign of life from a worker.
+func (c *Coordinator) touchLocked(worker string, now time.Time) {
+	if worker == "" {
+		return
+	}
+	c.workers[worker] = now
+	if now.After(c.lastAlive) {
+		c.lastAlive = now
+	}
+}
+
+// sweepLocked is the failure detector: it prunes workers silent past the
+// heartbeat timeout, evicts their leases (and any lease past the task
+// timeout), promotes surviving speculative attempts, and declares pool
+// collapse when configured. Called with c.mu held.
+func (c *Coordinator) sweepLocked(now time.Time) {
+	dead := make(map[string]bool)
+	for w, last := range c.workers {
+		if now.Sub(last) > c.cfg.HeartbeatTimeout {
+			dead[w] = true
+		}
+	}
+	for w := range dead {
+		delete(c.workers, w)
+		c.stats.DeadWorkers++
+	}
+	job := c.job
+	if job == nil {
+		return
+	}
+	if job.failed == nil {
+		c.sweepTasksLocked(job, job.mapTasks, dead, now)
+		c.sweepTasksLocked(job, job.reduceTasks, dead, now)
+	}
+	// Pool collapse: no live workers and nothing heard for PoolTimeout.
+	if c.cfg.PoolTimeout > 0 && job.failed == nil && len(c.workers) == 0 {
+		ref := c.lastAlive
+		if job.submitted.After(ref) {
+			ref = job.submitted
+		}
+		if now.Sub(ref) > c.cfg.PoolTimeout {
+			job.failed = fmt.Errorf("%w: silent for %v", ErrNoWorkers, now.Sub(ref).Round(time.Millisecond))
+			close(job.done)
+		}
+	}
+}
+
+// sweepTasksLocked evicts lost leases in one task list.
+func (c *Coordinator) sweepTasksLocked(job *activeJob, tasks []taskInfo, dead map[string]bool, now time.Time) {
+	for i := range tasks {
+		t := &tasks[i]
+		if t.state != taskInProgress {
+			continue
+		}
+		specAlive := t.specWorker != "" && !dead[t.specWorker] && now.Sub(t.specStarted) <= c.cfg.TaskTimeout
+		if dead[t.worker] || now.Sub(t.started) > c.cfg.TaskTimeout {
+			c.stats.Evictions++
+			if specAlive {
+				// The speculative copy is still healthy: promote it to
+				// primary instead of requeueing.
+				t.worker, t.started = t.specWorker, t.specStarted
+				t.specWorker = ""
+				continue
+			}
+			c.requeueLocked(job, t, i, now)
+			continue
+		}
+		if t.specWorker != "" && !specAlive {
+			t.specWorker = "" // drop a dead straggler copy, keep the primary
+		}
+	}
+}
+
+// requeueLocked returns an in-progress task to the idle pool behind a capped
+// exponential backoff with seeded jitter.
+func (c *Coordinator) requeueLocked(job *activeJob, t *taskInfo, taskID int, now time.Time) {
+	t.state = taskIdle
+	t.worker, t.specWorker = "", ""
+	d := c.cfg.RetryBase
+	for i := 1; i < t.attempts && d < c.cfg.RetryMax; i++ {
+		d *= 2
+	}
+	if d > c.cfg.RetryMax {
+		d = c.cfg.RetryMax
+	}
+	// Jitter in [0.5d, 1.5d), a pure function of (seed, job, task, attempt).
+	frac := seededFrac(c.cfg.Seed, job.id, taskID, t.attempts)
+	d = d/2 + time.Duration(frac*float64(d))
+	t.eligible = now.Add(d)
+}
+
+// seededFrac hashes its inputs into a uniform [0, 1) fraction.
+func seededFrac(seed int64, jobID string, taskID, attempt int) float64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s|%d|%d", seed, jobID, taskID, attempt)
+	return float64(h.Sum64()>>11) / float64(uint64(1)<<53)
+}
+
+// claimTaskLocked assigns an idle, backoff-eligible task to worker.
+func (c *Coordinator) claimTaskLocked(tasks []taskInfo, now time.Time, worker string) (int, bool) {
+	for i := range tasks {
+		t := &tasks[i]
+		if t.state == taskIdle && !t.eligible.After(now) {
+			t.state = taskInProgress
+			t.started = now
+			t.worker = worker
+			t.specWorker = ""
+			t.attempts++
+			if t.attempts > 1 {
+				c.stats.Retries++
+			}
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// claimSpeculativeLocked hands the oldest qualifying straggler task to a
+// second worker. The requester must differ from the primary assignee, and
+// the task must have run at least SpeculativeAfter.
+func (c *Coordinator) claimSpeculativeLocked(tasks []taskInfo, now time.Time, worker string) (int, bool) {
+	if c.cfg.SpeculativeAfter < 0 {
+		return 0, false
+	}
+	best := -1
+	for i := range tasks {
+		t := &tasks[i]
+		if t.state != taskInProgress || t.specWorker != "" || t.worker == worker {
+			continue
+		}
+		if now.Sub(t.started) < c.cfg.SpeculativeAfter {
+			continue
+		}
+		if best < 0 || t.started.Before(tasks[best].started) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	t := &tasks[best]
+	t.specWorker = worker
+	t.specStarted = now
+	c.stats.SpeculativeDispatches++
+	return best, true
+}
+
 // coordinatorRPC is the net/rpc receiver; kept separate so only the RPC
 // surface is exported through the service.
 type coordinatorRPC struct {
@@ -292,8 +516,11 @@ func (r *coordinatorRPC) RequestTask(args *TaskRequest, reply *TaskReply) error 
 		reply.Kind = TaskExit
 		return nil
 	}
+	now := time.Now()
+	c.touchLocked(args.WorkerID, now)
+	c.sweepLocked(now)
 	job := c.job
-	if job == nil {
+	if job == nil || job.failed != nil {
 		reply.Kind = TaskWait
 		return nil
 	}
@@ -308,9 +535,12 @@ func (r *coordinatorRPC) RequestTask(args *TaskRequest, reply *TaskReply) error 
 		reply.NumMapTasks = spec.NumMapTasks
 		reply.NumReducers = spec.NumReducers
 	}
-	now := time.Now()
 	if job.mapsLeft > 0 {
-		if id, ok := claimTask(job.mapTasks, now, c.cfg.TaskTimeout, args.WorkerID); ok {
+		if id, ok := c.claimTaskLocked(job.mapTasks, now, args.WorkerID); ok {
+			fill(TaskMap, id)
+			return nil
+		}
+		if id, ok := c.claimSpeculativeLocked(job.mapTasks, now, args.WorkerID); ok {
 			fill(TaskMap, id)
 			return nil
 		}
@@ -318,7 +548,11 @@ func (r *coordinatorRPC) RequestTask(args *TaskRequest, reply *TaskReply) error 
 		return nil
 	}
 	if job.reducesLeft > 0 {
-		if id, ok := claimTask(job.reduceTasks, now, c.cfg.TaskTimeout, args.WorkerID); ok {
+		if id, ok := c.claimTaskLocked(job.reduceTasks, now, args.WorkerID); ok {
+			fill(TaskReduce, id)
+			return nil
+		}
+		if id, ok := c.claimSpeculativeLocked(job.reduceTasks, now, args.WorkerID); ok {
 			fill(TaskReduce, id)
 			return nil
 		}
@@ -329,29 +563,29 @@ func (r *coordinatorRPC) RequestTask(args *TaskRequest, reply *TaskReply) error 
 	return nil
 }
 
-// claimTask finds an idle or lease-expired task and assigns it.
-func claimTask(tasks []taskInfo, now time.Time, timeout time.Duration, worker string) (int, bool) {
-	for i := range tasks {
-		t := &tasks[i]
-		if t.state == taskIdle || (t.state == taskInProgress && now.Sub(t.started) > timeout) {
-			t.state = taskInProgress
-			t.started = now
-			t.worker = worker
-			return i, true
-		}
-	}
-	return 0, false
+// Heartbeat records worker liveness; a worker that stops heartbeating past
+// HeartbeatTimeout has its leases evicted without waiting out the lease.
+func (r *coordinatorRPC) Heartbeat(args *HeartbeatPing, reply *HeartbeatAck) error {
+	c := r.c
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touchLocked(args.WorkerID, time.Now())
+	reply.Closed = c.closed
+	return nil
 }
 
-// ReportTask records a worker's task completion. Reports for stale jobs or
-// already-completed tasks are ignored (a re-executed task may finish twice;
-// atomic file renames make that harmless).
+// ReportTask records a worker's task completion. Reports for stale jobs,
+// unknown tasks, or already-completed tasks are absorbed without failing the
+// coordinator (a re-executed, duplicated, or reordered report may arrive any
+// time; atomic file renames make the data side harmless).
 func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
 	c := r.c
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.touchLocked(args.WorkerID, time.Now())
 	job := c.job
 	if job == nil || job.id != args.JobID {
+		c.stats.StaleReports++
 		return nil
 	}
 	var tasks []taskInfo
@@ -362,9 +596,11 @@ func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
 	case TaskReduce:
 		tasks, left = job.reduceTasks, &job.reducesLeft
 	default:
+		c.stats.StaleReports++
 		return fmt.Errorf("cluster: report for %v task", args.Kind)
 	}
 	if args.TaskID < 0 || args.TaskID >= len(tasks) {
+		c.stats.StaleReports++
 		return fmt.Errorf("cluster: report for unknown task %d", args.TaskID)
 	}
 	if args.Err != "" {
@@ -378,7 +614,12 @@ func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
 	}
 	t := &tasks[args.TaskID]
 	if t.state == taskCompleted {
+		c.stats.StaleReports++
 		return nil
+	}
+	if t.state == taskInProgress && t.specWorker != "" &&
+		args.WorkerID == t.specWorker && args.WorkerID != t.worker {
+		c.stats.SpeculativeWins++
 	}
 	t.state = taskCompleted
 	*left--

@@ -57,3 +57,25 @@ func TestRunJobCancellationIsContextError(t *testing.T) {
 		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
 	}
 }
+
+// TestPoolCollapseIsErrNoWorkers: worker-pool collapse must be classifiable
+// so the executor's graceful-degradation path (and operators) can tell it
+// apart from broken job code.
+func TestPoolCollapseIsErrNoWorkers(t *testing.T) {
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Dir:         t.TempDir(),
+		TaskTimeout: 200 * time.Millisecond,
+		PoolTimeout: 50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer coord.Close()
+	_, err = coord.RunJob(context.Background(), wcSpec(), wordLines([]string{"a"}))
+	if !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("errors.Is(err, ErrNoWorkers) = false for %v", err)
+	}
+	if errors.Is(err, ErrTaskFailed) || errors.Is(err, ErrCoordinatorClosed) {
+		t.Errorf("error misclassified: %v", err)
+	}
+}

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -21,8 +22,14 @@ type Executor struct {
 	coord    *Coordinator
 	registry *Registry
 
-	mu  sync.Mutex
-	seq int
+	// Fallback, when non-nil, re-runs a job in-process after the cluster
+	// fails it with ErrNoWorkers — graceful degradation to the serial path
+	// when the worker pool collapses. Other job errors still surface.
+	Fallback mapreduce.Executor
+
+	mu        sync.Mutex
+	seq       int
+	fallbacks int64
 }
 
 var _ mapreduce.Executor = (*Executor)(nil)
@@ -67,5 +74,23 @@ func (e *Executor) Run(ctx context.Context, job *mapreduce.Job) (*mapreduce.Resu
 			return nil, err
 		}
 	}
-	return e.coord.RunJob(ctx, spec, job.Input)
+	res, err := e.coord.RunJob(ctx, spec, job.Input)
+	if err != nil && e.Fallback != nil && errors.Is(err, ErrNoWorkers) {
+		e.mu.Lock()
+		e.fallbacks++
+		e.mu.Unlock()
+		return e.Fallback.Run(ctx, job)
+	}
+	return res, err
+}
+
+// Stats reports the underlying coordinator's fault-recovery totals.
+func (e *Executor) Stats() Stats { return e.coord.Stats() }
+
+// Fallbacks reports how many jobs were re-run on the Fallback executor after
+// the worker pool collapsed.
+func (e *Executor) Fallbacks() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fallbacks
 }

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"reflect"
@@ -19,6 +20,7 @@ import (
 // one registry, returning the adapted Executor.
 func startExecutorCluster(t *testing.T, nWorkers int) *Executor {
 	t.Helper()
+	mrtest.CheckGoroutines(t)
 	dir := t.TempDir()
 	coord, err := NewCoordinator(CoordinatorConfig{Dir: dir, TaskTimeout: time.Minute})
 	if err != nil {
@@ -138,4 +140,73 @@ func TestExecutorValidation(t *testing.T) {
 func TestClusterExecutorConformance(t *testing.T) {
 	exec := startExecutorCluster(t, 3)
 	mrtest.Conformance(t, exec)
+}
+
+func TestExecutorFallbackOnPoolCollapse(t *testing.T) {
+	// A coordinator with collapse detection and zero workers: the executor
+	// must degrade to the in-process fallback and still produce the serial
+	// answer.
+	mrtest.CheckGoroutines(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Dir:         t.TempDir(),
+		TaskTimeout: 200 * time.Millisecond,
+		PoolTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(lis)
+	defer coord.Close()
+	exec, err := NewExecutor(coord, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.Fallback = mapreduce.SerialExecutor{}
+	lines := []string{"f g f", "g"}
+	serial, err := mapreduce.SerialExecutor{}.Run(context.Background(), executorWordCountJob(lines))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := exec.Run(context.Background(), executorWordCountJob(lines))
+	if err != nil {
+		t.Fatalf("fallback should have absorbed the collapse: %v", err)
+	}
+	if !reflect.DeepEqual(res.Output, serial.Output) {
+		t.Errorf("fallback output differs:\n%v\n%v", res.Output, serial.Output)
+	}
+	if got := exec.Fallbacks(); got != 1 {
+		t.Errorf("Fallbacks() = %d, want 1", got)
+	}
+}
+
+func TestExecutorNoFallbackSurfacesErrNoWorkers(t *testing.T) {
+	mrtest.CheckGoroutines(t)
+	coord, err := NewCoordinator(CoordinatorConfig{
+		Dir:         t.TempDir(),
+		TaskTimeout: 200 * time.Millisecond,
+		PoolTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord.Serve(lis)
+	defer coord.Close()
+	exec, err := NewExecutor(coord, NewRegistry())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := exec.Run(context.Background(), executorWordCountJob([]string{"a"})); !errors.Is(err, ErrNoWorkers) {
+		t.Errorf("err = %v, want ErrNoWorkers", err)
+	}
+	if got := exec.Fallbacks(); got != 0 {
+		t.Errorf("Fallbacks() = %d, want 0", got)
+	}
 }

@@ -1,0 +1,41 @@
+package cluster
+
+// Stats counts the coordinator's fault-recovery actions since creation. The
+// counters accumulate across jobs; Coordinator.Stats returns a copy.
+type Stats struct {
+	// Retries counts task claims beyond a task's first attempt — work
+	// re-executed after a crash, stall, or lost report.
+	Retries int64
+	// Evictions counts in-progress leases revoked because the assigned
+	// worker went silent past the heartbeat timeout or overran its lease.
+	Evictions int64
+	// SpeculativeDispatches counts straggler tasks handed to a second worker
+	// while the first was still running.
+	SpeculativeDispatches int64
+	// SpeculativeWins counts tasks whose speculative copy reported first.
+	SpeculativeWins int64
+	// StaleReports counts reports for already-completed tasks or finished
+	// jobs — the duplicate/reordered deliveries the coordinator must absorb.
+	StaleReports int64
+	// DeadWorkers counts workers declared dead by heartbeat timeout.
+	DeadWorkers int64
+}
+
+// Add returns the field-wise sum of two stat snapshots, for aggregating
+// across schedules or coordinators.
+func (s Stats) Add(o Stats) Stats {
+	s.Retries += o.Retries
+	s.Evictions += o.Evictions
+	s.SpeculativeDispatches += o.SpeculativeDispatches
+	s.SpeculativeWins += o.SpeculativeWins
+	s.StaleReports += o.StaleReports
+	s.DeadWorkers += o.DeadWorkers
+	return s
+}
+
+// Stats snapshots the coordinator's fault-recovery counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}

@@ -51,13 +51,17 @@ func (c *Coordinator) Status() JobStatus {
 	now := time.Now()
 	count := func(tasks []taskInfo, done, running *int) {
 		for i := range tasks {
-			switch tasks[i].state {
+			t := &tasks[i]
+			switch t.state {
 			case taskCompleted:
 				*done++
 			case taskInProgress:
-				if now.Sub(tasks[i].started) <= c.cfg.TaskTimeout {
+				if now.Sub(t.started) <= c.cfg.TaskTimeout {
 					*running++
-					workers[tasks[i].worker] = true
+					workers[t.worker] = true
+				}
+				if t.specWorker != "" && now.Sub(t.specStarted) <= c.cfg.TaskTimeout {
+					workers[t.specWorker] = true
 				}
 			}
 		}

@@ -4,10 +4,14 @@ import (
 	"context"
 	"fmt"
 	"net/rpc"
+	"sync"
 	"time"
 
 	"evmatching/internal/mapreduce"
 )
+
+// DefaultHeartbeatInterval is the gap between worker liveness pings.
+const DefaultHeartbeatInterval = 250 * time.Millisecond
 
 // WorkerConfig parameterizes a worker process.
 type WorkerConfig struct {
@@ -20,10 +24,17 @@ type WorkerConfig struct {
 	// PollInterval is the sleep between requests when told to wait; 0 means
 	// 20ms.
 	PollInterval time.Duration
+	// HeartbeatInterval is the gap between liveness pings to the
+	// coordinator; 0 means DefaultHeartbeatInterval, negative disables
+	// heartbeats (liveness is then inferred from task traffic alone).
+	HeartbeatInterval time.Duration
 	// CrashAfter, when positive, makes the worker silently stop before
 	// reporting its Nth task — the failure-injection hook used to test
 	// lease-based task re-execution.
 	CrashAfter int
+	// Faults, when non-nil, injects per-task and per-heartbeat misbehaviour
+	// (see FaultPlan); package chaos provides the seeded implementation.
+	Faults FaultPlan
 }
 
 // Worker pulls tasks from a coordinator and executes them.
@@ -44,6 +55,9 @@ func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 	if cfg.PollInterval <= 0 {
 		cfg.PollInterval = 20 * time.Millisecond
 	}
+	if cfg.HeartbeatInterval == 0 {
+		cfg.HeartbeatInterval = DefaultHeartbeatInterval
+	}
 	client, err := rpc.Dial("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", addr, err)
@@ -52,10 +66,22 @@ func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 }
 
 // Run processes tasks until the coordinator says exit, the context is done,
-// or the injected crash point is reached (in which case it returns nil,
-// simulating a silent machine loss).
+// or an injected crash point is reached (in which case it returns nil,
+// simulating a silent machine loss). A background loop heartbeats the
+// coordinator so dead workers are detected faster than the task lease.
 func (w *Worker) Run(ctx context.Context) error {
-	defer w.client.Close()
+	defer w.client.Close() // deferred first: runs last, after the heartbeat loop exits
+	if w.cfg.HeartbeatInterval > 0 {
+		stop := make(chan struct{})
+		var hb sync.WaitGroup
+		defer hb.Wait()
+		defer close(stop)
+		hb.Add(1)
+		go func() {
+			defer hb.Done()
+			w.heartbeatLoop(stop)
+		}()
+	}
 	for {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -79,13 +105,66 @@ func (w *Worker) Run(ctx context.Context) error {
 			if w.cfg.CrashAfter > 0 && w.tasks >= w.cfg.CrashAfter {
 				return nil // vanish without reporting: the lease recovers it
 			}
+			var fault TaskFault
+			if w.cfg.Faults != nil {
+				fault = w.cfg.Faults.TaskFault(w.cfg.ID, reply.JobID, reply.Kind, reply.TaskID)
+			}
+			if fault.CrashBeforeExecute {
+				return nil // claimed but never worked: eviction recovers it
+			}
 			report := w.execute(&reply)
-			var ack TaskAck
-			if err := w.client.Call(RPCServiceName+".ReportTask", report, &ack); err != nil {
-				return fmt.Errorf("cluster: worker %s report: %w", w.cfg.ID, err)
+			if fault.CrashBeforeReport {
+				return nil // output files written; re-execution is idempotent
+			}
+			if fault.StallBeforeReport > 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				case <-time.After(fault.StallBeforeReport):
+				}
+			}
+			if fault.DropReport {
+				continue // result lost in transit; stay alive and keep pulling
+			}
+			deliveries := 1
+			if fault.DuplicateReport {
+				deliveries = 2
+			}
+			for i := 0; i < deliveries; i++ {
+				var ack TaskAck
+				if err := w.client.Call(RPCServiceName+".ReportTask", report, &ack); err != nil {
+					return fmt.Errorf("cluster: worker %s report: %w", w.cfg.ID, err)
+				}
 			}
 		default:
 			return fmt.Errorf("cluster: worker %s: unknown task kind %v", w.cfg.ID, reply.Kind)
+		}
+	}
+}
+
+// heartbeatLoop pings the coordinator until stop closes or the coordinator
+// reports itself closed. RPC errors end the loop quietly: the main task loop
+// surfaces connection failures on its own.
+func (w *Worker) heartbeatLoop(stop <-chan struct{}) {
+	ticker := time.NewTicker(w.cfg.HeartbeatInterval)
+	defer ticker.Stop()
+	seq := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-ticker.C:
+		}
+		seq++
+		if w.cfg.Faults != nil && w.cfg.Faults.DropHeartbeat(w.cfg.ID, seq) {
+			continue
+		}
+		var ack HeartbeatAck
+		if err := w.client.Call(RPCServiceName+".Heartbeat", &HeartbeatPing{WorkerID: w.cfg.ID, Seq: seq}, &ack); err != nil {
+			return
+		}
+		if ack.Closed {
+			return
 		}
 	}
 }

@@ -11,12 +11,14 @@ import (
 
 	"evmatching/internal/cluster"
 	"evmatching/internal/dataset"
+	"evmatching/internal/mrtest"
 )
 
 // startCluster boots a coordinator with in-process workers over real
 // localhost RPC and returns the adapted executor.
 func startCluster(t *testing.T, nWorkers int) *cluster.Executor {
 	t.Helper()
+	mrtest.CheckGoroutines(t)
 	dir := t.TempDir()
 	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Dir: dir, TaskTimeout: time.Minute})
 	if err != nil {

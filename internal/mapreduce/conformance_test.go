@@ -1,8 +1,18 @@
 package mapreduce_test
 
 import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"reflect"
+	"sync"
 	"testing"
+	"time"
 
+	"evmatching/internal/cluster"
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
 	"evmatching/internal/mapreduce"
 	"evmatching/internal/mrtest"
 )
@@ -13,8 +23,194 @@ func TestSerialExecutorConformance(t *testing.T) {
 
 func TestParallelExecutorConformance(t *testing.T) {
 	for _, workers := range []int{1, 3, 8} {
-		t.Run("workers="+string(rune('0'+workers)), func(t *testing.T) {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
 			mrtest.Conformance(t, mapreduce.ParallelExecutor{Workers: workers})
 		})
+	}
+}
+
+// startClusterExecutor boots a coordinator with in-process workers over real
+// localhost RPC and returns the adapted executor. This test package sits
+// outside the import cycle, so it can exercise the distributed executor
+// against the same conformance contract as the in-process ones.
+func startClusterExecutor(t *testing.T, nWorkers int) *cluster.Executor {
+	t.Helper()
+	mrtest.CheckGoroutines(t)
+	dir := t.TempDir()
+	coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{Dir: dir, TaskTimeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := coord.Serve(lis)
+	reg := cluster.NewRegistry()
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < nWorkers; i++ {
+		w, err := cluster.NewWorker(addr, cluster.WorkerConfig{
+			ID:       fmt.Sprintf("conf-w%d", i),
+			Dir:      dir,
+			Registry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = w.Run(ctx)
+		}()
+	}
+	t.Cleanup(func() {
+		_ = coord.Close()
+		cancel()
+		wg.Wait()
+	})
+	exec, err := cluster.NewExecutor(coord, reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exec
+}
+
+func TestClusterExecutorConformance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cluster conformance skipped in -short")
+	}
+	mrtest.Conformance(t, startClusterExecutor(t, 3))
+}
+
+// randomJob builds a seeded random word-count job: random line count, random
+// vocabulary, random words per line, random reducer count, and occasionally
+// no reducer at all (map+shuffle only). Rebuilding from the same rng state
+// yields the same job, so each executor sees an identical input.
+func randomJob(rng *rand.Rand) *mapreduce.Job {
+	fns := mrtest.StandardFuncs()
+	vocab := rng.Intn(15) + 1
+	lines := make([]string, rng.Intn(30))
+	for i := range lines {
+		words := make([]byte, 0, 16)
+		for w, n := 0, rng.Intn(9); w < n; w++ {
+			if w > 0 {
+				words = append(words, ' ')
+			}
+			words = append(words, byte('a'+rng.Intn(vocab)))
+		}
+		lines[i] = string(words)
+	}
+	input := make([]mapreduce.KeyValue, len(lines))
+	for i, l := range lines {
+		input[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%d", i), Value: l}
+	}
+	job := &mapreduce.Job{
+		Name:        "prop-wc",
+		Input:       input,
+		Map:         fns.WordCountMap,
+		Reduce:      fns.SumReduce,
+		NumReducers: rng.Intn(7),
+	}
+	if rng.Intn(5) == 0 {
+		job.Reduce = nil
+	}
+	return job
+}
+
+// TestExecutorPropertyRandomJobs is the property half of the conformance
+// suite at the engine level: for seeded random jobs, every executor — serial,
+// parallel at several widths, and the distributed cluster — must produce
+// output identical to the serial reference.
+func TestExecutorPropertyRandomJobs(t *testing.T) {
+	iters := 12
+	if testing.Short() {
+		iters = 4
+	}
+	clusterExec := startClusterExecutor(t, 3)
+	execs := map[string]mapreduce.Executor{
+		"parallel-1": mapreduce.ParallelExecutor{Workers: 1},
+		"parallel-3": mapreduce.ParallelExecutor{Workers: 3},
+		"parallel-8": mapreduce.ParallelExecutor{Workers: 8},
+		"cluster":    clusterExec,
+	}
+	ctx := context.Background()
+	for seed := int64(1); seed <= int64(iters); seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			want, err := mapreduce.SerialExecutor{}.Run(ctx, randomJob(rand.New(rand.NewSource(seed))))
+			if err != nil {
+				t.Fatalf("serial reference: %v", err)
+			}
+			for name, exec := range execs {
+				name, exec := name, exec
+				if testing.Short() && name == "cluster" {
+					continue
+				}
+				got, err := exec.Run(ctx, randomJob(rand.New(rand.NewSource(seed))))
+				if err != nil {
+					t.Fatalf("%s: %v", name, err)
+				}
+				if !reflect.DeepEqual(got.Output, want.Output) {
+					t.Errorf("%s output differs from serial reference:\ngot  %v\nwant %v", name, got.Output, want.Output)
+				}
+			}
+		})
+	}
+}
+
+// matchFingerprint runs the full EV-Matching pipeline over ds with the given
+// executor and returns the report fingerprint.
+func matchFingerprint(t *testing.T, ds *dataset.Dataset, exec mapreduce.Executor) string {
+	t.Helper()
+	m, err := core.New(ds, core.Options{Mode: core.ModeParallel, Executor: exec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.MatchAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep.Fingerprint()
+}
+
+// TestPipelineFingerprintAcrossExecutors is the property suite at the
+// pipeline level: for seeded random worlds — ideal single-tick zones and the
+// practical vague-zone setting — the complete matching pipeline must produce
+// byte-identical Report fingerprints no matter which executor carries it.
+func TestPipelineFingerprintAcrossExecutors(t *testing.T) {
+	if testing.Short() {
+		t.Skip("pipeline property suite skipped in -short")
+	}
+	seeds := []int64{2, 11, 29}
+	for _, seed := range seeds {
+		seed := seed
+		for _, practical := range []bool{false, true} {
+			practical := practical
+			name := fmt.Sprintf("seed=%d/practical=%v", seed, practical)
+			t.Run(name, func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				cfg := dataset.DefaultConfig()
+				if practical {
+					cfg = cfg.Practical()
+				}
+				cfg.Seed = seed
+				cfg.NumPersons = 16 + rng.Intn(17)
+				cfg.Density = 4 + float64(rng.Intn(5))
+				cfg.NumWindows = 6 + rng.Intn(7)
+				ds, err := dataset.Generate(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				want := matchFingerprint(t, ds, mapreduce.SerialExecutor{})
+				if got := matchFingerprint(t, ds, mapreduce.ParallelExecutor{Workers: 3}); got != want {
+					t.Errorf("parallel fingerprint differs from serial:\ngot  %q\nwant %q", got, want)
+				}
+				if got := matchFingerprint(t, ds, startClusterExecutor(t, 3)); got != want {
+					t.Errorf("cluster fingerprint differs from serial:\ngot  %q\nwant %q", got, want)
+				}
+			})
+		}
 	}
 }

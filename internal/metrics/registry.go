@@ -1,0 +1,77 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+)
+
+// Registry is a concurrency-safe named-counter store — the process-wide
+// home for operational counters like the cluster's fault-recovery totals,
+// snapshot-able for the server's /metricsz endpoint.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]int64
+}
+
+// NewRegistry creates an empty counter registry.
+func NewRegistry() *Registry {
+	return &Registry{counters: make(map[string]int64)}
+}
+
+// Add increments the named counter by delta (which may be negative).
+func (r *Registry) Add(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Set overwrites the named counter.
+func (r *Registry) Set(name string, value int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] = value
+}
+
+// Get returns the named counter (0 when never touched).
+func (r *Registry) Get(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Names returns the registered counter names in sorted order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.counters))
+	//evlint:ignore maprange collect-then-sort: names are sorted before use
+	for name := range r.counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Snapshot returns a copy of every counter, suitable for serving.
+func (r *Registry) Snapshot() map[string]int64 {
+	names := r.Names()
+	out := make(map[string]int64, len(names))
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range names {
+		out[name] = r.counters[name]
+	}
+	return out
+}
+
+// Fprint writes "name value" lines in sorted name order.
+func (r *Registry) Fprint(w io.Writer) error {
+	for _, name := range r.Names() {
+		if _, err := fmt.Fprintf(w, "%s %d\n", name, r.Get(name)); err != nil {
+			return err
+		}
+	}
+	return nil
+}

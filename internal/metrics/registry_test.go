@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestRegistryAddSetGet(t *testing.T) {
+	r := NewRegistry()
+	if got := r.Get("absent"); got != 0 {
+		t.Errorf("Get(absent) = %d, want 0", got)
+	}
+	r.Add("a", 2)
+	r.Add("a", 3)
+	if got := r.Get("a"); got != 5 {
+		t.Errorf("Get(a) = %d, want 5", got)
+	}
+	r.Add("a", -1)
+	if got := r.Get("a"); got != 4 {
+		t.Errorf("Get(a) after -1 = %d, want 4", got)
+	}
+	r.Set("a", 10)
+	if got := r.Get("a"); got != 10 {
+		t.Errorf("Get(a) after Set = %d, want 10", got)
+	}
+}
+
+func TestRegistryNamesSorted(t *testing.T) {
+	r := NewRegistry()
+	for _, n := range []string{"zeta", "alpha", "mid"} {
+		r.Add(n, 1)
+	}
+	names := r.Names()
+	want := []string{"alpha", "mid", "zeta"}
+	if len(names) != len(want) {
+		t.Fatalf("Names() = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestRegistrySnapshotIsCopy(t *testing.T) {
+	r := NewRegistry()
+	r.Add("x", 7)
+	snap := r.Snapshot()
+	snap["x"] = 99
+	snap["injected"] = 1
+	if got := r.Get("x"); got != 7 {
+		t.Errorf("mutating a snapshot changed the registry: x = %d", got)
+	}
+	if got := r.Get("injected"); got != 0 {
+		t.Errorf("mutating a snapshot changed the registry: injected = %d", got)
+	}
+}
+
+func TestRegistryFprint(t *testing.T) {
+	r := NewRegistry()
+	r.Add("b.two", 2)
+	r.Add("a.one", 1)
+	var sb strings.Builder
+	if err := r.Fprint(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := "a.one 1\nb.two 2\n"
+	if sb.String() != want {
+		t.Errorf("Fprint = %q, want %q", sb.String(), want)
+	}
+}
+
+func TestRegistryConcurrentAdds(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				r.Add("shared", 1)
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Get("shared"); got != 800 {
+		t.Errorf("shared = %d, want 800", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"evmatching/internal/ids"
 	"evmatching/internal/mapreduce"
@@ -223,19 +224,14 @@ func MatchAssignments(ctx context.Context, exec mapreduce.Executor, f *vfilter.F
 		byEID[a.EID] = a
 		input[i] = mapreduce.KeyValue{Key: string(a.EID), Value: ""}
 	}
+	// Results travel through a mutex-guarded side map rather than a channel:
+	// a fault-tolerant cluster may re-execute or speculatively duplicate a
+	// map task, and a straggling attempt can still be running when the job
+	// completes. Map writes are idempotent (Match is deterministic per
+	// assignment), and the guarded copy below means a late write can never
+	// panic or race — it lands in the abandoned map.
+	var resMu sync.Mutex
 	results := make(map[ids.EID]vfilter.Result, len(assignments))
-	type keyed struct {
-		eid ids.EID
-		res vfilter.Result
-	}
-	resCh := make(chan keyed, 1)
-	done := make(chan struct{})
-	go func() {
-		defer close(done)
-		for kr := range resCh {
-			results[kr.eid] = kr.res
-		}
-	}()
 	job := &mapreduce.Job{
 		Name:  "ev.vstage.compare",
 		Input: input,
@@ -248,16 +244,23 @@ func MatchAssignments(ctx context.Context, exec mapreduce.Executor, f *vfilter.F
 			if err != nil {
 				return err
 			}
-			resCh <- keyed{eid: a.EID, res: res}
+			resMu.Lock()
+			results[a.EID] = res
+			resMu.Unlock()
 			emit(mapreduce.KeyValue{Key: in.Key, Value: string(res.VID)})
 			return nil
 		},
 	}
-	_, err := exec.Run(ctx, job)
-	close(resCh)
-	<-done
-	if err != nil {
+	if _, err := exec.Run(ctx, job); err != nil {
 		return nil, fmt.Errorf("mrjobs: compare: %w", err)
 	}
-	return results, nil
+	resMu.Lock()
+	defer resMu.Unlock()
+	out := make(map[ids.EID]vfilter.Result, len(results))
+	for e := range byEID { //evlint:ignore maprange reads a keyed result per known assignment; no ordered iteration
+		if res, ok := results[e]; ok {
+			out[e] = res
+		}
+	}
+	return out, nil
 }

@@ -7,6 +7,7 @@
 //	GET /reverse?vid=<vid>             the VID's matched EID
 //	GET /trajectory?eid=<eid>          the fused E+V trajectory
 //	GET /whowasat?cell=<id>&window=<w> everyone observed there, both identities
+//	GET /metricsz                      operational counters (with WithMetrics)
 //
 // The server is read-only over an immutable dataset and index, so every
 // handler is safe for concurrent use.
@@ -27,23 +28,46 @@ import (
 
 // Server serves fusion queries over one dataset.
 type Server struct {
-	ds  *dataset.Dataset
-	idx *fusion.Index
-	mux *http.ServeMux
+	ds      *dataset.Dataset
+	idx     *fusion.Index
+	mux     *http.ServeMux
+	metrics func() map[string]int64
+}
+
+// Option customizes a Server.
+type Option func(*Server)
+
+// WithMetrics exposes the snapshot function's counters at GET /metricsz —
+// typically metrics.(*Registry).Snapshot, carrying the cluster's
+// fault-recovery totals when evserve runs in cluster mode.
+func WithMetrics(snapshot func() map[string]int64) Option {
+	return func(s *Server) { s.metrics = snapshot }
 }
 
 // New creates a server over a dataset and its matching index.
-func New(ds *dataset.Dataset, idx *fusion.Index) (*Server, error) {
+func New(ds *dataset.Dataset, idx *fusion.Index, opts ...Option) (*Server, error) {
 	if ds == nil || idx == nil {
 		return nil, errors.New("server: nil dataset or index")
 	}
 	s := &Server{ds: ds, idx: idx, mux: http.NewServeMux()}
+	for _, opt := range opts {
+		opt(s)
+	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /match", s.handleMatch)
 	s.mux.HandleFunc("GET /reverse", s.handleReverse)
 	s.mux.HandleFunc("GET /trajectory", s.handleTrajectory)
 	s.mux.HandleFunc("GET /whowasat", s.handleWhoWasAt)
+	if s.metrics != nil {
+		s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	}
 	return s, nil
+}
+
+// handleMetrics serves the operational counters; encoding/json renders map
+// keys in sorted order, so the body is deterministic for a given snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.metrics())
 }
 
 // ServeHTTP implements http.Handler.

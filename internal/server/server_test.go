@@ -11,11 +11,22 @@ import (
 	"evmatching/internal/core"
 	"evmatching/internal/dataset"
 	"evmatching/internal/fusion"
+	"evmatching/internal/metrics"
+	"evmatching/internal/mrtest"
 )
 
-// newTestServer matches a small world universally and serves it.
-func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *fusion.Index) {
+// checkLeaks arms the goroutine-leak checker and makes sure the shared HTTP
+// client's keep-alive connections are torn down before the check runs.
+func checkLeaks(t *testing.T) {
 	t.Helper()
+	mrtest.CheckGoroutines(t)
+	t.Cleanup(http.DefaultClient.CloseIdleConnections)
+}
+
+// newTestServer matches a small world universally and serves it.
+func newTestServer(t *testing.T, opts ...Option) (*httptest.Server, *dataset.Dataset, *fusion.Index) {
+	t.Helper()
+	checkLeaks(t)
 	cfg := dataset.DefaultConfig()
 	cfg.NumPersons = 60
 	cfg.Density = 10
@@ -36,7 +47,7 @@ func newTestServer(t *testing.T) (*httptest.Server, *dataset.Dataset, *fusion.In
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(ds, idx)
+	srv, err := New(ds, idx, opts...)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,8 +74,40 @@ func getJSON(t *testing.T, url string, out any) int {
 }
 
 func TestNewValidation(t *testing.T) {
+	checkLeaks(t)
 	if _, err := New(nil, nil); err == nil {
 		t.Error("want error for nil inputs")
+	}
+}
+
+func TestMetricszEndpoint(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Add("cluster.retries", 3)
+	reg.Add("cluster.speculative_wins", 1)
+	ts, _, _ := newTestServer(t, WithMetrics(reg.Snapshot))
+
+	var body map[string]int64
+	if code := getJSON(t, ts.URL+"/metricsz", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["cluster.retries"] != 3 || body["cluster.speculative_wins"] != 1 {
+		t.Errorf("metrics body = %v", body)
+	}
+
+	// Counters bumped after the server was built show up: the snapshot is live.
+	reg.Add("cluster.retries", 2)
+	if code := getJSON(t, ts.URL+"/metricsz", &body); code != http.StatusOK {
+		t.Fatalf("status = %d", code)
+	}
+	if body["cluster.retries"] != 5 {
+		t.Errorf("retries = %d after bump, want 5", body["cluster.retries"])
+	}
+}
+
+func TestMetricszAbsentWithoutOption(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	if code := getJSON(t, ts.URL+"/metricsz", nil); code != http.StatusNotFound {
+		t.Errorf("unconfigured /metricsz status = %d, want 404", code)
 	}
 }
 
