@@ -1,0 +1,182 @@
+// Command benchdiff compares two `go test -bench` outputs and fails when a
+// benchmark's time/op regresses beyond a threshold — a dependency-free
+// stand-in for benchstat, so CI can gate performance without fetching tools.
+//
+// Usage:
+//
+//	benchdiff [-threshold 20] old.txt new.txt
+//
+// Both files hold standard `go test -bench` output (run with -count N for a
+// stable median; -benchmem adds the allocs/op column, reported but not
+// gated). Benchmarks present in only one file are listed and skipped:
+// additions and removals are not regressions. The exit status is 1 when any
+// shared benchmark's median time/op grew by more than threshold percent.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	threshold := fs.Float64("threshold", 20, "maximum allowed time/op regression in percent")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 2 {
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] old.txt new.txt")
+		return 2
+	}
+	old, err := parseFile(fs.Arg(0))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+	new_, err := parseFile(fs.Arg(1))
+	if err != nil {
+		fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+		return 2
+	}
+
+	names := make([]string, 0, len(old))
+	for name := range old {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	regressions := 0
+	fmt.Fprintf(stdout, "%-32s %14s %14s %8s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op old→new")
+	for _, name := range names {
+		o := old[name]
+		n, ok := new_[name]
+		if !ok {
+			fmt.Fprintf(stdout, "%-32s %14s %14s %8s (removed; not gated)\n", name, format(median(o.ns)), "-", "-")
+			continue
+		}
+		oldNs, newNs := median(o.ns), median(n.ns)
+		delta := (newNs - oldNs) / oldNs * 100
+		mark := ""
+		if delta > *threshold {
+			mark = "  REGRESSION"
+			regressions++
+		}
+		allocs := "-"
+		if len(o.allocs) > 0 && len(n.allocs) > 0 {
+			allocs = fmt.Sprintf("%.0f→%.0f", median(o.allocs), median(n.allocs))
+		}
+		fmt.Fprintf(stdout, "%-32s %14s %14s %+7.1f%% %18s%s\n", name, format(oldNs), format(newNs), delta, allocs, mark)
+	}
+	for name := range new_ {
+		if _, ok := old[name]; !ok {
+			fmt.Fprintf(stdout, "%-32s %14s %14s %8s (new; not gated)\n", name, "-", format(median(new_[name].ns)), "-")
+		}
+	}
+	if regressions > 0 {
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% on time/op\n", regressions, *threshold)
+		return 1
+	}
+	return 0
+}
+
+// samples collects one benchmark's repeated measurements.
+type samples struct {
+	ns     []float64
+	allocs []float64
+}
+
+func parseFile(path string) (map[string]*samples, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out, err := parse(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("%s: no benchmark lines found", path)
+	}
+	return out, nil
+}
+
+// parse reads `go test -bench` output: one line per run, of the form
+//
+//	BenchmarkName-8   100   5325768 ns/op   751428 B/op   2397 allocs/op
+//
+// possibly with extra "value unit" metric pairs. The -N GOMAXPROCS suffix is
+// stripped so runs from hosts with different core counts still align.
+func parse(r io.Reader) (map[string]*samples, error) {
+	out := make(map[string]*samples)
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		name := fields[0]
+		if i := strings.LastIndex(name, "-"); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i]
+			}
+		}
+		s := out[name]
+		if s == nil {
+			s = &samples{}
+			out[name] = s
+		}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q on line %q", fields[i], sc.Text())
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				s.ns = append(s.ns, val)
+			case "allocs/op":
+				s.allocs = append(s.allocs, val)
+			}
+		}
+	}
+	for name, s := range out {
+		if len(s.ns) == 0 {
+			return nil, fmt.Errorf("benchmark %s has no ns/op samples", name)
+		}
+	}
+	return out, sc.Err()
+}
+
+// median of a non-empty sample set; the mean of the middle pair for even
+// sizes, matching benchstat's center estimate closely enough for gating.
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+func format(ns float64) string {
+	switch {
+	case ns >= 1e6:
+		return fmt.Sprintf("%.0f", ns)
+	case ns >= 100:
+		return fmt.Sprintf("%.1f", ns)
+	default:
+		return fmt.Sprintf("%.2f", ns)
+	}
+}

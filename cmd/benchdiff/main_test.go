@@ -1,0 +1,94 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const oldOut = `goos: linux
+goarch: amd64
+BenchmarkSim-8            	30000000	        37.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSim-8            	30000000	        39.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSim-8            	30000000	        38.0 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFilterMatch-8    	    1000	   120000 ns/op	    5000 B/op	      40 allocs/op
+BenchmarkGone-8           	    1000	     1000 ns/op
+PASS
+`
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestParseMedianAndSuffixStripping(t *testing.T) {
+	got, err := parse(strings.NewReader(oldOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok := got["BenchmarkSim"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: keys %v", got)
+	}
+	if m := median(s.ns); m != 38.0 {
+		t.Errorf("median ns/op = %v, want 38", m)
+	}
+	if m := median(got["BenchmarkFilterMatch"].allocs); m != 40 {
+		t.Errorf("median allocs/op = %v, want 40", m)
+	}
+}
+
+func TestRunPassesWithinThreshold(t *testing.T) {
+	newOut := strings.ReplaceAll(oldOut, "   120000 ns/op", "   130000 ns/op")
+	oldPath := writeTemp(t, "old.txt", oldOut)
+	newPath := writeTemp(t, "new.txt", newOut)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-threshold", "20", oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d within threshold; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "BenchmarkFilterMatch") {
+		t.Errorf("table missing benchmark:\n%s", stdout.String())
+	}
+}
+
+func TestRunFailsOnRegression(t *testing.T) {
+	newOut := strings.ReplaceAll(oldOut, "   120000 ns/op", "   190000 ns/op")
+	oldPath := writeTemp(t, "old.txt", oldOut)
+	newPath := writeTemp(t, "new.txt", newOut)
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-threshold", "20", oldPath, newPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d for >20%% regression, want 1", code)
+	}
+	if !strings.Contains(stdout.String(), "REGRESSION") {
+		t.Errorf("table does not flag regression:\n%s", stdout.String())
+	}
+}
+
+func TestRemovedAndAddedBenchmarksNotGated(t *testing.T) {
+	// BenchmarkGone disappears, BenchmarkNew appears: neither is a failure.
+	newOut := strings.ReplaceAll(oldOut, "BenchmarkGone-8           	    1000	     1000 ns/op\n", "BenchmarkNew-8            	    1000	     1100 ns/op\n")
+	oldPath := writeTemp(t, "old.txt", oldOut)
+	newPath := writeTemp(t, "new.txt", newOut)
+	var stdout, stderr strings.Builder
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d, want 0; stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	if !strings.Contains(out, "removed; not gated") || !strings.Contains(out, "new; not gated") {
+		t.Errorf("missing removed/new annotations:\n%s", out)
+	}
+}
+
+func TestRunRejectsGarbage(t *testing.T) {
+	oldPath := writeTemp(t, "old.txt", "no benchmarks here\n")
+	newPath := writeTemp(t, "new.txt", oldOut)
+	var stdout, stderr strings.Builder
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for empty input, want 2", code)
+	}
+}

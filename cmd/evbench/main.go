@@ -4,9 +4,14 @@
 // Usage:
 //
 //	evbench [-quick] [-ablations] [-out results.txt] [-progress]
+//	evbench -json BENCH_baseline.json
 //
 // The default full-scale run mirrors the paper's setup (1000 human objects);
-// -quick runs the same sweeps on a 200-person world in seconds.
+// -quick runs the same sweeps on a 200-person world in seconds. -json runs
+// the machine-readable benchmark suite instead of the figure sweeps and
+// writes time/op, allocs/op, and the paper-shape metrics to the given file —
+// the format BENCH_baseline.json is committed in. -cpuprofile/-memprofile
+// capture pprof profiles of whichever mode runs.
 package main
 
 import (
@@ -15,8 +20,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"evmatching"
+	"evmatching/internal/benchsuite"
 	"evmatching/internal/experiments"
 )
 
@@ -37,12 +45,43 @@ func run(args []string) error {
 		format    = fs.String("format", "text", "output format: text, markdown, or csv")
 		plots     = fs.Bool("plots", false, "render ASCII line charts after each figure (text format)")
 		runs      = fs.Int("runs", 1, "average each measurement over this many matcher seeds")
+		jsonPath  = fs.String("json", "", "run the machine-readable benchmark suite and write it to this file")
+		cpuProf   = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = fs.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *format != "text" && *format != "markdown" && *format != "csv" {
 		return fmt.Errorf("unknown format %q", *format)
+	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("start cpu profile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "evbench: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // materialize the final live set before snapshotting
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "evbench: memprofile:", err)
+			}
+		}()
+	}
+	if *jsonPath != "" {
+		return runSuite(*jsonPath, *progress)
 	}
 	cfg := evmatching.PaperExperiments()
 	if *quick {
@@ -84,5 +123,27 @@ func run(args []string) error {
 			return err
 		}
 	}
+	return nil
+}
+
+// runSuite runs the benchsuite and writes the JSON baseline file.
+func runSuite(path string, progress bool) error {
+	var logw io.Writer
+	if progress {
+		logw = os.Stderr
+	}
+	suite, err := benchsuite.Run(logw)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := suite.WriteJSON(f); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d benchmark results to %s\n", len(suite.Results), path)
 	return nil
 }

@@ -1,0 +1,220 @@
+// Package benchsuite runs the repository's reference benchmarks through
+// testing.Benchmark and reports them as machine-readable results: time/op,
+// allocs/op, bytes/op, plus the paper-shape metrics (selected scenarios,
+// accuracy) for the end-to-end match workloads. cmd/evbench -json uses it to
+// produce BENCH_baseline.json, the file perf PRs are judged against.
+//
+// The end-to-end workloads mirror bench_test.go exactly (same dataset config,
+// same seeded target sample) so a suite result is directly comparable with
+// `go test -bench BenchmarkMatch` output.
+package benchsuite
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"sort"
+	"testing"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/feature"
+)
+
+// Result is one benchmark's measurement.
+type Result struct {
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"`
+}
+
+// File is the on-disk JSON shape of a baseline.
+type File struct {
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	NumCPU    int      `json:"num_cpu"`
+	Results   []Result `json:"results"`
+}
+
+type benchmark struct {
+	name string
+	fn   func(b *testing.B)
+}
+
+// matchBench mirrors bench_test.go's benchMatch: quick-scale 200-person
+// dataset, 80 seeded targets, matcher constructed inside the timed loop.
+func matchBench(alg core.Algorithm, mode core.Mode) func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := dataset.DefaultConfig()
+		cfg.NumPersons = 200
+		cfg.Density = 15
+		cfg.NumWindows = 32
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets := ds.SampleEIDs(80, rand.New(rand.NewSource(5)))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m, err := core.New(ds, core.Options{Algorithm: alg, Mode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep, err := m.Match(context.Background(), targets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(rep.SelectedScenarios), "selected")
+			b.ReportMetric(rep.Accuracy(ds.TruthVID)*100, "acc%")
+		}
+	}
+}
+
+func randomUnit(rng *rand.Rand, dim int) feature.Vector {
+	v := make(feature.Vector, dim)
+	for i := range v {
+		v[i] = rng.NormFloat64()
+	}
+	return v.Normalize()
+}
+
+func benchmarks() []benchmark {
+	return []benchmark{
+		{"MatchSSSerial", matchBench(core.AlgorithmSS, core.ModeSerial)},
+		{"MatchSSParallel", matchBench(core.AlgorithmSS, core.ModeParallel)},
+		{"MatchEDPSerial", matchBench(core.AlgorithmEDP, core.ModeSerial)},
+		{"Sim", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			x, y := randomUnit(rng, 64), randomUnit(rng, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := feature.Sim(x, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+		{"MaxSimMatrix", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			vs := make([]feature.Vector, 16)
+			for i := range vs {
+				vs[i] = randomUnit(rng, 64)
+			}
+			m, err := feature.MatrixFrom(vs)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rep := randomUnit(rng, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				feature.MaxSim(rep, m)
+			}
+		}},
+		{"MeanAccum", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			vs := make([]feature.Vector, 8)
+			for i := range vs {
+				vs[i] = randomUnit(rng, 64)
+			}
+			var acc feature.MeanAccum
+			dst := make(feature.Vector, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.Reset(64)
+				for _, v := range vs {
+					acc.Add(v)
+				}
+				acc.MeanInto(dst)
+			}
+		}},
+		{"Extract", func(b *testing.B) {
+			rng := rand.New(rand.NewSource(1))
+			patch := feature.EncodePatch(randomUnit(rng, 64), 1, rng)
+			ex := feature.Extractor{Dim: 64, WorkFactor: 4}
+			dst := make(feature.Vector, 64)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := ex.ExtractInto(patch, dst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}},
+	}
+}
+
+// Run executes every suite benchmark and returns the populated File.
+// Progress lines go to logw when non-nil.
+func Run(logw io.Writer) (*File, error) {
+	f := &File{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+	}
+	for _, bm := range benchmarks() {
+		if logw != nil {
+			fmt.Fprintf(logw, "bench %s...\n", bm.name)
+		}
+		r := testing.Benchmark(bm.fn)
+		if r.N == 0 {
+			return nil, fmt.Errorf("benchsuite: %s did not run (benchmark failed)", bm.name)
+		}
+		res := Result{
+			Name:        bm.name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Metrics = make(map[string]float64, len(r.Extra))
+			for k, v := range r.Extra {
+				res.Metrics[k] = v
+			}
+		}
+		f.Results = append(f.Results, res)
+		if logw != nil {
+			fmt.Fprintf(logw, "bench %s: %d iters, %.0f ns/op, %d allocs/op\n",
+				bm.name, res.Iterations, res.NsPerOp, res.AllocsPerOp)
+		}
+	}
+	sort.Slice(f.Results, func(i, j int) bool { return f.Results[i].Name < f.Results[j].Name })
+	return f, nil
+}
+
+// WriteJSON marshals the file with stable formatting.
+func (f *File) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ReadJSON parses a baseline file.
+func ReadJSON(r io.Reader) (*File, error) {
+	var f File
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, fmt.Errorf("benchsuite: parse baseline: %w", err)
+	}
+	return &f, nil
+}
+
+// Lookup returns the named result, or false.
+func (f *File) Lookup(name string) (Result, bool) {
+	for _, r := range f.Results {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Result{}, false
+}

@@ -1,0 +1,48 @@
+package benchsuite
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := &File{
+		GoVersion: "go1.24.0",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		NumCPU:    8,
+		Results: []Result{
+			{Name: "MatchSSSerial", Iterations: 120, NsPerOp: 1.01e7,
+				AllocsPerOp: 15702, BytesPerOp: 2745816,
+				Metrics: map[string]float64{"selected": 100, "acc%": 97.5}},
+			{Name: "Sim", Iterations: 1e6, NsPerOp: 35.3},
+		},
+	}
+	var buf bytes.Buffer
+	if err := in.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Results) != 2 || out.GoVersion != in.GoVersion {
+		t.Fatalf("round trip mangled file: %+v", out)
+	}
+	got, ok := out.Lookup("MatchSSSerial")
+	if !ok {
+		t.Fatal("Lookup(MatchSSSerial) missing")
+	}
+	if got.AllocsPerOp != 15702 || got.Metrics["acc%"] != 97.5 {
+		t.Errorf("Lookup returned %+v", got)
+	}
+	if _, ok := out.Lookup("Nope"); ok {
+		t.Error("Lookup(Nope) should miss")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(bytes.NewBufferString("{not json")); err == nil {
+		t.Error("want parse error")
+	}
+}

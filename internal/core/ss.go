@@ -165,21 +165,26 @@ func (m *Matcher) padToUnique(e ids.EID, list []scenario.ID, windows []int) []sc
 	// candidate is only eliminated by a scenario it is entirely absent from
 	// — a vague sighting still means "possibly there", so in the practical
 	// setting lists grow longer before trajectories become unique, exactly
-	// the slowdown Theorem 4.4 prices in.
-	var cands map[ids.EID]bool
+	// the slowdown Theorem 4.4 prices in. The set only shrinks, so it lives
+	// in one sorted slice filtered in place per scenario.
+	var cands []ids.EID
 	narrow := func(s *scenario.EScenario) {
 		if cands == nil {
-			cands = make(map[ids.EID]bool, s.Len())
-			for _, other := range s.SortedEIDs() {
-				cands[other] = true
-			}
+			cands = s.SortedEIDs()
 			return
 		}
-		for _, other := range ids.SortedEIDKeys(cands) {
-			if !s.Contains(other) {
-				delete(cands, other)
+		if len(cands) == 1 {
+			// Every listed scenario contains e, so the set can never shrink
+			// below {e}; once unique it stays unique.
+			return
+		}
+		kept := cands[:0]
+		for _, other := range cands {
+			if s.Contains(other) {
+				kept = append(kept, other)
 			}
 		}
+		cands = kept
 	}
 	for _, id := range out {
 		narrow(m.ds.Store.E(id))

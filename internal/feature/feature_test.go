@@ -256,6 +256,7 @@ func BenchmarkExtract(b *testing.B) {
 func BenchmarkSim(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x, y := randomUnit(rng, 64), randomUnit(rng, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := Sim(x, y); err != nil {

@@ -1,0 +1,172 @@
+package feature
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is a dense, row-major collection of equal-dimension feature vectors:
+// one contiguous []float64 instead of a slice of slices. It is the storage
+// the V-stage kernels operate on — dimensions are validated once, at
+// construction, so the per-pair inner loops carry no error returns and walk
+// memory sequentially.
+type Matrix struct {
+	dim  int
+	data []float64
+}
+
+// NewMatrix allocates a zero matrix of the given shape. The rows are filled
+// in place through Row (e.g. by Extractor.ExtractInto).
+func NewMatrix(dim, rows int) (*Matrix, error) {
+	if dim < 1 {
+		return nil, fmt.Errorf("feature: matrix dim %d", dim)
+	}
+	if rows < 0 {
+		return nil, fmt.Errorf("feature: matrix rows %d", rows)
+	}
+	return &Matrix{dim: dim, data: make([]float64, dim*rows)}, nil
+}
+
+// MatrixFrom copies the given vectors into a new matrix, validating once that
+// every vector has the same dimension.
+func MatrixFrom(vs []Vector) (*Matrix, error) {
+	if len(vs) == 0 {
+		return nil, fmt.Errorf("feature: matrix from no vectors")
+	}
+	dim := len(vs[0])
+	m, err := NewMatrix(dim, len(vs))
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range vs {
+		if len(v) != dim {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrDimMismatch, len(v), dim)
+		}
+		copy(m.data[i*dim:(i+1)*dim], v)
+	}
+	return m, nil
+}
+
+// Dim returns the vector dimensionality.
+func (m *Matrix) Dim() int { return m.dim }
+
+// Rows returns the number of vectors stored.
+func (m *Matrix) Rows() int { return len(m.data) / m.dim }
+
+// Row returns row i as a Vector view into the matrix storage (not a copy).
+func (m *Matrix) Row(i int) Vector {
+	return Vector(m.data[i*m.dim : (i+1)*m.dim])
+}
+
+// maxSimClampSq is the squared vector distance at which the normalized
+// distance ||a-b||/2 clamps to 1 and the similarity bottoms out at 0.
+const maxSimClampSq = 4.0
+
+// MaxSim returns max over the matrix rows of Sim(rep, row) — the
+// max_d sim(v, d) term of the paper's Equation 1 — as a single batched
+// kernel. It is bit-identical to folding Sim over the rows with a
+// "greater-than" max (sqrt is monotone and correctly rounded, so comparing
+// squared distances picks the same row set, and the final similarity is
+// computed with exactly Dist's operations). The inner loop is 4-way unrolled
+// with a single accumulator (preserving Dist's addition order) and exits a
+// row early once its running squared distance can no longer beat the best.
+// An empty matrix yields 0, like a max over no similarities.
+//
+// Kernel contract: len(rep) must equal m.Dim(); dimensions are validated
+// when the matrix and representative are built, so a mismatch here is a
+// programming error and panics.
+func MaxSim(rep Vector, m *Matrix) float64 {
+	dim := m.dim
+	if len(rep) != dim {
+		panic(fmt.Sprintf("feature: MaxSim rep dim %d vs matrix dim %d", len(rep), dim))
+	}
+	rep = rep[:dim] // bounds-check hint: len(rep) == dim from here on
+	minSq := maxSimClampSq
+	for base := 0; base < len(m.data); base += dim {
+		row := m.data[base : base+dim : base+dim]
+		var s float64
+		i := 0
+		for ; i+4 <= dim; i += 4 {
+			d0 := rep[i] - row[i]
+			s += d0 * d0
+			d1 := rep[i+1] - row[i+1]
+			s += d1 * d1
+			d2 := rep[i+2] - row[i+2]
+			s += d2 * d2
+			d3 := rep[i+3] - row[i+3]
+			s += d3 * d3
+			if s >= minSq {
+				break // the sum only grows; this row cannot win
+			}
+		}
+		if s >= minSq {
+			continue
+		}
+		for ; i < dim; i++ {
+			d := rep[i] - row[i]
+			s += d * d
+		}
+		if s < minSq {
+			minSq = s
+		}
+	}
+	d := math.Sqrt(minSq) / 2
+	if d > 1 {
+		d = 1
+	}
+	return 1 - d
+}
+
+// MeanAccum is an allocation-free running-mean accumulator over unit
+// vectors: the streaming replacement for collecting every vector and calling
+// Mean. Add vectors in order, then MeanInto produces exactly the vector
+// Mean would have returned for the same sequence (same additions, same
+// scaling, same normalization).
+type MeanAccum struct {
+	sum []float64
+	n   int
+}
+
+// Reset prepares the accumulator for a new sequence of dim-dimensional
+// vectors, reusing its buffer when possible.
+func (a *MeanAccum) Reset(dim int) {
+	if cap(a.sum) < dim {
+		a.sum = make([]float64, dim)
+	} else {
+		a.sum = a.sum[:dim]
+		clear(a.sum)
+	}
+	a.n = 0
+}
+
+// Add accumulates one vector. Kernel contract: len(v) must equal the Reset
+// dimension; a mismatch is a programming error and panics.
+func (a *MeanAccum) Add(v Vector) {
+	if len(v) != len(a.sum) {
+		panic(fmt.Sprintf("feature: MeanAccum dim %d vs %d", len(v), len(a.sum)))
+	}
+	for i, x := range v {
+		a.sum[i] += x
+	}
+	a.n++
+}
+
+// Count returns how many vectors have been accumulated since Reset.
+func (a *MeanAccum) Count() int { return a.n }
+
+// MeanInto writes the renormalized mean into dst (len must equal the Reset
+// dimension) and returns it. It panics when no vectors were accumulated,
+// mirroring Mean's error on an empty slice.
+func (a *MeanAccum) MeanInto(dst Vector) Vector {
+	if a.n == 0 {
+		panic("feature: MeanAccum mean of no vectors")
+	}
+	if len(dst) != len(a.sum) {
+		panic(fmt.Sprintf("feature: MeanAccum dst dim %d vs %d", len(dst), len(a.sum)))
+	}
+	inv := 1 / float64(a.n)
+	for i, s := range a.sum {
+		dst[i] = s * inv
+	}
+	return dst.Normalize()
+}

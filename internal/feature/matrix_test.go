@@ -1,0 +1,318 @@
+package feature
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refMaxSim is the pre-kernel reference: fold Sim over the rows with a
+// strict greater-than max starting at 0, exactly as vfilter.Match did.
+func refMaxSim(t *testing.T, rep Vector, rows []Vector) float64 {
+	t.Helper()
+	best := 0.0
+	for _, r := range rows {
+		s, err := Sim(rep, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// randomRows draws rows at a mix of scales so the sweep covers near-duplicate
+// vectors, ordinary unit vectors, and far vectors whose normalized distance
+// clamps at 1 (similarity 0).
+func randomRows(rng *rand.Rand, dim, n int) []Vector {
+	rows := make([]Vector, n)
+	for i := range rows {
+		v := make(Vector, dim)
+		scale := 1.0
+		switch rng.Intn(4) {
+		case 1:
+			scale = 1e-9
+		case 2:
+			scale = 3 // pushes ||a-b|| past the clamp
+		}
+		for j := range v {
+			v[j] = rng.NormFloat64() * scale
+		}
+		rows[i] = v
+	}
+	return rows
+}
+
+// TestMaxSimBitIdentical: the batched kernel must agree with the per-pair
+// Sim fold to the bit, across dimensions that do and do not divide by the
+// unroll factor, including empty matrices and clamped (far) rows.
+func TestMaxSimBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(70) // covers non-multiples of 4
+		rows := randomRows(rng, dim, rng.Intn(12))
+		rep := randomRows(rng, dim, 1)[0]
+		var m *Matrix
+		var err error
+		if len(rows) == 0 {
+			m, err = NewMatrix(dim, 0)
+		} else {
+			m, err = MatrixFrom(rows)
+		}
+		if err != nil {
+			return false
+		}
+		got := MaxSim(rep, m)
+		want := refMaxSim(t, rep, rows)
+		return math.Float64bits(got) == math.Float64bits(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMaxSimEarlyExitTies pins deterministic tie handling: duplicate rows and
+// rows straddling the clamp boundary must yield the same value as the
+// reference fold regardless of which row the kernel settles on.
+func TestMaxSimEarlyExitTies(t *testing.T) {
+	rep := Vector{1, 0, 0, 0}
+	dup := Vector{0, 1, 0, 0}
+	rows := []Vector{dup, dup, {0, -1, 0, 0}, {3, 3, 3, 3}, rep}
+	m, err := MatrixFrom(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := MaxSim(rep, m)
+	want := refMaxSim(t, rep, rows)
+	if math.Float64bits(got) != math.Float64bits(want) {
+		t.Errorf("MaxSim = %v, want %v", got, want)
+	}
+	if got != 1 {
+		t.Errorf("MaxSim with rep among rows = %v, want 1", got)
+	}
+}
+
+func TestMaxSimAllClampedRowsIsZero(t *testing.T) {
+	rep := Vector{1, 0, 0}
+	rows := []Vector{{9, 9, 9}, {-7, 5, 3}}
+	m, err := MatrixFrom(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := MaxSim(rep, m); got != 0 {
+		t.Errorf("MaxSim over clamped rows = %v, want 0", got)
+	}
+}
+
+func TestMaxSimDimMismatchPanics(t *testing.T) {
+	m, err := MatrixFrom([]Vector{{1, 2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("want panic on rep/matrix dim mismatch")
+		}
+	}()
+	MaxSim(Vector{1, 2}, m)
+}
+
+func TestMatrixValidation(t *testing.T) {
+	if _, err := NewMatrix(0, 3); err == nil {
+		t.Error("want error for dim 0")
+	}
+	if _, err := NewMatrix(4, -1); err == nil {
+		t.Error("want error for negative rows")
+	}
+	if _, err := MatrixFrom(nil); err == nil {
+		t.Error("want error for no vectors")
+	}
+	if _, err := MatrixFrom([]Vector{{1, 2}, {1, 2, 3}}); err == nil {
+		t.Error("want error for ragged vectors")
+	}
+}
+
+func TestMatrixRowRoundTrip(t *testing.T) {
+	rows := []Vector{{1, 2, 3}, {4, 5, 6}}
+	m, err := MatrixFrom(rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Dim() != 3 || m.Rows() != 2 {
+		t.Fatalf("shape = %dx%d", m.Rows(), m.Dim())
+	}
+	for i, want := range rows {
+		got := m.Row(i)
+		for j := range want {
+			if got[j] != want[j] {
+				t.Errorf("Row(%d)[%d] = %v, want %v", i, j, got[j], want[j])
+			}
+		}
+	}
+}
+
+// TestMeanAccumBitIdentical: streaming accumulation must reproduce Mean's
+// output exactly for the same vector sequence.
+func TestMeanAccumBitIdentical(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		dim := 2 + rng.Intn(60)
+		n := 1 + rng.Intn(10)
+		vs := make([]Vector, n)
+		for i := range vs {
+			vs[i] = randomUnit(rng, dim)
+		}
+		want, err := Mean(vs)
+		if err != nil {
+			return false
+		}
+		var acc MeanAccum
+		acc.Reset(dim)
+		for _, v := range vs {
+			acc.Add(v)
+		}
+		if acc.Count() != n {
+			return false
+		}
+		got := acc.MeanInto(make(Vector, dim))
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanAccumReuseAcrossReset(t *testing.T) {
+	var acc MeanAccum
+	acc.Reset(3)
+	acc.Add(Vector{1, 0, 0})
+	acc.Reset(2) // shrink: must clear stale sums
+	acc.Add(Vector{0, 1})
+	got := acc.MeanInto(make(Vector, 2))
+	if got[0] != 0 || got[1] != 1 {
+		t.Errorf("mean after reuse = %v, want [0 1]", got)
+	}
+}
+
+func TestMeanAccumPanics(t *testing.T) {
+	var acc MeanAccum
+	acc.Reset(3)
+	for name, fn := range map[string]func(){
+		"dim mismatch on Add":  func() { acc.Add(Vector{1, 2}) },
+		"empty mean":           func() { acc.MeanInto(make(Vector, 3)) },
+		"dst mismatch on Mean": func() { acc.Add(Vector{1, 2, 3}); acc.MeanInto(make(Vector, 2)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: want panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestExtractIntoBitIdentical: the allocation-free extraction must decode
+// exactly the vector Extract does, work factor included.
+func TestExtractIntoBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, wf := range []int{0, 2} {
+		e := Extractor{Dim: 24, WorkFactor: wf}
+		for trial := 0; trial < 20; trial++ {
+			p := EncodePatch(randomUnit(rng, 24), 1.5, rng)
+			want, err := e.Extract(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := make(Vector, 24)
+			// Pre-fill with garbage: ExtractInto must fully overwrite dst.
+			for i := range got {
+				got[i] = math.Inf(1)
+			}
+			if err := e.ExtractInto(p, got); err != nil {
+				t.Fatal(err)
+			}
+			for i := range want {
+				if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+					t.Fatalf("wf=%d component %d: %v vs %v", wf, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// BenchmarkMaxSimMatrix measures the batched kernel over a scenario-sized
+// matrix: the same work BenchmarkSim does per pair, but amortized across rows
+// with one dimension check and no error returns.
+func BenchmarkMaxSimMatrix(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const dim, rows = 64, 16
+	vs := make([]Vector, rows)
+	for i := range vs {
+		vs[i] = randomUnit(rng, dim)
+	}
+	m, err := MatrixFrom(vs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rep := randomUnit(rng, dim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MaxSim(rep, m)
+	}
+}
+
+// BenchmarkMean covers both the slice-based Mean and the streaming MeanAccum
+// replacement used by the V-stage hot path.
+func BenchmarkMean(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const dim, n = 64, 8
+	vs := make([]Vector, n)
+	for i := range vs {
+		vs[i] = randomUnit(rng, dim)
+	}
+	b.Run("slices", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Mean(vs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("accum", func(b *testing.B) {
+		var acc MeanAccum
+		dst := make(Vector, dim)
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			acc.Reset(dim)
+			for _, v := range vs {
+				acc.Add(v)
+			}
+			acc.MeanInto(dst)
+		}
+	})
+}
+
+func TestExtractIntoValidation(t *testing.T) {
+	e := Extractor{Dim: 8}
+	good := EncodePatch(Vector{1, 0, 0, 0, 0, 0, 0, 0}, 0, rand.New(rand.NewSource(1)))
+	if err := e.ExtractInto(good, make(Vector, 4)); err == nil {
+		t.Error("want error for dst dim mismatch")
+	}
+	if err := e.ExtractInto(Patch{W: 2, H: 2, Pix: []byte{1}}, make(Vector, 8)); err == nil {
+		t.Error("want error for malformed patch")
+	}
+	if err := (Extractor{Dim: 1}).ExtractInto(good, make(Vector, 1)); err == nil {
+		t.Error("want error for tiny dim")
+	}
+}

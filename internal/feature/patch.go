@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // Patch geometry follows the pedestrian crops typical of re-identification
@@ -81,20 +82,52 @@ func (e Extractor) Extract(p Patch) (Vector, error) {
 	if e.Dim < 2 {
 		return nil, fmt.Errorf("feature: extractor dim %d", e.Dim)
 	}
-	if p.W <= 0 || p.H <= 0 || len(p.Pix) != p.W*p.H {
-		return nil, fmt.Errorf("%w: %dx%d with %d pixels", ErrBadPatch, p.W, p.H, len(p.Pix))
-	}
-	sums := make([]float64, e.Dim)
-	counts := make([]int, e.Dim)
-	for k, px := range p.Pix {
-		d := k % e.Dim
-		sums[d] += float64(px) - 128
-		counts[d]++
-	}
 	v := make(Vector, e.Dim)
-	for d := range v {
-		if counts[d] > 0 {
-			v[d] = sums[d] / float64(counts[d]) / encodeScale
+	if err := e.ExtractInto(p, v); err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// ExtractInto decodes the appearance vector embedded in p into dst, which
+// must have length Dim — the allocation-free form of Extract (vfilter fills
+// scenario feature matrices row by row with it). The decoded values are
+// bit-identical to Extract's.
+func (e Extractor) ExtractInto(p Patch, dst Vector) error {
+	if e.Dim < 2 {
+		return fmt.Errorf("feature: extractor dim %d", e.Dim)
+	}
+	if len(dst) != e.Dim {
+		return fmt.Errorf("%w: dst dim %d vs extractor dim %d", ErrDimMismatch, len(dst), e.Dim)
+	}
+	if p.W <= 0 || p.H <= 0 || len(p.Pix) != p.W*p.H {
+		return fmt.Errorf("%w: %dx%d with %d pixels", ErrBadPatch, p.W, p.H, len(p.Pix))
+	}
+	// Component d is carried by pixels d, d+Dim, d+2·Dim, …: summing along
+	// that stride visits the same pixels in the same ascending order as a
+	// single pass over the patch, so the sums are bit-identical while the
+	// inner loop avoids a modulo per pixel. Each component received
+	// len(Pix)/Dim repeats, plus one for the first len(Pix)%Dim components.
+	// The per-pixel addends float64(pix[k])−128 are integers and every
+	// partial sum stays far below 2^53, so each floating-point addition in
+	// the reference fold is exact — summing in integer arithmetic and
+	// converting once yields the bit-identical value while the inner loop
+	// pipelines as integer adds.
+	pix := p.Pix
+	q, r := len(pix)/e.Dim, len(pix)%e.Dim
+	for d := range dst {
+		var s int
+		for k := d; k < len(pix); k += e.Dim {
+			s += int(pix[k])
+		}
+		count := q
+		if d < r {
+			count++
+		}
+		if count > 0 {
+			dst[d] = float64(s-128*count) / float64(count) / encodeScale
+		} else {
+			dst[d] = 0
 		}
 	}
 	// Burn the configured extra work: gradient-energy passes standing in for
@@ -103,25 +136,72 @@ func (e Extractor) Extract(p Patch) (Vector, error) {
 	// negligible, deterministic epsilon) but the cost is real.
 	if e.WorkFactor > 0 {
 		energy := gradientEnergy(p, e.WorkFactor)
-		v[0] += energy * 1e-18
+		dst[0] += energy * 1e-18
 	}
-	return v.Normalize(), nil
+	dst.Normalize()
+	return nil
 }
 
-// gradientEnergy runs `passes` full gradient-magnitude accumulations over the
-// patch and returns the accumulated energy.
+// gradBufPool recycles the per-pixel gradient-magnitude buffers used to
+// replay accumulation passes without recomputing each sqrt.
+var gradBufPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// gradientEnergy runs `passes` full gradient-magnitude accumulation sweeps
+// over the patch and returns the accumulated energy. The magnitudes are
+// computed once (the sqrt per pixel pair) into a pooled buffer; every pass
+// then sweeps the full buffer, accumulating into eight independent partial
+// sums so the additions pipeline instead of forming one serial
+// latency chain. Each pass still performs one addition per gradient — the
+// work WorkFactor models — and the result is deterministic: the fixed
+// eight-way association always produces the same energy. Its last bits can
+// differ from a naive serial refold, which only perturbs the 1e-18 epsilon
+// injection below; the conformance fingerprints in internal/core pin the
+// observable behavior.
 func gradientEnergy(p Patch, passes int) float64 {
-	var acc float64
-	for i := 0; i < passes; i++ {
-		for y := 0; y < p.H-1; y++ {
-			row := y * p.W
-			for x := 0; x < p.W-1; x++ {
-				k := row + x
-				dx := float64(p.Pix[k+1]) - float64(p.Pix[k])
-				dy := float64(p.Pix[k+p.W]) - float64(p.Pix[k])
-				acc += math.Sqrt(dx*dx + dy*dy)
-			}
+	if passes <= 0 {
+		return 0
+	}
+	n := (p.H - 1) * (p.W - 1)
+	if n <= 0 {
+		return 0
+	}
+	bufp := gradBufPool.Get().(*[]float64)
+	buf := *bufp
+	if cap(buf) < n {
+		buf = make([]float64, n)
+	}
+	buf = buf[:n]
+	idx := 0
+	for y := 0; y < p.H-1; y++ {
+		cur := p.Pix[y*p.W : y*p.W+p.W]
+		nxt := p.Pix[(y+1)*p.W : (y+1)*p.W+p.W]
+		for x := 0; x < p.W-1; x++ {
+			dx := int(cur[x+1]) - int(cur[x])
+			dy := int(nxt[x]) - int(cur[x])
+			buf[idx] = math.Sqrt(float64(dx*dx + dy*dy))
+			idx++
 		}
 	}
+	var acc float64
+	for pass := 0; pass < passes; pass++ {
+		var a0, a1, a2, a3, a4, a5, a6, a7 float64
+		i := 0
+		for ; i+8 <= len(buf); i += 8 {
+			a0 += buf[i]
+			a1 += buf[i+1]
+			a2 += buf[i+2]
+			a3 += buf[i+3]
+			a4 += buf[i+4]
+			a5 += buf[i+5]
+			a6 += buf[i+6]
+			a7 += buf[i+7]
+		}
+		for ; i < len(buf); i++ {
+			a0 += buf[i]
+		}
+		acc += a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
+	}
+	*bufp = buf
+	gradBufPool.Put(bufp)
 	return acc
 }

@@ -6,7 +6,6 @@ import (
 	"strings"
 
 	"evmatching/internal/ids"
-	"evmatching/internal/scenario"
 )
 
 // WriteDOT renders the split tree in Graphviz DOT format: internal nodes are
@@ -45,13 +44,7 @@ func leafLabel(n *Node) string {
 	for _, e := range n.InclusiveEIDs() {
 		parts = append(parts, string(e))
 	}
-	var vague []ids.EID
-	for e, a := range n.EIDs {
-		if a == scenario.AttrVague {
-			vague = append(vague, e)
-		}
-	}
-	for _, e := range ids.SortEIDs(vague) {
+	for _, e := range n.VagueEIDs() {
 		parts = append(parts, "("+string(e)+"?)")
 	}
 	if len(parts) == 0 {

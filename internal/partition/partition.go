@@ -13,6 +13,11 @@
 // definite home on the right (not-confirmed) side and leaves a vague copy on
 // the left, so every EID always has exactly one inclusive home leaf while its
 // possible drift locations remain marked.
+//
+// Sets are dense bitsets over a per-partition EID index (assigned in sorted
+// EID order, so ascending bit iteration yields sorted EIDs): one split is a
+// handful of word-wide AND/AND-NOT operations against the scenario's
+// membership masks, instead of per-EID map traffic.
 package partition
 
 import (
@@ -20,6 +25,7 @@ import (
 	"fmt"
 	"sort"
 
+	"evmatching/internal/bitset"
 	"evmatching/internal/ids"
 	"evmatching/internal/scenario"
 )
@@ -30,13 +36,21 @@ var ErrNoTargets = errors.New("partition: no target EIDs")
 // ErrUnknownEID reports a query for an EID outside the partition.
 var ErrUnknownEID = errors.New("partition: unknown EID")
 
+// eidIndex is the partition's fixed EID universe: bit i of every node set
+// refers to eids[i]. EIDs are indexed in sorted order.
+type eidIndex struct {
+	eids []ids.EID
+	pos  map[ids.EID]int
+}
+
 // Node is one set of mutually undistinguishable EIDs in the split tree.
 // Leaves hold live sets; internal nodes remember the scenario that split
-// them.
+// them. A node's member sets are immutable once the node is created.
 type Node struct {
-	// EIDs maps each member to its attribute. Inclusive members definitely
-	// belong to this set; vague members may belong here or in a sibling.
-	EIDs map[ids.EID]scenario.Attr
+	idx *eidIndex
+	// inc holds the inclusive members (definitely in this set); vag the
+	// vague members (may belong here or in a sibling). The two are disjoint.
+	inc, vag bitset.Set
 	// Scenario is the E-Scenario that split this node (internal nodes only).
 	Scenario scenario.ID
 	// Left holds the EIDs confirmed by Scenario; Right holds the rest.
@@ -48,35 +62,34 @@ type Node struct {
 func (n *Node) isLeaf() bool { return n.Left == nil && n.Right == nil }
 
 // InclusiveCount returns the number of inclusive members.
-func (n *Node) InclusiveCount() int {
-	c := 0
-	for _, a := range n.EIDs {
-		if a == scenario.AttrInclusive {
-			c++
-		}
-	}
-	return c
-}
+func (n *Node) InclusiveCount() int { return n.inc.Count() }
 
 // InclusiveEIDs returns the sorted inclusive members.
 func (n *Node) InclusiveEIDs() []ids.EID {
-	out := make([]ids.EID, 0, len(n.EIDs))
-	for e, a := range n.EIDs {
-		if a == scenario.AttrInclusive {
-			out = append(out, e)
-		}
-	}
-	return ids.SortEIDs(out)
+	out := make([]ids.EID, 0, n.inc.Count())
+	n.inc.ForEach(func(i int) { out = append(out, n.idx.eids[i]) })
+	return out
+}
+
+// VagueEIDs returns the sorted vague members.
+func (n *Node) VagueEIDs() []ids.EID {
+	out := make([]ids.EID, 0, n.vag.Count())
+	n.vag.ForEach(func(i int) { out = append(out, n.idx.eids[i]) })
+	return out
 }
 
 // Partition is the evolving partition of the target EIDs, with the split
 // tree that produced it. It is not safe for concurrent use.
 type Partition struct {
+	idx      *eidIndex
 	root     *Node
 	leaves   []*Node
 	home     map[ids.EID]*Node // inclusive home leaf of each target EID
 	recorded []scenario.ID
 	inRec    map[scenario.ID]bool
+	// sInc/sVag/sAny are the reusable scenario-membership masks SplitBy
+	// rebuilds per call.
+	sInc, sVag, sAny bitset.Set
 }
 
 // New creates the initial one-set partition over the target EIDs, all
@@ -85,17 +98,35 @@ func New(targets []ids.EID) (*Partition, error) {
 	if len(targets) == 0 {
 		return nil, ErrNoTargets
 	}
-	root := &Node{EIDs: make(map[ids.EID]scenario.Attr, len(targets)), Scenario: scenario.NoID}
-	p := &Partition{
-		root:  root,
-		home:  make(map[ids.EID]*Node, len(targets)),
-		inRec: make(map[scenario.ID]bool),
-	}
+	idx := &eidIndex{pos: make(map[ids.EID]int, len(targets))}
 	for _, e := range targets {
 		if e == ids.None {
 			return nil, fmt.Errorf("partition: target list contains the empty EID")
 		}
-		root.EIDs[e] = scenario.AttrInclusive
+		if _, dup := idx.pos[e]; !dup {
+			idx.pos[e] = 0 // position assigned after sorting
+			idx.eids = append(idx.eids, e)
+		}
+	}
+	ids.SortEIDs(idx.eids)
+	for i, e := range idx.eids {
+		idx.pos[e] = i
+	}
+	n := len(idx.eids)
+	root := &Node{idx: idx, inc: bitset.New(n), vag: bitset.New(n), Scenario: scenario.NoID}
+	for i := range idx.eids {
+		root.inc.Add(i)
+	}
+	p := &Partition{
+		idx:   idx,
+		root:  root,
+		home:  make(map[ids.EID]*Node, n),
+		inRec: make(map[scenario.ID]bool),
+		sInc:  bitset.New(n),
+		sVag:  bitset.New(n),
+		sAny:  bitset.New(n),
+	}
+	for _, e := range idx.eids {
 		p.home[e] = root
 	}
 	p.leaves = []*Node{root}
@@ -112,7 +143,7 @@ func (p *Partition) NumTargets() int { return len(p.home) }
 // target EIDs are distinguished.
 func (p *Partition) Done() bool {
 	for _, leaf := range p.leaves {
-		if leaf.InclusiveCount() > 1 {
+		if leaf.inc.Count() > 1 {
 			return false
 		}
 	}
@@ -142,12 +173,30 @@ func (p *Partition) Sets() [][]ids.EID {
 // scenarios that split nothing are skipped and not recorded (paper Remark).
 // It returns whether the partition changed.
 func (p *Partition) SplitBy(s *scenario.EScenario) bool {
+	// Build the scenario's membership masks over the EID index once; every
+	// leaf split below is then pure word arithmetic. Scenarios are usually
+	// much smaller than the index (splitStage pre-filters them to targets),
+	// so iterate the scenario's members rather than the whole index.
+	p.sInc.Clear()
+	p.sVag.Clear()
+	//evlint:ignore maprange fills membership bitmasks; the resulting sets are identical under any iteration order
+	for e, attr := range s.EIDs {
+		if i, ok := p.idx.pos[e]; ok {
+			if attr == scenario.AttrInclusive {
+				p.sInc.Add(i)
+			} else {
+				p.sVag.Add(i)
+			}
+		}
+	}
+	bitset.OrInto(p.sAny, p.sInc, p.sVag)
+
 	changed := false
 	// Iterate over a snapshot: splits replace leaves as we go.
 	snapshot := p.leaves
 	var nextLeaves []*Node
 	for _, leaf := range snapshot {
-		left, right, ok := splitNode(leaf, s)
+		left, right, ok := p.splitNode(leaf)
 		if !ok {
 			nextLeaves = append(nextLeaves, leaf)
 			continue
@@ -155,18 +204,8 @@ func (p *Partition) SplitBy(s *scenario.EScenario) bool {
 		leaf.Scenario = s.ID
 		leaf.Left, leaf.Right = left, right
 		nextLeaves = append(nextLeaves, left, right)
-		//evlint:ignore maprange writes distinct keys into the home map; order cannot affect the result (hot split path)
-		for e, a := range left.EIDs {
-			if a == scenario.AttrInclusive {
-				p.home[e] = left
-			}
-		}
-		//evlint:ignore maprange writes distinct keys into the home map; order cannot affect the result (hot split path)
-		for e, a := range right.EIDs {
-			if a == scenario.AttrInclusive {
-				p.home[e] = right
-			}
-		}
+		left.inc.ForEach(func(i int) { p.home[p.idx.eids[i]] = left })
+		right.inc.ForEach(func(i int) { p.home[p.idx.eids[i]] = right })
 		changed = true
 	}
 	if changed {
@@ -179,51 +218,35 @@ func (p *Partition) SplitBy(s *scenario.EScenario) bool {
 	return changed
 }
 
-// splitNode computes the left/right children of leaf under scenario s, or
-// ok=false when the split would not be effective.
-func splitNode(leaf *Node, s *scenario.EScenario) (left, right *Node, ok bool) {
-	if leaf.InclusiveCount() < 2 {
+// splitNode computes the left/right children of leaf under the prepared
+// scenario masks, or ok=false when the split would not be effective.
+//
+// Per member e of the leaf, the rules of §IV-C2 map onto set algebra:
+//   - inclusive and confirmed by the scenario → left, inclusive
+//   - inclusive otherwise → right, inclusive; plus a vague copy on the left
+//     when the scenario saw it vaguely
+//   - vague, seen by the scenario (either way) → vague on both sides
+//   - vague, unseen → vague on the right only
+func (p *Partition) splitNode(leaf *Node) (left, right *Node, ok bool) {
+	if leaf.inc.Count() < 2 {
 		return nil, nil, false
 	}
-	left = &Node{EIDs: make(map[ids.EID]scenario.Attr), Scenario: scenario.NoID}
-	right = &Node{EIDs: make(map[ids.EID]scenario.Attr), Scenario: scenario.NoID}
-	//evlint:ignore maprange distributes each EID independently into fresh maps; order cannot affect the result (hot split path)
-	for e, attr := range leaf.EIDs {
-		sAttr, in := s.AttrOf(e)
-		switch {
-		case !in:
-			// Not observed in the scenario: stays on the right with its
-			// original attribute.
-			right.EIDs[e] = attr
-		case attr == scenario.AttrInclusive && sAttr == scenario.AttrInclusive:
-			// Confirmed in both: separated to the left.
-			left.EIDs[e] = scenario.AttrInclusive
-		case attr == scenario.AttrInclusive:
-			// Definitely in this set but only vaguely in the scenario: the
-			// scenario cannot confirm it, so its home stays right while the
-			// left keeps a vague copy (it may truly have been there).
-			right.EIDs[e] = scenario.AttrInclusive
-			left.EIDs[e] = scenario.AttrVague
-		default:
-			// Vague in the set: remains uncertain on both sides.
-			left.EIDs[e] = scenario.AttrVague
-			right.EIDs[e] = scenario.AttrVague
-		}
-	}
-	if countInclusive(left.EIDs) == 0 || countInclusive(right.EIDs) == 0 {
+	leftInc := bitset.And(leaf.inc, p.sInc)
+	if !leftInc.Any() {
 		return nil, nil, false
 	}
+	rightInc := bitset.AndNot(leaf.inc, p.sInc)
+	if !rightInc.Any() {
+		return nil, nil, false
+	}
+	leftVag := bitset.Or(bitset.And(leaf.inc, p.sVag), bitset.And(leaf.vag, p.sAny))
+	// Every vague member stays vague on the right: unseen ones live only
+	// there, seen ones are uncertain on both sides. Node sets are immutable
+	// after creation, so the child can share the parent's word array.
+	rightVag := leaf.vag
+	left = &Node{idx: p.idx, inc: leftInc, vag: leftVag, Scenario: scenario.NoID}
+	right = &Node{idx: p.idx, inc: rightInc, vag: rightVag, Scenario: scenario.NoID}
 	return left, right, true
-}
-
-func countInclusive(m map[ids.EID]scenario.Attr) int {
-	c := 0
-	for _, a := range m {
-		if a == scenario.AttrInclusive {
-			c++
-		}
-	}
-	return c
 }
 
 // PositiveScenarios returns, for target EID e, the scenarios along its
@@ -234,10 +257,11 @@ func (p *Partition) PositiveScenarios(e ids.EID) ([]scenario.ID, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownEID, e)
 	}
+	i := p.idx.pos[e]
 	var out []scenario.ID
 	n := p.root
 	for n != home && !n.isLeaf() {
-		if n.Left.EIDs[e] == scenario.AttrInclusive {
+		if n.Left.inc.Has(i) {
 			out = append(out, n.Scenario)
 			n = n.Left
 		} else {
@@ -253,19 +277,19 @@ func (p *Partition) Resolved(e ids.EID) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("%w: %s", ErrUnknownEID, e)
 	}
-	return home.InclusiveCount() == 1, nil
+	return home.inc.Count() == 1, nil
 }
 
 // Unresolved returns the sorted target EIDs whose sets still hold more than
 // one inclusive EID after splitting (candidates for matching refining).
 func (p *Partition) Unresolved() []ids.EID {
 	var out []ids.EID
-	for e, home := range p.home {
-		if home.InclusiveCount() > 1 {
+	for _, e := range p.idx.eids {
+		if p.home[e].inc.Count() > 1 {
 			out = append(out, e)
 		}
 	}
-	return ids.SortEIDs(out)
+	return out
 }
 
 // AmbiguousWith returns the other EIDs that share e's home set, inclusive or
@@ -275,13 +299,15 @@ func (p *Partition) AmbiguousWith(e ids.EID) ([]ids.EID, error) {
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnknownEID, e)
 	}
-	out := make([]ids.EID, 0, len(home.EIDs)-1)
-	for other := range home.EIDs {
-		if other != e {
-			out = append(out, other)
+	self := p.idx.pos[e]
+	out := make([]ids.EID, 0, home.inc.Count()+home.vag.Count())
+	members := bitset.Or(home.inc, home.vag)
+	members.ForEach(func(i int) {
+		if i != self {
+			out = append(out, p.idx.eids[i])
 		}
-	}
-	return ids.SortEIDs(out), nil
+	})
+	return out, nil
 }
 
 // PostOrder returns the target EIDs in the matching order of Theorem 4.1:
@@ -291,7 +317,7 @@ func (p *Partition) AmbiguousWith(e ids.EID) ([]ids.EID, error) {
 // Within one leaf, EIDs are ordered lexicographically.
 func (p *Partition) PostOrder() []ids.EID {
 	out := make([]ids.EID, 0, len(p.home))
-	seen := make(map[ids.EID]bool, len(p.home))
+	seen := bitset.New(len(p.idx.eids))
 	var walk func(n *Node)
 	walk = func(n *Node) {
 		if n == nil {
@@ -300,12 +326,13 @@ func (p *Partition) PostOrder() []ids.EID {
 		walk(n.Left)
 		walk(n.Right)
 		if n.isLeaf() {
-			for _, e := range n.InclusiveEIDs() {
-				if p.home[e] == n && !seen[e] {
-					seen[e] = true
+			n.inc.ForEach(func(i int) {
+				e := p.idx.eids[i]
+				if p.home[e] == n && !seen.Has(i) {
+					seen.Add(i)
 					out = append(out, e)
 				}
-			}
+			})
 		}
 	}
 	walk(p.root)

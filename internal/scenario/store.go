@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"evmatching/internal/geo"
 	"evmatching/internal/spatial"
@@ -16,13 +17,16 @@ type Store struct {
 	layout geo.Layout
 	esc    []*EScenario      // dense, index == int(ID)
 	vsc    []*VScenario      // parallel to esc; nil when no detections
-	byWin  map[int][]ID      // window -> scenario IDs, each sorted by cell
+	byWin  map[int][]ID      // window -> scenario IDs, in insertion order
 	tree   *spatial.Quadtree // scenario cell centers, payload ID (built lazily)
+
+	mu        sync.Mutex   // guards winSorted
+	winSorted map[int][]ID // cache of AtWindow's cell-sorted ID lists
 }
 
 // NewStore creates an empty store over the given layout.
 func NewStore(layout geo.Layout) *Store {
-	return &Store{layout: layout, byWin: make(map[int][]ID)}
+	return &Store{layout: layout, byWin: make(map[int][]ID), winSorted: make(map[int][]ID)}
 }
 
 // Layout returns the cell layout scenarios are defined over.
@@ -48,6 +52,9 @@ func (st *Store) Add(e *EScenario, v *VScenario) (ID, error) {
 	st.vsc = append(st.vsc, v)
 	st.byWin[e.Window] = append(st.byWin[e.Window], id)
 	st.tree = nil // invalidate spatial index
+	st.mu.Lock()
+	delete(st.winSorted, e.Window) // invalidate the window's sorted cache
+	st.mu.Unlock()
 	return id, nil
 }
 
@@ -82,11 +89,26 @@ func (st *Store) Windows() []int {
 }
 
 // AtWindow returns the IDs of scenarios in the given window, sorted by cell.
+// The sorted list is computed once per window and cached until the window
+// gains a scenario; the returned slice is shared, so callers must not modify
+// it.
 func (st *Store) AtWindow(w int) []ID {
+	st.mu.Lock()
+	if cached, ok := st.winSorted[w]; ok {
+		st.mu.Unlock()
+		return cached
+	}
+	st.mu.Unlock()
 	idsAt := st.byWin[w]
 	out := make([]ID, len(idsAt))
 	copy(out, idsAt)
 	sort.Slice(out, func(i, j int) bool { return st.esc[out[i]].Cell < st.esc[out[j]].Cell })
+	st.mu.Lock()
+	if st.winSorted == nil {
+		st.winSorted = make(map[int][]ID)
+	}
+	st.winSorted[w] = out
+	st.mu.Unlock()
 	return out
 }
 

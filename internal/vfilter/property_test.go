@@ -130,7 +130,11 @@ func TestMatchDeterministicProperty(t *testing.T) {
 	}
 }
 
-func BenchmarkMatch(b *testing.B) {
+// BenchmarkFilterMatch measures the Match hot path over a warmed extraction
+// cache (one Match before the timer pays the one-time per-scenario
+// extraction), so its time/op and allocs/op track the scoring and voting
+// loops rather than feature extraction.
+func BenchmarkFilterMatch(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	layout, err := geo.NewGridLayout(geo.Square(geo.Pt(0, 0), 100), 4, 4)
 	if err != nil {
@@ -165,6 +169,10 @@ func BenchmarkMatch(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	if _, err := filter.Match("a", list, nil); err != nil { // warm the extraction cache
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := filter.Match("a", list, nil); err != nil {

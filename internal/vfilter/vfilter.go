@@ -6,13 +6,23 @@
 // its win over EDP), scores every candidate VID with
 // P(v) = Π_S max_d sim(v, d) (Equation 1 and the simplification of §IV-B2),
 // and majority-votes the per-scenario winners.
+//
+// The Match hot path is allocation-free in steady state: each V-Scenario's
+// features live in one contiguous feature.Matrix (extracted in place, row by
+// row), candidate state is slice-indexed scratch recycled through a
+// sync.Pool, and per-candidate scoring runs the batched feature.MaxSim
+// kernel. Work counters are atomics so concurrent Match calls share the
+// extraction cache without contending on a stats lock.
 package vfilter
 
 import (
+	"cmp"
 	"errors"
 	"fmt"
 	"math"
+	"slices"
 	"sync"
+	"sync/atomic"
 
 	"evmatching/internal/feature"
 	"evmatching/internal/ids"
@@ -33,8 +43,9 @@ type Config struct {
 }
 
 // Stats counts the visual-processing work performed, the paper's proxy for V
-// stage cost: unique scenarios processed, feature extractions, and feature
-// comparisons.
+// stage cost: unique scenarios processed, feature extractions attempted
+// (successful or not — a scenario whose extraction fails midway still paid
+// for the attempts made), and feature comparisons.
 type Stats struct {
 	ScenariosProcessed int
 	Extractions        int
@@ -64,11 +75,15 @@ type Result struct {
 	Margin   float64
 }
 
-// cacheEntry holds one V-Scenario's extracted features, computed once.
+// cacheEntry holds one V-Scenario's extracted features, computed once. The
+// matrix is the kernel-facing storage; rows are per-detection views into it
+// kept for the public Features accessor.
 type cacheEntry struct {
-	once  sync.Once
-	feats []feature.Vector // parallel to the scenario's detections
-	err   error
+	once sync.Once
+	m    *feature.Matrix
+	rows []feature.Vector // views into m, parallel to the detections
+	ords []int32          // Filter-wide VID ordinal per detection
+	err  error
 }
 
 // Filter matches EIDs to VIDs over one scenario store. It is safe for
@@ -78,9 +93,19 @@ type Filter struct {
 	store *scenario.Store
 	cfg   Config
 
-	mu    sync.Mutex
+	mu    sync.Mutex // guards cache and the VID intern tables
 	cache map[scenario.ID]*cacheEntry
-	stats Stats
+	// VID interning: every VID observed in an extracted scenario gets a
+	// dense ordinal, so the Match hot loops index slices instead of hashing
+	// string VIDs. Ordinals are stable for the Filter's lifetime.
+	vidOrd   map[ids.VID]int32
+	vidByOrd []ids.VID
+
+	scenariosProcessed atomic.Int64
+	extractions        atomic.Int64
+	comparisons        atomic.Int64
+
+	pool sync.Pool // of *scratch
 }
 
 // New creates a Filter over the store.
@@ -94,23 +119,44 @@ func New(store *scenario.Store, cfg Config) (*Filter, error) {
 	if cfg.AcceptMajority < 0 || cfg.AcceptMajority > 1 {
 		return nil, fmt.Errorf("vfilter: AcceptMajority %f out of [0,1]", cfg.AcceptMajority)
 	}
-	return &Filter{store: store, cfg: cfg, cache: make(map[scenario.ID]*cacheEntry)}, nil
+	f := &Filter{
+		store:  store,
+		cfg:    cfg,
+		cache:  make(map[scenario.ID]*cacheEntry),
+		vidOrd: make(map[ids.VID]int32),
+	}
+	f.pool.New = func() any { return new(scratch) }
+	return f, nil
 }
 
 // Stats returns a snapshot of the accumulated work counters.
 func (f *Filter) Stats() Stats {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	return f.stats
+	return Stats{
+		ScenariosProcessed: int(f.scenariosProcessed.Load()),
+		Extractions:        int(f.extractions.Load()),
+		Comparisons:        int(f.comparisons.Load()),
+	}
 }
 
 // Features returns the extracted feature vectors of the V-Scenario with the
 // given ID, computing and caching them on first use. A scenario with no
-// detections yields (nil, nil).
+// detections yields (nil, nil). The returned vectors are views into the
+// scenario's feature matrix; callers must not modify them.
 func (f *Filter) Features(id scenario.ID) ([]feature.Vector, error) {
+	entry := f.features(id)
+	if entry == nil {
+		return nil, nil
+	}
+	return entry.rows, entry.err
+}
+
+// features returns the scenario's populated cache entry, or nil when the
+// scenario has no detections. A failed extraction is cached (and its cost
+// counted) once; later calls observe the same error without re-extracting.
+func (f *Filter) features(id scenario.ID) *cacheEntry {
 	v := f.store.V(id)
 	if v == nil || len(v.Detections) == 0 {
-		return nil, nil
+		return nil
 	}
 	f.mu.Lock()
 	entry := f.cache[id]
@@ -121,29 +167,136 @@ func (f *Filter) Features(id scenario.ID) ([]feature.Vector, error) {
 	f.mu.Unlock()
 
 	entry.once.Do(func() {
-		feats := make([]feature.Vector, len(v.Detections))
+		m, err := feature.NewMatrix(f.cfg.Extractor.Dim, len(v.Detections))
+		if err != nil {
+			entry.err = fmt.Errorf("vfilter: features scenario %d: %w", id, err)
+			return
+		}
 		for i := range v.Detections {
-			vec, err := f.cfg.Extractor.Extract(v.Detections[i].Patch)
-			if err != nil {
+			if err := f.cfg.Extractor.ExtractInto(v.Detections[i].Patch, m.Row(i)); err != nil {
 				entry.err = fmt.Errorf("vfilter: extract scenario %d detection %d: %w", id, i, err)
+				// The i successful extractions plus this failed attempt were
+				// real work; count them even though the scenario is unusable.
+				f.extractions.Add(int64(i + 1))
 				return
 			}
-			feats[i] = vec
 		}
-		entry.feats = feats
+		entry.m = m
+		entry.rows = make([]feature.Vector, m.Rows())
+		for i := range entry.rows {
+			entry.rows[i] = m.Row(i)
+		}
+		ords := make([]int32, len(v.Detections))
 		f.mu.Lock()
-		f.stats.ScenariosProcessed++
-		f.stats.Extractions += len(feats)
+		for i := range v.Detections {
+			vid := v.Detections[i].VID
+			ord, ok := f.vidOrd[vid]
+			if !ok {
+				ord = int32(len(f.vidByOrd))
+				f.vidOrd[vid] = ord
+				f.vidByOrd = append(f.vidByOrd, vid)
+			}
+			ords[i] = ord
+		}
 		f.mu.Unlock()
+		entry.ords = ords
+		f.scenariosProcessed.Add(1)
+		f.extractions.Add(int64(m.Rows()))
 	})
-	return entry.feats, entry.err
+	return entry
 }
 
-// candidate accumulates one VID's evidence across the scenario list.
-type candidate struct {
-	vid   ids.VID
-	feats []feature.Vector // its own detections, for the representative
-	prob  float64
+// scan pairs one scenario of the Match list with its feature matrix and the
+// interned VID ordinals of its detections.
+type scan struct {
+	v    *scenario.VScenario
+	m    *feature.Matrix
+	ords []int32
+}
+
+// scratch is the slice-indexed per-Match working state, recycled through
+// Filter.pool. Candidates are numbered by discovery order ("slots"); every
+// per-candidate quantity lives in a slot-indexed slice, and candidate lookup
+// goes through the Filter's interned VID ordinals, so the hot loops touch no
+// map at all.
+type scratch struct {
+	scans     []scan
+	slotByOrd []int32   // VID ordinal → slot, -1 when absent (grow-only)
+	excl      []bool    // VID ordinal → excluded from this Match
+	slotOrds  []int32   // slot → VID ordinal, discovery order
+	vids      []ids.VID // slot → VID, discovery order
+	order     []int     // slots in lexicographic VID order (the deterministic order)
+	accs      []feature.MeanAccum
+	prob      []float64
+	presence  []int
+	seenAt    []int // presence stamp: last scenario index counted, +1
+	keep      []bool
+	votes     []int
+	reps      []float64 // slot-major representative slab, nslots×dim
+}
+
+// reset prepares the scratch for a Match over n scenarios. accs keeps its
+// length (each accumulator owns a reusable buffer); slots() bounds the live
+// prefix. slotByOrd entries of the previous Match are put back to -1 slot by
+// slot, so the table never needs a full clear.
+func (s *scratch) reset(n int) {
+	if cap(s.scans) < n {
+		s.scans = make([]scan, n)
+	}
+	s.scans = s.scans[:n]
+	for i := range s.scans {
+		s.scans[i] = scan{}
+	}
+	for _, ord := range s.slotOrds {
+		s.slotByOrd[ord] = -1
+	}
+	s.slotOrds = s.slotOrds[:0]
+	s.vids = s.vids[:0]
+	s.order = s.order[:0]
+	s.prob = s.prob[:0]
+	s.presence = s.presence[:0]
+	s.seenAt = s.seenAt[:0]
+	s.keep = s.keep[:0]
+	s.votes = s.votes[:0]
+}
+
+// ensureOrds sizes the ordinal-indexed tables for a Filter that has interned
+// numVID VIDs so far. slotByOrd only grows (ordinals are stable for the
+// Filter's lifetime); the exclusion mask is cleared for the new Match.
+func (s *scratch) ensureOrds(numVID int) {
+	for len(s.slotByOrd) < numVID {
+		s.slotByOrd = append(s.slotByOrd, -1)
+	}
+	if cap(s.excl) < numVID {
+		s.excl = make([]bool, numVID)
+	}
+	s.excl = s.excl[:numVID]
+	clear(s.excl)
+}
+
+func (s *scratch) slots() int { return len(s.vids) }
+
+// addSlot registers a newly seen candidate VID and returns its slot.
+func (s *scratch) addSlot(vid ids.VID, ord int32, dim int) int {
+	n := len(s.vids)
+	s.vids = append(s.vids, vid)
+	s.slotOrds = append(s.slotOrds, ord)
+	s.slotByOrd[ord] = int32(n)
+	s.prob = append(s.prob, 1)
+	s.presence = append(s.presence, 0)
+	s.seenAt = append(s.seenAt, 0)
+	s.keep = append(s.keep, false)
+	s.votes = append(s.votes, 0)
+	if n == len(s.accs) {
+		s.accs = append(s.accs, feature.MeanAccum{})
+	}
+	s.accs[n].Reset(dim)
+	return n
+}
+
+// rep returns the slot's representative vector within the slab.
+func (s *scratch) rep(slot, dim int) feature.Vector {
+	return feature.Vector(s.reps[slot*dim : (slot+1)*dim])
 }
 
 // Match finds the VID for EID e among the V-Scenarios of the given list,
@@ -154,37 +307,63 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	if len(list) == 0 {
 		return res, nil
 	}
+	dim := f.cfg.Extractor.Dim
+	s := f.pool.Get().(*scratch)
+	defer f.pool.Put(s)
+	s.reset(len(list))
 
-	// Gather per-scenario features and the candidate VID pool.
-	type scFeats struct {
-		v     *scenario.VScenario
-		feats []feature.Vector
-	}
-	scans := make([]scFeats, len(list))
-	cands := make(map[ids.VID]*candidate)
+	// Gather per-scenario feature matrices first — extraction interns every
+	// detection's VID — then resolve the exclusion set to an ordinal mask
+	// and stream each candidate's detections into its running-mean
+	// accumulator (same accumulation order as scanning, so the
+	// representative below is exactly the mean of its detection features).
 	for i, id := range list {
-		feats, err := f.Features(id)
-		if err != nil {
-			return res, err
+		entry := f.features(id)
+		if entry != nil && entry.err != nil {
+			return res, entry.err
 		}
 		v := f.store.V(id)
-		scans[i] = scFeats{v: v, feats: feats}
 		if v == nil {
 			continue
 		}
-		for d, det := range v.Detections {
-			if exclude[det.VID] {
-				continue
-			}
-			c := cands[det.VID]
-			if c == nil {
-				c = &candidate{vid: det.VID, prob: 1}
-				cands[det.VID] = c
-			}
-			c.feats = append(c.feats, feats[d])
+		s.scans[i].v = v
+		if entry != nil {
+			s.scans[i].m = entry.m
+			s.scans[i].ords = entry.ords
 		}
 	}
-	if len(cands) == 0 {
+	f.mu.Lock()
+	s.ensureOrds(len(f.vidByOrd))
+	//evlint:ignore maprange fills an ordinal-indexed membership mask; the mask is identical under any iteration order
+	for vid, on := range exclude {
+		if !on {
+			continue
+		}
+		// A VID the Filter has never interned cannot appear in any
+		// extracted scenario of this list; skipping it is exact.
+		if ord, ok := f.vidOrd[vid]; ok {
+			s.excl[ord] = true
+		}
+	}
+	f.mu.Unlock()
+	for i := range s.scans {
+		sc := &s.scans[i]
+		if sc.v == nil || sc.m == nil {
+			continue
+		}
+		for d := range sc.v.Detections {
+			ord := sc.ords[d]
+			if s.excl[ord] {
+				continue
+			}
+			slot := int(s.slotByOrd[ord])
+			if slot < 0 {
+				slot = s.addSlot(sc.v.Detections[d].VID, ord, dim)
+			}
+			s.accs[slot].Add(sc.m.Row(d))
+		}
+	}
+	if s.slots() == 0 {
 		return res, nil
 	}
 
@@ -196,100 +375,104 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	// bystander VIDs) and saves their feature comparisons. If nothing
 	// clears the bar (severe VID missing), every candidate stays eligible.
 	detecting := 0
-	for _, sc := range scans {
-		if sc.v != nil && len(sc.feats) > 0 {
+	for i := range s.scans {
+		if sc := &s.scans[i]; sc.v != nil && sc.m != nil && sc.m.Rows() > 0 {
 			detecting++
 		}
 	}
+	kept := 0
 	if need := (detecting + 1) / 2; need > 1 {
-		presence := make(map[ids.VID]int, len(cands))
-		for _, sc := range scans {
+		for i := range s.scans {
+			sc := &s.scans[i]
 			if sc.v == nil {
 				continue
 			}
-			seen := make(map[ids.VID]bool, len(sc.v.Detections))
-			for _, det := range sc.v.Detections {
-				if _, ok := cands[det.VID]; ok && !seen[det.VID] {
-					seen[det.VID] = true
-					presence[det.VID]++
+			stamp := i + 1
+			for d := range sc.v.Detections {
+				if slot := s.slotByOrd[sc.ords[d]]; slot >= 0 && s.seenAt[slot] != stamp {
+					s.seenAt[slot] = stamp
+					s.presence[slot]++
 				}
 			}
 		}
-		pruned := make(map[ids.VID]*candidate, len(cands))
-		//evlint:ignore maprange builds a filtered map with distinct keys; iteration order cannot affect its contents
-		for vid, c := range cands {
-			if presence[vid] >= need {
-				pruned[vid] = c
+		for slot := range s.keep {
+			if s.presence[slot] >= need {
+				s.keep[slot] = true
+				kept++
 			}
 		}
-		if len(pruned) > 0 {
-			cands = pruned
+	}
+	// No pruning (too few detecting scenarios) or nothing cleared the bar:
+	// every candidate stays eligible.
+	if kept == 0 {
+		for slot := range s.keep {
+			s.keep[slot] = true
 		}
 	}
+
+	// One deterministic candidate order for every later decision loop:
+	// error paths, votes, and runner-up selection must not depend on
+	// discovery order.
+	for slot := range s.vids {
+		s.order = append(s.order, slot)
+	}
+	slices.SortFunc(s.order, func(a, b int) int { return cmp.Compare(s.vids[a], s.vids[b]) })
 
 	// Representative feature per candidate, then trajectory probability
 	// P(v) = Π_S max_d sim(rep_v, d) over the scenarios with detections.
-	// candOrder fixes one deterministic candidate order for every later
-	// decision loop: error paths, votes, and runner-up selection must not
-	// depend on map iteration order.
-	candOrder := ids.SortedVIDKeys(cands)
-	comparisons := 0
-	reps := make(map[ids.VID]feature.Vector, len(cands))
-	for _, vid := range candOrder {
-		rep, err := feature.Mean(cands[vid].feats)
-		if err != nil {
-			return res, fmt.Errorf("vfilter: representative for %s: %w", vid, err)
-		}
-		reps[vid] = rep
+	if cap(s.reps) < s.slots()*dim {
+		s.reps = make([]float64, s.slots()*dim)
 	}
-	for _, sc := range scans {
-		if sc.v == nil || len(sc.feats) == 0 {
+	s.reps = s.reps[:s.slots()*dim]
+	for _, slot := range s.order {
+		if !s.keep[slot] {
 			continue
 		}
-		for _, vid := range candOrder {
-			c := cands[vid]
-			best := 0.0
-			rep := reps[vid]
-			for _, df := range sc.feats {
-				s, err := feature.Sim(rep, df)
-				if err != nil {
-					return res, err
-				}
-				comparisons++
-				if s > best {
-					best = s
-				}
+		if s.accs[slot].Count() == 0 {
+			return res, fmt.Errorf("vfilter: representative for %s: feature: mean of no vectors", s.vids[slot])
+		}
+		s.accs[slot].MeanInto(s.rep(slot, dim))
+	}
+	var comparisons int64
+	for i := range s.scans {
+		sc := &s.scans[i]
+		if sc.v == nil || sc.m == nil || sc.m.Rows() == 0 {
+			continue
+		}
+		for _, slot := range s.order {
+			if !s.keep[slot] {
+				continue
 			}
-			c.prob *= best
+			s.prob[slot] *= feature.MaxSim(s.rep(slot, dim), sc.m)
+			comparisons += int64(sc.m.Rows())
 		}
 	}
-	f.mu.Lock()
-	f.stats.Comparisons += comparisons
-	f.mu.Unlock()
+	f.comparisons.Add(comparisons)
 
 	// Per-scenario vote: each scenario elects the present candidate with the
 	// highest trajectory probability.
-	votes := make(map[ids.VID]int)
 	voting := 0
-	for i, sc := range scans {
+	for i := range s.scans {
+		sc := &s.scans[i]
 		res.PerScenario[i] = ids.NoVID
 		if sc.v == nil {
 			continue
 		}
-		var winner ids.VID
+		winner := ids.NoVID
+		winSlot := -1
 		bestProb := -1.0
-		for _, det := range sc.v.Detections {
-			c, ok := cands[det.VID]
-			if !ok {
+		for d := range sc.v.Detections {
+			slot := int(s.slotByOrd[sc.ords[d]])
+			if slot < 0 || !s.keep[slot] {
 				continue
 			}
-			if c.prob > bestProb || (c.prob == bestProb && c.vid < winner) {
-				winner, bestProb = c.vid, c.prob
+			if s.prob[slot] > bestProb || (s.prob[slot] == bestProb && s.vids[slot] < winner) {
+				winner, winSlot, bestProb = s.vids[slot], slot, s.prob[slot]
 			}
 		}
 		if winner != ids.NoVID {
 			res.PerScenario[i] = winner
-			votes[winner]++
+			s.votes[winSlot]++
 			voting++
 		}
 	}
@@ -299,25 +482,26 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 
 	// Majority decision; ties break toward the higher trajectory
 	// probability, then lexicographically for determinism.
-	var best ids.VID
+	best := ids.NoVID
+	bestSlot := -1
 	bestVotes := -1
-	for _, vid := range candOrder {
-		n, voted := votes[vid]
-		if !voted {
+	for _, slot := range s.order {
+		vid := s.vids[slot]
+		if !s.keep[slot] || s.votes[slot] == 0 {
 			continue
 		}
-		switch {
+		switch n := s.votes[slot]; {
 		case n > bestVotes:
-			best, bestVotes = vid, n
+			best, bestSlot, bestVotes = vid, slot, n
 		case n == bestVotes:
-			if cands[vid].prob > cands[best].prob ||
-				(cands[vid].prob == cands[best].prob && vid < best) {
-				best = vid
+			if s.prob[slot] > s.prob[bestSlot] ||
+				(s.prob[slot] == s.prob[bestSlot] && vid < best) {
+				best, bestSlot = vid, slot
 			}
 		}
 	}
 	res.VID = best
-	res.Probability = cands[best].prob
+	res.Probability = s.prob[bestSlot]
 	res.MajorityFrac = float64(bestVotes) / float64(voting)
 	res.Acceptable = res.MajorityFrac >= f.cfg.AcceptMajority
 
@@ -325,12 +509,13 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	// probability.
 	res.Margin = math.Inf(1)
 	bestOther := -1.0
-	for _, vid := range candOrder {
-		if vid == best {
+	for _, slot := range s.order {
+		vid := s.vids[slot]
+		if vid == best || !s.keep[slot] {
 			continue
 		}
-		if c := cands[vid]; c.prob > bestOther || (c.prob == bestOther && vid < res.RunnerUp) {
-			res.RunnerUp, bestOther = vid, c.prob
+		if s.prob[slot] > bestOther || (s.prob[slot] == bestOther && vid < res.RunnerUp) {
+			res.RunnerUp, bestOther = vid, s.prob[slot]
 		}
 	}
 	if bestOther > 0 {
