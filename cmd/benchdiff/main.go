@@ -4,13 +4,20 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 20] old.txt new.txt
+//	benchdiff [-threshold 20] [-iqr-mult 3] old.txt new.txt
 //
 // Both files hold standard `go test -bench` output (run with -count N for a
 // stable median; -benchmem adds the allocs/op column, reported but not
 // gated). Benchmarks present in only one file are listed and skipped:
-// additions and removals are not regressions. The exit status is 1 when any
-// shared benchmark's median time/op grew by more than threshold percent.
+// additions and removals are not regressions.
+//
+// The gate is noise-adaptive: a benchmark regresses only when its median
+// time/op grew by more than max(threshold% · old median, iqr-mult · IQR(old
+// samples)). The percentage term catches drift on quiet micro-benchmarks; the
+// IQR term widens the allowance for end-to-end benchmarks whose -count
+// samples are inherently noisy, so a wide old spread does not flake CI.
+// Malformed input — an empty file, a truncated Benchmark line, a benchmark
+// with no ns/op samples — is an error (exit 2), never silently ignored.
 package main
 
 import (
@@ -18,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"sort"
 	"strconv"
@@ -32,6 +40,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchdiff", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 20, "maximum allowed time/op regression in percent")
+	iqrMult := fs.Float64("iqr-mult", 3, "noise allowance: also permit regressions up to this multiple of the old samples' IQR")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -67,8 +76,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		oldNs, newNs := median(o.ns), median(n.ns)
 		delta := (newNs - oldNs) / oldNs * 100
+		// Noise-adaptive gate: allow the larger of the percentage budget and
+		// iqr-mult times the old samples' interquartile range.
+		allowed := math.Max(*threshold/100*oldNs, *iqrMult*iqr(o.ns))
 		mark := ""
-		if delta > *threshold {
+		if newNs-oldNs > allowed {
 			mark = "  REGRESSION"
 			regressions++
 		}
@@ -84,7 +96,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	if regressions > 0 {
-		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed more than %.0f%% on time/op\n", regressions, *threshold)
+		fmt.Fprintf(stderr, "benchdiff: %d benchmark(s) regressed beyond max(%.0f%%, %.1f·IQR) on time/op\n", regressions, *threshold, *iqrMult)
 		return 1
 	}
 	return 0
@@ -123,8 +135,14 @@ func parse(r io.Reader) (map[string]*samples, error) {
 	sc := bufio.NewScanner(r)
 	for sc.Scan() {
 		fields := strings.Fields(sc.Text())
-		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		if len(fields) == 0 || !strings.HasPrefix(fields[0], "Benchmark") {
 			continue
+		}
+		if len(fields) == 1 {
+			continue // bare name line emitted by `go test -v`, not a result
+		}
+		if len(fields) < 4 {
+			return nil, fmt.Errorf("truncated benchmark line %q", sc.Text())
 		}
 		name := fields[0]
 		if i := strings.LastIndex(name, "-"); i > 0 {
@@ -168,6 +186,28 @@ func median(xs []float64) float64 {
 		return s[n/2]
 	}
 	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// iqr is the interquartile range of a non-empty sample set, with linearly
+// interpolated quartiles so 3- and 5-sample `-count` runs get a sensible
+// spread estimate.
+func iqr(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return percentile(s, 0.75) - percentile(s, 0.25)
+}
+
+// percentile reads the p-quantile (0..1) from an ascending sample set using
+// linear interpolation between closest ranks.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
 }
 
 func format(ns float64) string {

@@ -92,3 +92,97 @@ func TestRunRejectsGarbage(t *testing.T) {
 		t.Fatalf("exit %d for empty input, want 2", code)
 	}
 }
+
+func TestRunRejectsEmptyFile(t *testing.T) {
+	oldPath := writeTemp(t, "old.txt", "")
+	newPath := writeTemp(t, "new.txt", oldOut)
+	var stdout, stderr strings.Builder
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for empty file, want 2", code)
+	}
+	if !strings.Contains(stderr.String(), "no benchmark lines") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestRunRejectsTruncatedLine(t *testing.T) {
+	// A result line cut off mid-write (e.g. the bench job was killed) must be
+	// an error, not a silently dropped sample.
+	truncated := oldOut + "BenchmarkCutOff-8    1000\n"
+	oldPath := writeTemp(t, "old.txt", truncated)
+	newPath := writeTemp(t, "new.txt", oldOut)
+	var stdout, stderr strings.Builder
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for truncated line, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "truncated benchmark line") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestRunRejectsZeroNsSamples(t *testing.T) {
+	// A benchmark whose lines carry metrics but never ns/op has zero usable
+	// samples; gating on it would divide by a missing median.
+	noNs := "BenchmarkOdd-8    1000    5000 B/op    40 allocs/op\n"
+	oldPath := writeTemp(t, "old.txt", noNs)
+	newPath := writeTemp(t, "new.txt", oldOut)
+	var stdout, stderr strings.Builder
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d for zero ns/op samples, want 2; stderr: %s", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "no ns/op samples") {
+		t.Errorf("stderr missing diagnosis: %s", stderr.String())
+	}
+}
+
+func TestParseSkipsBareNameLines(t *testing.T) {
+	// `go test -v` prints the benchmark name alone before its result line;
+	// that is legitimate output, not truncation.
+	verbose := "BenchmarkSim\n" + oldOut
+	got, err := parse(strings.NewReader(verbose))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := got["BenchmarkSim"]; !ok {
+		t.Fatalf("lost BenchmarkSim: keys %v", got)
+	}
+}
+
+func TestIQR(t *testing.T) {
+	if got := iqr([]float64{100}); got != 0 {
+		t.Errorf("iqr of one sample = %v, want 0", got)
+	}
+	// Sorted 5 samples: quartiles fall on interpolated ranks 1 and 3.
+	if got := iqr([]float64{10, 20, 30, 40, 50}); got != 20 {
+		t.Errorf("iqr = %v, want 20", got)
+	}
+}
+
+func TestNoiseAdaptiveGateAbsorbsWideSpread(t *testing.T) {
+	// Old medians at 120µs with a 20µs IQR: the 3·IQR allowance (60µs) beats
+	// the 20% budget (24µs), so a 42% jump still passes...
+	wideOld := `BenchmarkNoisy-8    1000    100000 ns/op
+BenchmarkNoisy-8    1000    120000 ns/op
+BenchmarkNoisy-8    1000    140000 ns/op
+`
+	newRun := "BenchmarkNoisy-8    1000    170000 ns/op\n"
+	oldPath := writeTemp(t, "old.txt", wideOld)
+	newPath := writeTemp(t, "new.txt", newRun)
+	var stdout, stderr strings.Builder
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d for jump within 3·IQR, want 0; stdout:\n%s", code, stdout.String())
+	}
+	// ...but a jump past both budgets still fails...
+	farPath := writeTemp(t, "far.txt", "BenchmarkNoisy-8    1000    190000 ns/op\n")
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{oldPath, farPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d for jump beyond 3·IQR, want 1; stdout:\n%s", code, stdout.String())
+	}
+	// ...and -iqr-mult 0 reverts to the pure percentage gate.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-iqr-mult", "0", oldPath, newPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d with IQR allowance disabled, want 1; stdout:\n%s", code, stdout.String())
+	}
+}

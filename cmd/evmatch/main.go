@@ -15,10 +15,12 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"os"
 	"sort"
 	"strings"
+	"time"
 
 	"evmatching"
 )
@@ -103,7 +105,7 @@ func run(args []string) error {
 		return err
 	}
 	if *jsonOut {
-		return emitJSON(os.Stdout, ds, rep)
+		return emitJSON(os.Stdout, ds.TruthVID, rep)
 	}
 	if *verbose {
 		sorted := append([]evmatching.EID(nil), rep.Targets...)
@@ -126,7 +128,9 @@ func run(args []string) error {
 	return nil
 }
 
-// jsonReport is the machine-readable output of -json.
+// jsonReport is the machine-readable output of -json. Stage times are
+// float64 milliseconds: sub-millisecond runs (common at quick scale) used to
+// truncate to 0 under Duration.Milliseconds.
 type jsonReport struct {
 	Algorithm         string      `json:"algorithm"`
 	Mode              string      `json:"mode"`
@@ -134,33 +138,41 @@ type jsonReport struct {
 	Accuracy          float64     `json:"accuracy"`
 	SelectedScenarios int         `json:"selectedScenarios"`
 	PerEIDAvg         float64     `json:"perEIDAvg"`
-	ETimeMillis       int64       `json:"eTimeMillis"`
-	VTimeMillis       int64       `json:"vTimeMillis"`
+	ETimeMillis       float64     `json:"eTimeMillis"`
+	VTimeMillis       float64     `json:"vTimeMillis"`
 	RefineRounds      int         `json:"refineRounds"`
 	Matches           []jsonMatch `json:"matches"`
 }
 
+// jsonMatch carries one EID's outcome. RunnerUp and Margin appear only when
+// a second candidate contested the vote: a lone candidate's margin is +Inf,
+// which encoding/json cannot represent, so both fields are omitted instead.
 type jsonMatch struct {
-	EID          string  `json:"eid"`
-	VID          string  `json:"vid"`
-	Probability  float64 `json:"probability"`
-	MajorityFrac float64 `json:"majorityFrac"`
-	Acceptable   bool    `json:"acceptable"`
-	Correct      *bool   `json:"correct,omitempty"`
+	EID          string   `json:"eid"`
+	VID          string   `json:"vid"`
+	Probability  float64  `json:"probability"`
+	MajorityFrac float64  `json:"majorityFrac"`
+	Acceptable   bool     `json:"acceptable"`
+	RunnerUp     string   `json:"runnerUp,omitempty"`
+	Margin       *float64 `json:"margin,omitempty"`
+	Correct      *bool    `json:"correct,omitempty"`
 }
 
+// millis converts a stage duration to float64 milliseconds.
+func millis(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
 // emitJSON writes the report for downstream tooling; ground-truth verdicts
-// are attached when the dataset knows them.
-func emitJSON(w io.Writer, ds *evmatching.Dataset, rep *evmatching.Report) error {
+// are attached for every EID truth knows.
+func emitJSON(w io.Writer, truth func(evmatching.EID) evmatching.VID, rep *evmatching.Report) error {
 	out := jsonReport{
 		Algorithm:         rep.Algorithm.String(),
 		Mode:              rep.Mode.String(),
 		Targets:           len(rep.Targets),
-		Accuracy:          rep.Accuracy(ds.TruthVID),
+		Accuracy:          rep.Accuracy(truth),
 		SelectedScenarios: rep.SelectedScenarios,
 		PerEIDAvg:         rep.AvgScenariosPerEID(),
-		ETimeMillis:       rep.ETime.Milliseconds(),
-		VTimeMillis:       rep.VTime.Milliseconds(),
+		ETimeMillis:       millis(rep.ETime),
+		VTimeMillis:       millis(rep.VTime),
 		RefineRounds:      rep.RefineRounds,
 		Matches:           make([]jsonMatch, 0, len(rep.Targets)),
 	}
@@ -172,9 +184,14 @@ func emitJSON(w io.Writer, ds *evmatching.Dataset, rep *evmatching.Report) error
 			Probability:  res.Probability,
 			MajorityFrac: res.MajorityFrac,
 			Acceptable:   res.Acceptable,
+			RunnerUp:     string(res.RunnerUp),
 		}
-		if truth := ds.TruthVID(e); truth != evmatching.NoVID {
-			correct := truth == res.VID
+		if !math.IsInf(res.Margin, 0) && !math.IsNaN(res.Margin) {
+			margin := res.Margin
+			m.Margin = &margin
+		}
+		if want := truth(e); want != evmatching.NoVID {
+			correct := want == res.VID
 			m.Correct = &correct
 		}
 		out.Matches = append(out.Matches, m)

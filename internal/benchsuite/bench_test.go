@@ -1,0 +1,29 @@
+package benchsuite
+
+import (
+	"testing"
+
+	"evmatching/internal/core"
+)
+
+// BenchmarkMatchSSParallel is the end-to-end gate benchmark for the batched
+// parallel V stage, pinned at four workers so CI numbers do not depend on the
+// runner's core count. cmd/benchdiff compares its -count medians between the
+// PR head and the merge base under the noise-adaptive threshold.
+func BenchmarkMatchSSParallel(b *testing.B) {
+	matchBenchN(core.Options{
+		Algorithm: core.AlgorithmSS,
+		Mode:      core.ModeParallel,
+		Workers:   4,
+	}, 80)(b)
+}
+
+// BenchmarkMatchSSSerial is a shortened serial reference run (half the target
+// sample) so bench-smoke also watches the un-batched baseline path without
+// doubling the job's wall clock.
+func BenchmarkMatchSSSerial(b *testing.B) {
+	matchBenchN(core.Options{
+		Algorithm: core.AlgorithmSS,
+		Mode:      core.ModeSerial,
+	}, 40)(b)
+}

@@ -51,6 +51,13 @@ type benchmark struct {
 // matchBench mirrors bench_test.go's benchMatch: quick-scale 200-person
 // dataset, 80 seeded targets, matcher constructed inside the timed loop.
 func matchBench(alg core.Algorithm, mode core.Mode) func(b *testing.B) {
+	return matchBenchN(core.Options{Algorithm: alg, Mode: mode}, 80)
+}
+
+// matchBenchN is the generalized form: full Options control (worker count,
+// batch size) and a configurable target-sample size so the CI entry points
+// can pin a worker count or run a shortened workload.
+func matchBenchN(opts core.Options, numTargets int) func(b *testing.B) {
 	return func(b *testing.B) {
 		cfg := dataset.DefaultConfig()
 		cfg.NumPersons = 200
@@ -60,11 +67,11 @@ func matchBench(alg core.Algorithm, mode core.Mode) func(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		targets := ds.SampleEIDs(80, rand.New(rand.NewSource(5)))
+		targets := ds.SampleEIDs(numTargets, rand.New(rand.NewSource(5)))
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			m, err := core.New(ds, core.Options{Algorithm: alg, Mode: mode})
+			m, err := core.New(ds, opts)
 			if err != nil {
 				b.Fatal(err)
 			}

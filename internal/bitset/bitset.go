@@ -96,6 +96,21 @@ func OrInto(dst, a, b Set) {
 	}
 }
 
+// AndInto sets dst = a ∩ b; dst may alias either operand. The allocation-free
+// form of And for callers probing intersections they usually discard.
+func AndInto(dst, a, b Set) {
+	for i := range dst {
+		dst[i] = a[i] & b[i]
+	}
+}
+
+// AndNotInto sets dst = a \ b; dst may alias either operand.
+func AndNotInto(dst, a, b Set) {
+	for i := range dst {
+		dst[i] = a[i] &^ b[i]
+	}
+}
+
 // ForEach calls fn for every set bit in ascending order.
 func (s Set) ForEach(fn func(i int)) {
 	for wi, w := range s {

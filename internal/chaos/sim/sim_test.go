@@ -118,3 +118,31 @@ func TestSimRejectsBadFaultConfig(t *testing.T) {
 		t.Error("want per-schedule failure for invalid fault config")
 	}
 }
+
+// TestSimBatchedParallelSchedule pins fault tolerance of the batched V
+// stage: with an explicit BatchSize every map task owns multiple scenarios
+// or assignments, so a crash mid-batch forces the coordinator to re-execute
+// the whole batch on another worker. The shared extraction cache and the
+// batch task's buffered result write must keep re-execution idempotent —
+// the fingerprint stays byte-identical to the fault-free baseline.
+func TestSimBatchedParallelSchedule(t *testing.T) {
+	mrtest.CheckGoroutines(t)
+	cfg := Config{Seed: 11, Schedules: 6, BatchSize: 2, Faults: testFaults()}
+	res, err := Run(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.OK() {
+		t.Fatalf("batched sim not clean:\n mismatches=%v\n failures=%v\n leaks=%v",
+			res.Mismatches, res.Failures, res.Leaks)
+	}
+	// Cross-check against the unbatched default: batching is a scheduling
+	// choice and must not alter the computed report.
+	plain, err := Run(context.Background(), Config{Seed: 11, Schedules: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BaselineFingerprint != plain.BaselineFingerprint {
+		t.Error("BatchSize changed the baseline fingerprint")
+	}
+}

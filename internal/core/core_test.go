@@ -538,3 +538,47 @@ func TestExplain(t *testing.T) {
 		t.Error("want error for empty EID")
 	}
 }
+
+// TestSerialParallelStatsAgreement pins the exactly-once extraction
+// accounting under V-stage batching: however the scenario list is chunked
+// into batch tasks, each distinct scenario is extracted once, so the serial
+// path and every parallel batch size agree on scenarios processed and
+// extractions performed. Comparisons are pinned across batch sizes only —
+// serial legitimately performs fewer because exclusions accrue between its
+// sequential Match calls.
+func TestSerialParallelStatsAgreement(t *testing.T) {
+	ds := testDataset(t, nil)
+	targets := ds.SampleEIDs(30, rand.New(rand.NewSource(7)))
+	serial := newMatcher(t, ds, Options{Mode: ModeSerial})
+	repS, err := serial.Match(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var first *Report
+	for _, batch := range []int{0, 1, 3, 17} {
+		parallel := newMatcher(t, ds, Options{Mode: ModeParallel, Workers: 4, BatchSize: batch})
+		repP, err := parallel.Match(context.Background(), targets)
+		if err != nil {
+			t.Fatalf("BatchSize=%d: %v", batch, err)
+		}
+		if repP.VStats.ScenariosProcessed != repS.VStats.ScenariosProcessed {
+			t.Errorf("BatchSize=%d: ScenariosProcessed = %d, serial %d",
+				batch, repP.VStats.ScenariosProcessed, repS.VStats.ScenariosProcessed)
+		}
+		if repP.VStats.Extractions != repS.VStats.Extractions {
+			t.Errorf("BatchSize=%d: Extractions = %d, serial %d",
+				batch, repP.VStats.Extractions, repS.VStats.Extractions)
+		}
+		if first == nil {
+			first = repP
+			continue
+		}
+		if repP.VStats != first.VStats {
+			t.Errorf("BatchSize=%d: VStats %+v differ from first parallel run %+v",
+				batch, repP.VStats, first.VStats)
+		}
+		if repP.Fingerprint() != first.Fingerprint() {
+			t.Errorf("BatchSize=%d: fingerprint diverged from first parallel run", batch)
+		}
+	}
+}

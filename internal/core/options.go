@@ -10,6 +10,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"runtime"
 
 	"evmatching/internal/mapreduce"
 )
@@ -73,6 +74,12 @@ type Options struct {
 	Mode Mode
 	// Workers sizes the parallel executor; 0 means GOMAXPROCS.
 	Workers int
+	// BatchSize is the number of scenarios (extraction) or EIDs (comparison)
+	// a parallel V-stage task owns. 0 sizes batches automatically to
+	// ceil(n / (4·workers)) — about four tasks per worker, enough slack for
+	// work stealing while amortizing per-task dispatch. Serial mode ignores
+	// it.
+	BatchSize int
 	// Executor, when non-nil, overrides the executor derived from Mode —
 	// the hook for running stages on a distributed cluster.
 	Executor mapreduce.Executor
@@ -141,6 +148,9 @@ func (o Options) validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("%w: workers %d", ErrBadOptions, o.Workers)
 	}
+	if o.BatchSize < 0 {
+		return fmt.Errorf("%w: batch size %d", ErrBadOptions, o.BatchSize)
+	}
 	if o.AcceptMajority < 0 || o.AcceptMajority > 1 {
 		return fmt.Errorf("%w: accept majority %f", ErrBadOptions, o.AcceptMajority)
 	}
@@ -168,4 +178,14 @@ func (o Options) executor() mapreduce.Executor {
 		return mapreduce.ParallelExecutor{Workers: o.Workers}
 	}
 	return mapreduce.SerialExecutor{}
+}
+
+// effectiveWorkers resolves the worker count the default batch sizing
+// assumes: the explicit Workers, else GOMAXPROCS — matching how
+// mapreduce.ParallelExecutor sizes its pool.
+func (o Options) effectiveWorkers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"reflect"
 	"time"
 
 	"evmatching/internal/ids"
@@ -119,7 +118,7 @@ func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) 
 			for _, s := range winScenarios {
 				p.SplitBy(s)
 			}
-			if !reflect.DeepEqual(mrRes.Sets, p.Sets()) {
+			if !eidSetsEqual(mrRes.Sets, p.Sets()) {
 				return nil, nil, fmt.Errorf("core: MapReduce split diverged from reference partition at window %d", w)
 			}
 		} else {
@@ -258,10 +257,13 @@ func (m *Matcher) vStage(ctx context.Context, filter *vfilter.Filter, p *partiti
 			}
 		}
 	}
-	if err := mrjobs.ExtractScenarios(ctx, exec, filter, extractList); err != nil {
+	workers := m.opts.effectiveWorkers()
+	if err := mrjobs.ExtractScenarios(ctx, exec, filter, extractList,
+		mrjobs.BatchFor(len(extractList), workers, m.opts.BatchSize)); err != nil {
 		return nil, err
 	}
-	results, err := mrjobs.MatchAssignments(ctx, exec, filter, assignments, cloneVIDSet(accepted))
+	results, err := mrjobs.MatchAssignments(ctx, exec, filter, assignments, cloneVIDSet(accepted),
+		mrjobs.BatchFor(len(assignments), workers, m.opts.BatchSize))
 	if err != nil {
 		return nil, err
 	}
@@ -312,6 +314,25 @@ func (m *Matcher) vStage(ctx context.Context, filter *vfilter.Filter, p *partiti
 		}
 	}
 	return out, nil
+}
+
+// eidSetsEqual reports whether two partitions are identical: same sets, same
+// order, same members — the divergence check's equality without reflection.
+func eidSetsEqual(a, b [][]ids.EID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 func cloneVIDSet(in map[ids.VID]bool) map[ids.VID]bool {

@@ -89,11 +89,30 @@ func (e Extractor) Extract(p Patch) (Vector, error) {
 	return v, nil
 }
 
+// ExtractBuf is reusable working storage for extraction: one gradient
+// buffer shared across any number of ExtractIntoBuf calls. The zero value is
+// ready to use; callers processing a batch of patches hold one ExtractBuf
+// for the whole batch instead of paying a pool round-trip per patch.
+type ExtractBuf struct {
+	grad []float64
+}
+
 // ExtractInto decodes the appearance vector embedded in p into dst, which
 // must have length Dim — the allocation-free form of Extract (vfilter fills
 // scenario feature matrices row by row with it). The decoded values are
 // bit-identical to Extract's.
 func (e Extractor) ExtractInto(p Patch, dst Vector) error {
+	bufp := gradBufPool.Get().(*ExtractBuf)
+	err := e.ExtractIntoBuf(p, dst, bufp)
+	gradBufPool.Put(bufp)
+	return err
+}
+
+// ExtractIntoBuf is ExtractInto with caller-owned working storage: buf's
+// gradient buffer is reused across calls, so a batch of extractions pays for
+// at most one buffer growth instead of a pool round-trip per patch. The
+// decoded values are bit-identical to ExtractInto's.
+func (e Extractor) ExtractIntoBuf(p Patch, dst Vector, buf *ExtractBuf) error {
 	if e.Dim < 2 {
 		return fmt.Errorf("feature: extractor dim %d", e.Dim)
 	}
@@ -135,20 +154,20 @@ func (e Extractor) ExtractInto(p Patch, dst Vector) error {
 	// result perturbs nothing (it is accumulated and discarded via a
 	// negligible, deterministic epsilon) but the cost is real.
 	if e.WorkFactor > 0 {
-		energy := gradientEnergy(p, e.WorkFactor)
+		energy := gradientEnergy(p, e.WorkFactor, buf)
 		dst[0] += energy * 1e-18
 	}
 	dst.Normalize()
 	return nil
 }
 
-// gradBufPool recycles the per-pixel gradient-magnitude buffers used to
-// replay accumulation passes without recomputing each sqrt.
-var gradBufPool = sync.Pool{New: func() any { return new([]float64) }}
+// gradBufPool recycles the working storage behind ExtractInto so the
+// convenience path stays allocation-free in steady state.
+var gradBufPool = sync.Pool{New: func() any { return new(ExtractBuf) }}
 
 // gradientEnergy runs `passes` full gradient-magnitude accumulation sweeps
 // over the patch and returns the accumulated energy. The magnitudes are
-// computed once (the sqrt per pixel pair) into a pooled buffer; every pass
+// computed once (the sqrt per pixel pair) into the caller's buffer; every pass
 // then sweeps the full buffer, accumulating into eight independent partial
 // sums so the additions pipeline instead of forming one serial
 // latency chain. Each pass still performs one addition per gradient — the
@@ -157,7 +176,7 @@ var gradBufPool = sync.Pool{New: func() any { return new([]float64) }}
 // differ from a naive serial refold, which only perturbs the 1e-18 epsilon
 // injection below; the conformance fingerprints in internal/core pin the
 // observable behavior.
-func gradientEnergy(p Patch, passes int) float64 {
+func gradientEnergy(p Patch, passes int, eb *ExtractBuf) float64 {
 	if passes <= 0 {
 		return 0
 	}
@@ -165,8 +184,7 @@ func gradientEnergy(p Patch, passes int) float64 {
 	if n <= 0 {
 		return 0
 	}
-	bufp := gradBufPool.Get().(*[]float64)
-	buf := *bufp
+	buf := eb.grad
 	if cap(buf) < n {
 		buf = make([]float64, n)
 	}
@@ -201,7 +219,6 @@ func gradientEnergy(p Patch, passes int) float64 {
 		}
 		acc += a0 + a1 + a2 + a3 + a4 + a5 + a6 + a7
 	}
-	*bufp = buf
-	gradBufPool.Put(bufp)
+	eb.grad = buf
 	return acc
 }

@@ -7,7 +7,7 @@ package ids
 import (
 	"fmt"
 	"math/rand"
-	"sort"
+	"slices"
 )
 
 // EID is an electronic identity, e.g. a WiFi MAC address or IMSI. The empty
@@ -60,13 +60,13 @@ func VIDLabel(i int) VID { return VID(fmt.Sprintf("V%05d", i)) }
 // SortEIDs sorts a slice of EIDs in place and returns it, for deterministic
 // iteration over set contents.
 func SortEIDs(eids []EID) []EID {
-	sort.Slice(eids, func(i, j int) bool { return eids[i] < eids[j] })
+	slices.Sort(eids)
 	return eids
 }
 
 // SortVIDs sorts a slice of VIDs in place and returns it.
 func SortVIDs(vids []VID) []VID {
-	sort.Slice(vids, func(i, j int) bool { return vids[i] < vids[j] })
+	slices.Sort(vids)
 	return vids
 }
 

@@ -12,7 +12,8 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 )
 
@@ -126,29 +127,40 @@ const (
 	CounterReduceOut  = "reduce.out"
 )
 
-// sortKVs orders pairs by key then value, the canonical output order.
+// sortKVs orders pairs by key then value, the canonical output order. The
+// (key, value) order is total up to exact duplicates, so any correct sort
+// yields the same sequence.
 func sortKVs(kvs []KeyValue) {
-	sort.Slice(kvs, func(i, j int) bool {
-		if kvs[i].Key != kvs[j].Key {
-			return kvs[i].Key < kvs[j].Key
+	slices.SortFunc(kvs, func(a, b KeyValue) int {
+		if c := strings.Compare(a.Key, b.Key); c != 0 {
+			return c
 		}
-		return kvs[i].Value < kvs[j].Value
+		return strings.Compare(a.Value, b.Value)
 	})
 }
 
 // groupByKey groups sorted pairs into (key, values) runs, preserving order.
+// All value slices are windows into one shared slab, so grouping costs two
+// allocations however many keys there are.
 func groupByKey(kvs []KeyValue) []group {
-	var out []group
+	if len(kvs) == 0 {
+		return nil
+	}
+	vals := make([]string, len(kvs))
+	numGroups := 1
+	for i, kv := range kvs {
+		vals[i] = kv.Value
+		if i > 0 && kv.Key != kvs[i-1].Key {
+			numGroups++
+		}
+	}
+	out := make([]group, 0, numGroups)
 	for i := 0; i < len(kvs); {
 		j := i
 		for j < len(kvs) && kvs[j].Key == kvs[i].Key {
 			j++
 		}
-		vals := make([]string, 0, j-i)
-		for _, kv := range kvs[i:j] {
-			vals = append(vals, kv.Value)
-		}
-		out = append(out, group{key: kvs[i].Key, values: vals})
+		out = append(out, group{key: kvs[i].Key, values: vals[i:j:j]})
 		i = j
 	}
 	return out

@@ -32,6 +32,15 @@ func (p ParallelExecutor) Run(ctx context.Context, job *Job) (*Result, error) {
 	}
 	counters := NewCounters()
 
+	// Map-only jobs (no reduce, no combine) skip the shuffle machinery: no
+	// per-reducer partitioning and no per-bucket pre-sort, just one worker
+	// slice each and a single global sort. The output equals the partitioned
+	// path's exactly — sortKVs orders by (key, value), which determines the
+	// final sequence regardless of how records were bucketed.
+	if job.Reduce == nil && job.Combine == nil {
+		return p.runMapOnly(ctx, job, workers, counters)
+	}
+
 	// Map phase: each worker maps a contiguous chunk of the input into
 	// per-reducer buckets, optionally pre-folding with the combiner.
 	buckets := make([][][]KeyValue, workers) // [worker][reducer][]kv
@@ -143,6 +152,55 @@ func (p ParallelExecutor) Run(ctx context.Context, job *Job) (*Result, error) {
 	var out []KeyValue
 	for r := 0; r < numReducers; r++ {
 		out = append(out, reduceOut[r]...)
+	}
+	sortKVs(out)
+	return &Result{Output: out, Counters: counters}, nil
+}
+
+// runMapOnly is the fast path for jobs with neither reducer nor combiner.
+func (p ParallelExecutor) runMapOnly(ctx context.Context, job *Job, workers int, counters *Counters) (*Result, error) {
+	locals := make([][]KeyValue, workers)
+	mapErr := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(job.Input) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(job.Input) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(job.Input) {
+			hi = len(job.Input)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			var local []KeyValue
+			emit := func(kv KeyValue) { local = append(local, kv) }
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					mapErr[w] = err
+					return
+				}
+				if err := job.Map(job.Input[i], emit); err != nil {
+					mapErr[w] = fmt.Errorf("map record %d: %w", i, err)
+					return
+				}
+			}
+			counters.Add(CounterMapOut, int64(len(local)))
+			locals[w] = local
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	counters.Add(CounterMapIn, int64(len(job.Input)))
+	for w, err := range mapErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q worker %d: %w", job.Name, w, err)
+		}
+	}
+	var out []KeyValue
+	for _, local := range locals {
+		out = append(out, local...)
 	}
 	sortKVs(out)
 	return &Result{Output: out, Counters: counters}, nil

@@ -4,14 +4,16 @@
 // shuffle exactly as Algorithm 3 describes: map emits (eid, setID) for every
 // set membership, the reduce groups each EID's memberships into a signature,
 // and the merge groups EIDs by signature into the refined partition. The V
-// stage parallelizes per-scenario feature extraction and per-EID comparison
-// across mappers (§V-C).
+// stage parallelizes feature extraction and per-EID comparison across
+// mappers (§V-C), in contiguous batches so each worker amortizes dispatch
+// and working-storage cost across the scenarios it owns.
 package mrjobs
 
 import (
 	"context"
 	"fmt"
-	"sort"
+	"slices"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -27,6 +29,77 @@ const (
 	partitionSetPrefix = "P"
 	scenarioSetPrefix  = "S"
 )
+
+// setKey builds a shuffle set ID: the prefix followed by the zero-padded
+// decimal id — identical bytes to fmt.Sprintf("%s%06d", prefix, id) without
+// the verb parsing.
+func setKey(prefix string, id int) string {
+	s := strconv.Itoa(id)
+	if pad := 6 - len(s); pad > 0 {
+		return prefix + "000000"[:pad] + s
+	}
+	return prefix + s
+}
+
+// BatchFor returns the task batch length for n items: the explicit override
+// when positive, else ceil(n / (4·workers)), giving each worker about four
+// tasks — enough slack for work stealing across uneven batches while
+// amortizing per-task dispatch over many items. The result is always ≥ 1.
+func BatchFor(n, workers, override int) int {
+	if override > 0 {
+		return override
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	b := (n + 4*workers - 1) / (4 * workers)
+	if b < 1 {
+		b = 1
+	}
+	return b
+}
+
+// batchInput builds one task record per contiguous batch of n items. The
+// value carries the "lo,hi" half-open range into the caller's slice; the key
+// is the batch index, zero-padded so task keys sort in batch order.
+func batchInput(n, batchSize int) []mapreduce.KeyValue {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	input := make([]mapreduce.KeyValue, 0, (n+batchSize-1)/batchSize)
+	for lo := 0; lo < n; lo += batchSize {
+		hi := lo + batchSize
+		if hi > n {
+			hi = n
+		}
+		input = append(input, mapreduce.KeyValue{
+			Key:   setKey("b", len(input)),
+			Value: strconv.Itoa(lo) + "," + strconv.Itoa(hi),
+		})
+	}
+	return input
+}
+
+// parseBatch decodes a batchInput value back into its [lo, hi) range,
+// validating it against the slice length it indexes.
+func parseBatch(v string, n int) (lo, hi int, err error) {
+	c := strings.IndexByte(v, ',')
+	if c < 0 {
+		return 0, 0, fmt.Errorf("bad batch range %q", v)
+	}
+	lo, err = strconv.Atoi(v[:c])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad batch range %q: %w", v, err)
+	}
+	hi, err = strconv.Atoi(v[c+1:])
+	if err != nil {
+		return 0, 0, fmt.Errorf("bad batch range %q: %w", v, err)
+	}
+	if lo < 0 || hi < lo || hi > n {
+		return 0, 0, fmt.Errorf("batch range %q out of [0,%d]", v, n)
+	}
+	return lo, hi, nil
+}
 
 // SplitInput is one Algorithm-3 iteration's input: the current partition and
 // the E-Scenarios selected at one timestamp, pre-filtered to the target EIDs
@@ -56,19 +129,20 @@ func SplitIteration(ctx context.Context, exec mapreduce.Executor, in SplitInput)
 	}
 	targets := make(map[ids.EID]bool)
 	input := make([]mapreduce.KeyValue, 0, len(in.Sets)+len(in.Scenarios))
+	var strs []string // member buffer reused across records
 	for i, set := range in.Sets {
-		strs := make([]string, len(set))
-		for j, e := range set {
-			strs[j] = string(e)
+		strs = strs[:0]
+		for _, e := range set {
+			strs = append(strs, string(e))
 			targets[e] = true
 		}
 		input = append(input, mapreduce.KeyValue{
-			Key:   fmt.Sprintf("%s%06d", partitionSetPrefix, i),
+			Key:   setKey(partitionSetPrefix, i),
 			Value: strings.Join(strs, ","),
 		})
 	}
 	for _, s := range in.Scenarios {
-		var strs []string
+		strs = strs[:0]
 		for _, e := range s.SortedEIDs() {
 			if s.Inclusive(e) && targets[e] {
 				strs = append(strs, string(e))
@@ -78,7 +152,7 @@ func SplitIteration(ctx context.Context, exec mapreduce.Executor, in SplitInput)
 			continue
 		}
 		input = append(input, mapreduce.KeyValue{
-			Key:   fmt.Sprintf("%s%06d", scenarioSetPrefix, s.ID),
+			Key:   setKey(scenarioSetPrefix, int(s.ID)),
 			Value: strings.Join(strs, ","),
 		})
 	}
@@ -119,25 +193,40 @@ func SplitIteration(ctx context.Context, exec mapreduce.Executor, in SplitInput)
 		out.Sets = append(out.Sets, set)
 		for _, sid := range strings.Split(kv.Key, "|") {
 			if strings.HasPrefix(sid, scenarioSetPrefix) {
-				var id int
-				if _, err := fmt.Sscanf(sid[len(scenarioSetPrefix):], "%d", &id); err == nil {
+				if id, err := strconv.Atoi(sid[len(scenarioSetPrefix):]); err == nil {
 					usedSc[scenario.ID(id)] = true
 				}
 			}
 		}
 	}
-	sort.Slice(out.Sets, func(i, j int) bool { return out.Sets[i][0] < out.Sets[j][0] })
+	slices.SortFunc(out.Sets, func(a, b []ids.EID) int {
+		if a[0] < b[0] {
+			return -1
+		}
+		if a[0] > b[0] {
+			return 1
+		}
+		return 0
+	})
 	for id := range usedSc {
 		out.UsedScenarios = append(out.UsedScenarios, id)
 	}
-	sort.Slice(out.UsedScenarios, func(i, j int) bool { return out.UsedScenarios[i] < out.UsedScenarios[j] })
+	slices.Sort(out.UsedScenarios)
 	return out, nil
 }
 
 // MembershipMap emits (eid, setID) for every EID listed in the set record
-// (Algorithm 3 Map).
+// (Algorithm 3 Map). The member list is walked in place — no intermediate
+// split slice — since this map runs once per set per iteration.
 func MembershipMap(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
-	for _, e := range strings.Split(in.Value, ",") {
+	v := in.Value
+	for len(v) > 0 {
+		var e string
+		if c := strings.IndexByte(v, ','); c >= 0 {
+			e, v = v[:c], v[c+1:]
+		} else {
+			e, v = v, ""
+		}
 		if e != "" {
 			emit(mapreduce.KeyValue{Key: e, Value: in.Key})
 		}
@@ -146,22 +235,19 @@ func MembershipMap(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
 }
 
 // SignatureReduce folds one EID's set memberships into a canonical signature
-// key (Algorithm 3 Reduce: emit (eidsetidlist, eid)).
+// key (Algorithm 3 Reduce: emit (eidsetidlist, eid)). Values arrive sorted —
+// the Executor contract — which is exactly the canonical signature order, so
+// the memberships join as delivered.
 func SignatureReduce(key string, values []string, emit mapreduce.Emitter) error {
-	sigs := make([]string, len(values))
-	copy(sigs, values)
-	sort.Strings(sigs)
-	emit(mapreduce.KeyValue{Key: strings.Join(sigs, "|"), Value: key})
+	emit(mapreduce.KeyValue{Key: strings.Join(values, "|"), Value: key})
 	return nil
 }
 
 // MergeReduce groups the EIDs sharing one signature into a partition element
-// (Algorithm 3 Merge: emit (eidsetidlist, eidlist)).
+// (Algorithm 3 Merge: emit (eidsetidlist, eidlist)). Values arrive sorted per
+// the Executor contract, so the EID list joins as delivered.
 func MergeReduce(key string, values []string, emit mapreduce.Emitter) error {
-	eids := make([]string, len(values))
-	copy(eids, values)
-	sort.Strings(eids)
-	emit(mapreduce.KeyValue{Key: key, Value: strings.Join(eids, ",")})
+	emit(mapreduce.KeyValue{Key: key, Value: strings.Join(values, ",")})
 	return nil
 }
 
@@ -171,26 +257,26 @@ func identityMap(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
 }
 
 // ExtractScenarios runs the parallel feature-extraction stage (§V-C): each
-// mapper processes one V-Scenario through the filter, which caches the
-// features for the comparison stage. These visual operations have no data
-// dependency, so they parallelize freely.
-func ExtractScenarios(ctx context.Context, exec mapreduce.Executor, f *vfilter.Filter, scenarios []scenario.ID) error {
+// mapper processes one contiguous batch of V-Scenarios through the filter,
+// which caches the features for the comparison stage. The visual operations
+// have no data dependency, so batches parallelize freely; within a batch the
+// filter reuses one extraction buffer across every scenario, amortizing the
+// working-storage cost the way the paper assumes each worker amortizes
+// video-processing setup over the scenarios it owns. batchSize ≤ 0 means one
+// scenario per task.
+func ExtractScenarios(ctx context.Context, exec mapreduce.Executor, f *vfilter.Filter, scenarios []scenario.ID, batchSize int) error {
 	if len(scenarios) == 0 {
 		return nil
 	}
-	input := make([]mapreduce.KeyValue, len(scenarios))
-	for i, id := range scenarios {
-		input[i] = mapreduce.KeyValue{Key: fmt.Sprintf("%d", id), Value: ""}
-	}
 	job := &mapreduce.Job{
 		Name:  "ev.vstage.extract",
-		Input: input,
+		Input: batchInput(len(scenarios), batchSize),
 		Map: func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
-			var id int
-			if _, err := fmt.Sscanf(in.Key, "%d", &id); err != nil {
-				return fmt.Errorf("bad scenario id %q: %w", in.Key, err)
+			lo, hi, err := parseBatch(in.Value, len(scenarios))
+			if err != nil {
+				return fmt.Errorf("extract task %q: %w", in.Key, err)
 			}
-			if _, err := f.Features(scenario.ID(id)); err != nil {
+			if err := f.ExtractBatch(scenarios[lo:hi]); err != nil {
 				return err
 			}
 			emit(mapreduce.KeyValue{Key: in.Key, Value: "ok"})
@@ -211,18 +297,13 @@ type Assignment struct {
 }
 
 // MatchAssignments runs the parallel comparison stage: the V-Scenarios of
-// one EID's list are conveyed to the same mapper, so multiple EIDs'
-// comparisons proceed in parallel. Exclusions (already-matched VIDs) apply
-// to every mapper. Results are keyed by EID.
-func MatchAssignments(ctx context.Context, exec mapreduce.Executor, f *vfilter.Filter, assignments []Assignment, exclude map[ids.VID]bool) (map[ids.EID]vfilter.Result, error) {
+// one EID's list are conveyed to the same mapper, and a mapper owns a
+// contiguous batch of EIDs so several comparisons amortize one task
+// dispatch. Exclusions (already-matched VIDs) apply to every mapper. Results
+// are keyed by EID. batchSize ≤ 0 means one EID per task.
+func MatchAssignments(ctx context.Context, exec mapreduce.Executor, f *vfilter.Filter, assignments []Assignment, exclude map[ids.VID]bool, batchSize int) (map[ids.EID]vfilter.Result, error) {
 	if len(assignments) == 0 {
 		return map[ids.EID]vfilter.Result{}, nil
-	}
-	byEID := make(map[ids.EID]Assignment, len(assignments))
-	input := make([]mapreduce.KeyValue, len(assignments))
-	for i, a := range assignments {
-		byEID[a.EID] = a
-		input[i] = mapreduce.KeyValue{Key: string(a.EID), Value: ""}
 	}
 	// Results travel through a mutex-guarded side map rather than a channel:
 	// a fault-tolerant cluster may re-execute or speculatively duplicate a
@@ -234,20 +315,28 @@ func MatchAssignments(ctx context.Context, exec mapreduce.Executor, f *vfilter.F
 	results := make(map[ids.EID]vfilter.Result, len(assignments))
 	job := &mapreduce.Job{
 		Name:  "ev.vstage.compare",
-		Input: input,
+		Input: batchInput(len(assignments), batchSize),
 		Map: func(in mapreduce.KeyValue, emit mapreduce.Emitter) error {
-			a, ok := byEID[ids.EID(in.Key)]
-			if !ok {
-				return fmt.Errorf("unknown assignment %q", in.Key)
-			}
-			res, err := f.Match(a.EID, a.List, exclude)
+			lo, hi, err := parseBatch(in.Value, len(assignments))
 			if err != nil {
-				return err
+				return fmt.Errorf("compare task %q: %w", in.Key, err)
+			}
+			batch := make([]vfilter.Result, 0, hi-lo)
+			for _, a := range assignments[lo:hi] {
+				res, err := f.Match(a.EID, a.List, exclude)
+				if err != nil {
+					return err
+				}
+				batch = append(batch, res)
 			}
 			resMu.Lock()
-			results[a.EID] = res
+			for _, res := range batch {
+				results[res.EID] = res
+			}
 			resMu.Unlock()
-			emit(mapreduce.KeyValue{Key: in.Key, Value: string(res.VID)})
+			for _, res := range batch {
+				emit(mapreduce.KeyValue{Key: string(res.EID), Value: string(res.VID)})
+			}
 			return nil
 		},
 	}
@@ -257,9 +346,9 @@ func MatchAssignments(ctx context.Context, exec mapreduce.Executor, f *vfilter.F
 	resMu.Lock()
 	defer resMu.Unlock()
 	out := make(map[ids.EID]vfilter.Result, len(results))
-	for e := range byEID { //evlint:ignore maprange reads a keyed result per known assignment; no ordered iteration
-		if res, ok := results[e]; ok {
-			out[e] = res
+	for _, a := range assignments {
+		if res, ok := results[a.EID]; ok {
+			out[a.EID] = res
 		}
 	}
 	return out, nil

@@ -201,20 +201,20 @@ func TestExtractScenariosParallel(t *testing.T) {
 		list = append(list, w.add(t, i, i%6, (i+1)%6))
 	}
 	f := newTestFilter(t, w)
-	if err := ExtractScenarios(context.Background(), mapreduce.ParallelExecutor{Workers: 4}, f, list); err != nil {
+	if err := ExtractScenarios(context.Background(), mapreduce.ParallelExecutor{Workers: 4}, f, list, 3); err != nil {
 		t.Fatal(err)
 	}
 	if got := f.Stats().ScenariosProcessed; got != 10 {
 		t.Errorf("ScenariosProcessed = %d, want 10", got)
 	}
-	// Re-extraction is a no-op thanks to the cache.
-	if err := ExtractScenarios(context.Background(), mapreduce.SerialExecutor{}, f, list); err != nil {
+	// Re-extraction is a no-op thanks to the cache, whatever the batching.
+	if err := ExtractScenarios(context.Background(), mapreduce.SerialExecutor{}, f, list, 0); err != nil {
 		t.Fatal(err)
 	}
 	if got := f.Stats().ScenariosProcessed; got != 10 {
 		t.Errorf("after re-run ScenariosProcessed = %d, want 10", got)
 	}
-	if err := ExtractScenarios(context.Background(), mapreduce.SerialExecutor{}, f, nil); err != nil {
+	if err := ExtractScenarios(context.Background(), mapreduce.SerialExecutor{}, f, nil, 0); err != nil {
 		t.Errorf("empty extract: %v", err)
 	}
 }
@@ -230,7 +230,7 @@ func TestMatchAssignmentsParallel(t *testing.T) {
 		}
 	}
 	f := newTestFilter(t, w)
-	results, err := MatchAssignments(context.Background(), mapreduce.ParallelExecutor{Workers: 4}, f, assignments, nil)
+	results, err := MatchAssignments(context.Background(), mapreduce.ParallelExecutor{Workers: 4}, f, assignments, nil, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -243,7 +243,7 @@ func TestMatchAssignmentsParallel(t *testing.T) {
 			t.Errorf("EID %s matched %v, want %v", e, got, ids.VIDLabel(p))
 		}
 	}
-	empty, err := MatchAssignments(context.Background(), mapreduce.SerialExecutor{}, f, nil, nil)
+	empty, err := MatchAssignments(context.Background(), mapreduce.SerialExecutor{}, f, nil, nil, 0)
 	if err != nil || len(empty) != 0 {
 		t.Errorf("empty assignments: %v, %v", empty, err)
 	}
@@ -255,11 +255,88 @@ func TestMatchAssignmentsRespectsExclusions(t *testing.T) {
 	f := newTestFilter(t, w)
 	exclude := map[ids.VID]bool{ids.VIDLabel(0): true}
 	results, err := MatchAssignments(context.Background(), mapreduce.SerialExecutor{}, f,
-		[]Assignment{{EID: "b", List: list}}, exclude)
+		[]Assignment{{EID: "b", List: list}}, exclude, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if got := results["b"].VID; got != ids.VIDLabel(1) {
 		t.Errorf("matched %v, want %v", got, ids.VIDLabel(1))
+	}
+}
+
+func TestBatchFor(t *testing.T) {
+	cases := []struct {
+		n, workers, override, want int
+	}{
+		{100, 4, 0, 7}, // ceil(100/16)
+		{100, 4, 5, 5}, // explicit override wins
+		{3, 4, 0, 1},   // fewer items than task slots
+		{0, 4, 0, 1},   // degenerate: still a positive batch
+		{10, 0, 0, 3},  // workers clamp to 1: ceil(10/4)
+		{16, 4, -1, 1}, // negative override means default
+	}
+	for _, c := range cases {
+		if got := BatchFor(c.n, c.workers, c.override); got != c.want {
+			t.Errorf("BatchFor(%d, %d, %d) = %d, want %d", c.n, c.workers, c.override, got, c.want)
+		}
+	}
+}
+
+func TestBatchInputCoversRange(t *testing.T) {
+	for n := 0; n <= 13; n++ {
+		for bs := 1; bs <= 5; bs++ {
+			input := batchInput(n, bs)
+			next := 0
+			for _, kv := range input {
+				lo, hi, err := parseBatch(kv.Value, n)
+				if err != nil {
+					t.Fatalf("n=%d bs=%d: %v", n, bs, err)
+				}
+				if lo != next || hi <= lo {
+					t.Fatalf("n=%d bs=%d: batch %q not contiguous from %d", n, bs, kv.Value, next)
+				}
+				next = hi
+			}
+			if next != n {
+				t.Fatalf("n=%d bs=%d: batches end at %d", n, bs, next)
+			}
+		}
+	}
+}
+
+func TestParseBatchRejectsMalformed(t *testing.T) {
+	for _, v := range []string{"", "3", "a,b", "1,", ",2", "-1,2", "2,1", "0,9"} {
+		if _, _, err := parseBatch(v, 8); err == nil {
+			t.Errorf("parseBatch(%q, 8) accepted", v)
+		}
+	}
+}
+
+// TestMatchAssignmentsBatchEquivalence pins that batching is invisible in
+// the results: every batch size yields the same per-EID outcome as the
+// one-task-per-EID schedule.
+func TestMatchAssignmentsBatchEquivalence(t *testing.T) {
+	w := newVWorld(t, 6)
+	shared := w.add(t, 0, 0, 1, 2, 3, 4, 5)
+	assignments := make([]Assignment, 6)
+	for p := 0; p < 6; p++ {
+		assignments[p] = Assignment{
+			EID:  ids.EID(rune('a' + p)),
+			List: []scenario.ID{shared, w.add(t, 1+p, p)},
+		}
+	}
+	f := newTestFilter(t, w)
+	base, err := MatchAssignments(context.Background(), mapreduce.SerialExecutor{}, f, assignments, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bs := 2; bs <= len(assignments)+1; bs++ {
+		got, err := MatchAssignments(context.Background(), mapreduce.ParallelExecutor{Workers: 4}, f, assignments, nil, bs)
+		if err != nil {
+			t.Fatalf("batch %d: %v", bs, err)
+		}
+		if !reflect.DeepEqual(got, base) {
+			t.Fatalf("batch %d results diverge: %v vs %v", bs, got, base)
+		}
 	}
 }

@@ -88,8 +88,10 @@ type Partition struct {
 	recorded []scenario.ID
 	inRec    map[scenario.ID]bool
 	// sInc/sVag/sAny are the reusable scenario-membership masks SplitBy
-	// rebuilds per call.
+	// rebuilds per call; tInc/tOut/tVag are splitNode's probe scratches,
+	// cloned into child nodes only when a split is actually effective.
 	sInc, sVag, sAny bitset.Set
+	tInc, tOut, tVag bitset.Set
 }
 
 // New creates the initial one-set partition over the target EIDs, all
@@ -125,6 +127,9 @@ func New(targets []ids.EID) (*Partition, error) {
 		sInc:  bitset.New(n),
 		sVag:  bitset.New(n),
 		sAny:  bitset.New(n),
+		tInc:  bitset.New(n),
+		tOut:  bitset.New(n),
+		tVag:  bitset.New(n),
 	}
 	for _, e := range idx.eids {
 		p.home[e] = root
@@ -231,15 +236,21 @@ func (p *Partition) splitNode(leaf *Node) (left, right *Node, ok bool) {
 	if leaf.inc.Count() < 2 {
 		return nil, nil, false
 	}
-	leftInc := bitset.And(leaf.inc, p.sInc)
-	if !leftInc.Any() {
+	// Probe into reusable scratches first: most leaves are not split by most
+	// scenarios (either side empty), and the probe must not allocate then.
+	bitset.AndInto(p.tInc, leaf.inc, p.sInc)
+	if !p.tInc.Any() {
 		return nil, nil, false
 	}
-	rightInc := bitset.AndNot(leaf.inc, p.sInc)
-	if !rightInc.Any() {
+	bitset.AndNotInto(p.tOut, leaf.inc, p.sInc)
+	if !p.tOut.Any() {
 		return nil, nil, false
 	}
-	leftVag := bitset.Or(bitset.And(leaf.inc, p.sVag), bitset.And(leaf.vag, p.sAny))
+	leftInc, rightInc := p.tInc.Clone(), p.tOut.Clone()
+	bitset.AndInto(p.tVag, leaf.inc, p.sVag)
+	bitset.AndInto(p.tOut, leaf.vag, p.sAny)
+	bitset.OrInto(p.tVag, p.tVag, p.tOut)
+	leftVag := p.tVag.Clone()
 	// Every vague member stays vague on the right: unseen ones live only
 	// there, seen ones are uncertain on both sides. Node sets are immutable
 	// after creation, so the child can share the parent's word array.

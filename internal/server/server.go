@@ -17,6 +17,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
 	"strconv"
 
@@ -80,12 +81,35 @@ type errorBody struct {
 	Error string `json:"error"`
 }
 
+// jsonFloat is a float64 that survives JSON encoding whatever its value:
+// NaN and ±Inf marshal as null instead of aborting the encoder. Response
+// bodies use it for any field fed from match statistics, where ratios like a
+// lone candidate's margin are legitimately infinite.
+type jsonFloat float64
+
+// MarshalJSON implements json.Marshaler.
+func (f jsonFloat) MarshalJSON() ([]byte, error) {
+	v := float64(f)
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return []byte("null"), nil
+	}
+	return json.Marshal(v)
+}
+
 func writeJSON(w http.ResponseWriter, status int, body any) {
+	// Encode before touching the ResponseWriter: once the status header is
+	// out, an encoding failure (e.g. a non-finite float that slipped past
+	// sanitization) would silently truncate the body mid-response. Buffering
+	// first lets such failures surface as a well-formed 500 instead.
+	data, err := json.Marshal(body)
+	if err != nil {
+		status = http.StatusInternalServerError
+		data, _ = json.Marshal(errorBody{Error: fmt.Sprintf("encode response: %v", err)})
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	// Encoding failures past the header write can only be logged by the
-	// transport; the payloads here are plain structs that cannot fail.
-	_ = json.NewEncoder(w).Encode(body)
+	data = append(data, '\n')
+	_, _ = w.Write(data)
 }
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
@@ -109,9 +133,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 
 // matchBody is the /match and /reverse response.
 type matchBody struct {
-	EID        ids.EID `json:"eid"`
-	VID        ids.VID `json:"vid"`
-	Confidence float64 `json:"confidence,omitempty"`
+	EID        ids.EID   `json:"eid"`
+	VID        ids.VID   `json:"vid"`
+	Confidence jsonFloat `json:"confidence,omitempty"`
 }
 
 func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
@@ -130,7 +154,7 @@ func (s *Server) handleMatch(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusInternalServerError, "confidence lookup: %v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, matchBody{EID: e, VID: v, Confidence: conf})
+	writeJSON(w, http.StatusOK, matchBody{EID: e, VID: v, Confidence: jsonFloat(conf)})
 }
 
 func (s *Server) handleReverse(w http.ResponseWriter, r *http.Request) {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"testing"
@@ -251,5 +252,51 @@ func TestMethodRouting(t *testing.T) {
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusMethodNotAllowed {
 		t.Errorf("POST status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestWriteJSONNonFiniteBody pins the regression where an unencodable body
+// (a non-finite float) failed after the status header was written, leaving
+// the client a truncated 200 with an empty body. The encode must happen
+// first, turning the failure into a well-formed 500 error envelope.
+func TestWriteJSONNonFiniteBody(t *testing.T) {
+	rec := httptest.NewRecorder()
+	writeJSON(rec, http.StatusOK, struct {
+		Margin float64 `json:"margin"`
+	}{math.Inf(1)})
+	if rec.Code != http.StatusInternalServerError {
+		t.Errorf("status = %d, want 500", rec.Code)
+	}
+	var body errorBody
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("body is not valid JSON: %v\n%s", err, rec.Body.String())
+	}
+	if body.Error == "" {
+		t.Errorf("error envelope empty: %s", rec.Body.String())
+	}
+}
+
+// TestJSONFloatSanitizesNonFinite checks the response-field sanitizer: NaN
+// and ±Inf marshal as null, finite values as plain numbers, and the zero
+// value still disappears under omitempty.
+func TestJSONFloatSanitizesNonFinite(t *testing.T) {
+	cases := []struct {
+		in   jsonFloat
+		want string
+	}{
+		{jsonFloat(math.Inf(1)), `{"eid":"e","vid":"v","confidence":null}`},
+		{jsonFloat(math.Inf(-1)), `{"eid":"e","vid":"v","confidence":null}`},
+		{jsonFloat(math.NaN()), `{"eid":"e","vid":"v","confidence":null}`},
+		{jsonFloat(0.75), `{"eid":"e","vid":"v","confidence":0.75}`},
+		{jsonFloat(0), `{"eid":"e","vid":"v"}`},
+	}
+	for _, tc := range cases {
+		got, err := json.Marshal(matchBody{EID: "e", VID: "v", Confidence: tc.in})
+		if err != nil {
+			t.Fatalf("Marshal(conf=%v): %v", float64(tc.in), err)
+		}
+		if string(got) != tc.want {
+			t.Errorf("Marshal(conf=%v) = %s, want %s", float64(tc.in), got, tc.want)
+		}
 	}
 }

@@ -9,10 +9,14 @@
 //
 // The Match hot path is allocation-free in steady state: each V-Scenario's
 // features live in one contiguous feature.Matrix (extracted in place, row by
-// row), candidate state is slice-indexed scratch recycled through a
-// sync.Pool, and per-candidate scoring runs the batched feature.MaxSim
-// kernel. Work counters are atomics so concurrent Match calls share the
-// extraction cache without contending on a stats lock.
+// row), candidate masks are bitset-backed dense tables over the Filter's
+// interned VID ordinals, per-candidate state is slice-indexed scratch
+// recycled through a sync.Pool, and per-candidate scoring runs the batched
+// feature.MaxSim kernel. Candidates are census-pruned before any feature
+// accumulation, so the expensive per-candidate work (running means, MaxSim)
+// only touches the VIDs that can still win the vote. Work counters are
+// atomics so concurrent Match calls share the extraction cache without
+// contending on a stats lock.
 package vfilter
 
 import (
@@ -24,6 +28,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"evmatching/internal/bitset"
 	"evmatching/internal/feature"
 	"evmatching/internal/ids"
 	"evmatching/internal/scenario"
@@ -96,8 +101,8 @@ type Filter struct {
 	mu    sync.Mutex // guards cache and the VID intern tables
 	cache map[scenario.ID]*cacheEntry
 	// VID interning: every VID observed in an extracted scenario gets a
-	// dense ordinal, so the Match hot loops index slices instead of hashing
-	// string VIDs. Ordinals are stable for the Filter's lifetime.
+	// dense ordinal, so the Match hot loops index slices and bitsets instead
+	// of hashing string VIDs. Ordinals are stable for the Filter's lifetime.
 	vidOrd   map[ids.VID]int32
 	vidByOrd []ids.VID
 
@@ -143,17 +148,42 @@ func (f *Filter) Stats() Stats {
 // detections yields (nil, nil). The returned vectors are views into the
 // scenario's feature matrix; callers must not modify them.
 func (f *Filter) Features(id scenario.ID) ([]feature.Vector, error) {
-	entry := f.features(id)
+	s := f.pool.Get().(*scratch)
+	entry := f.features(id, &s.xbuf)
+	f.pool.Put(s)
 	if entry == nil {
 		return nil, nil
 	}
 	return entry.rows, entry.err
 }
 
+// ExtractBatch processes a contiguous batch of V-Scenarios through the
+// shared extraction cache — the worker-side entry point of the batched
+// parallel V stage (paper §V-C). One pooled scratch provides the single
+// extraction buffer reused across every patch of every scenario in the
+// batch, so a worker amortizes working-storage costs across the scenarios it
+// owns instead of paying them per task. Scenarios already extracted (by this
+// or any concurrent caller) are skipped by the cache. The first extraction
+// error is returned; earlier scenarios of the batch stay cached.
+func (f *Filter) ExtractBatch(list []scenario.ID) error {
+	if len(list) == 0 {
+		return nil
+	}
+	s := f.pool.Get().(*scratch)
+	defer f.pool.Put(s)
+	for _, id := range list {
+		if entry := f.features(id, &s.xbuf); entry != nil && entry.err != nil {
+			return entry.err
+		}
+	}
+	return nil
+}
+
 // features returns the scenario's populated cache entry, or nil when the
 // scenario has no detections. A failed extraction is cached (and its cost
 // counted) once; later calls observe the same error without re-extracting.
-func (f *Filter) features(id scenario.ID) *cacheEntry {
+// buf is the caller's reusable extraction working storage.
+func (f *Filter) features(id scenario.ID, buf *feature.ExtractBuf) *cacheEntry {
 	v := f.store.V(id)
 	if v == nil || len(v.Detections) == 0 {
 		return nil
@@ -173,7 +203,7 @@ func (f *Filter) features(id scenario.ID) *cacheEntry {
 			return
 		}
 		for i := range v.Detections {
-			if err := f.cfg.Extractor.ExtractInto(v.Detections[i].Patch, m.Row(i)); err != nil {
+			if err := f.cfg.Extractor.ExtractIntoBuf(v.Detections[i].Patch, m.Row(i), buf); err != nil {
 				entry.err = fmt.Errorf("vfilter: extract scenario %d detection %d: %w", id, i, err)
 				// The i successful extractions plus this failed attempt were
 				// real work; count them even though the scenario is unusable.
@@ -214,31 +244,41 @@ type scan struct {
 	ords []int32
 }
 
-// scratch is the slice-indexed per-Match working state, recycled through
-// Filter.pool. Candidates are numbered by discovery order ("slots"); every
-// per-candidate quantity lives in a slot-indexed slice, and candidate lookup
-// goes through the Filter's interned VID ordinals, so the hot loops touch no
-// map at all.
+// scratch is the per-Match working state, recycled through Filter.pool. The
+// candidate census runs over dense ordinal-indexed tables: bitset masks for
+// exclusion and pruning survival plus presence counters, all sized by the
+// Filter's VID intern table. Only candidates surviving the census get slots
+// (numbered by discovery order); every per-candidate quantity lives in a
+// slot-indexed slice, so the hot loops touch no map at all.
 type scratch struct {
-	scans     []scan
-	slotByOrd []int32   // VID ordinal → slot, -1 when absent (grow-only)
-	excl      []bool    // VID ordinal → excluded from this Match
-	slotOrds  []int32   // slot → VID ordinal, discovery order
-	vids      []ids.VID // slot → VID, discovery order
-	order     []int     // slots in lexicographic VID order (the deterministic order)
-	accs      []feature.MeanAccum
-	prob      []float64
-	presence  []int
-	seenAt    []int // presence stamp: last scenario index counted, +1
-	keep      []bool
-	votes     []int
-	reps      []float64 // slot-major representative slab, nslots×dim
+	scans []scan
+	xbuf  feature.ExtractBuf // extraction working storage, shared per batch
+
+	// Ordinal-indexed dense tables (grow-only; see ensureOrds).
+	excl      bitset.Set // VID ordinal → excluded from this Match
+	kept      bitset.Set // VID ordinal → survived trajectory pruning
+	presence  []int32    // VID ordinal → scenarios sighted in, this Match
+	seenScen  []int64    // VID ordinal → stamp of last scenario counted
+	slotByOrd []int32    // VID ordinal → slot, -1 when absent
+	stamp     int64      // monotone per-scenario stamp; never reset
+
+	candOrds []int32 // ordinals sighted this Match, discovery order
+
+	// Slot-indexed state for the surviving candidates.
+	slotOrds []int32   // slot → VID ordinal, discovery order
+	vids     []ids.VID // slot → VID, discovery order
+	order    []int     // slots in lexicographic VID order (the deterministic order)
+	accs     []feature.MeanAccum
+	prob     []float64
+	votes    []int
+	reps     []float64 // slot-major representative slab, nslots×dim
 }
 
 // reset prepares the scratch for a Match over n scenarios. accs keeps its
-// length (each accumulator owns a reusable buffer); slots() bounds the live
-// prefix. slotByOrd entries of the previous Match are put back to -1 slot by
-// slot, so the table never needs a full clear.
+// length (each accumulator owns a reusable buffer). The ordinal tables of
+// the previous Match are put back entry by entry (presence via candOrds,
+// slotByOrd via slotOrds), so they never need a full clear; seenScen relies
+// on the monotone stamp and is never cleared at all.
 func (s *scratch) reset(n int) {
 	if cap(s.scans) < n {
 		s.scans = make([]scan, n)
@@ -247,6 +287,10 @@ func (s *scratch) reset(n int) {
 	for i := range s.scans {
 		s.scans[i] = scan{}
 	}
+	for _, ord := range s.candOrds {
+		s.presence[ord] = 0
+	}
+	s.candOrds = s.candOrds[:0]
 	for _, ord := range s.slotOrds {
 		s.slotByOrd[ord] = -1
 	}
@@ -254,38 +298,44 @@ func (s *scratch) reset(n int) {
 	s.vids = s.vids[:0]
 	s.order = s.order[:0]
 	s.prob = s.prob[:0]
-	s.presence = s.presence[:0]
-	s.seenAt = s.seenAt[:0]
-	s.keep = s.keep[:0]
 	s.votes = s.votes[:0]
 }
 
 // ensureOrds sizes the ordinal-indexed tables for a Filter that has interned
-// numVID VIDs so far. slotByOrd only grows (ordinals are stable for the
-// Filter's lifetime); the exclusion mask is cleared for the new Match.
+// numVID VIDs so far. The counter tables only grow (ordinals are stable for
+// the Filter's lifetime); the bitset masks are word-wise cleared for the new
+// Match, or reallocated when the ordinal universe outgrew them.
 func (s *scratch) ensureOrds(numVID int) {
 	for len(s.slotByOrd) < numVID {
 		s.slotByOrd = append(s.slotByOrd, -1)
 	}
-	if cap(s.excl) < numVID {
-		s.excl = make([]bool, numVID)
+	for len(s.presence) < numVID {
+		s.presence = append(s.presence, 0)
 	}
-	s.excl = s.excl[:numVID]
-	clear(s.excl)
+	for len(s.seenScen) < numVID {
+		s.seenScen = append(s.seenScen, 0)
+	}
+	if len(s.excl)*64 < numVID {
+		s.excl = bitset.New(numVID)
+	} else {
+		s.excl.Clear()
+	}
+	if len(s.kept)*64 < numVID {
+		s.kept = bitset.New(numVID)
+	} else {
+		s.kept.Clear()
+	}
 }
 
 func (s *scratch) slots() int { return len(s.vids) }
 
-// addSlot registers a newly seen candidate VID and returns its slot.
+// addSlot registers a surviving candidate VID and returns its slot.
 func (s *scratch) addSlot(vid ids.VID, ord int32, dim int) int {
 	n := len(s.vids)
 	s.vids = append(s.vids, vid)
 	s.slotOrds = append(s.slotOrds, ord)
 	s.slotByOrd[ord] = int32(n)
 	s.prob = append(s.prob, 1)
-	s.presence = append(s.presence, 0)
-	s.seenAt = append(s.seenAt, 0)
-	s.keep = append(s.keep, false)
 	s.votes = append(s.votes, 0)
 	if n == len(s.accs) {
 		s.accs = append(s.accs, feature.MeanAccum{})
@@ -313,12 +363,10 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	s.reset(len(list))
 
 	// Gather per-scenario feature matrices first — extraction interns every
-	// detection's VID — then resolve the exclusion set to an ordinal mask
-	// and stream each candidate's detections into its running-mean
-	// accumulator (same accumulation order as scanning, so the
-	// representative below is exactly the mean of its detection features).
+	// detection's VID — then resolve the exclusion set to a dense ordinal
+	// bitset.
 	for i, id := range list {
-		entry := f.features(id)
+		entry := f.features(id, &s.xbuf)
 		if entry != nil && entry.err != nil {
 			return res, entry.err
 		}
@@ -342,10 +390,68 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 		// A VID the Filter has never interned cannot appear in any
 		// extracted scenario of this list; skipping it is exact.
 		if ord, ok := f.vidOrd[vid]; ok {
-			s.excl[ord] = true
+			s.excl.Add(int(ord))
 		}
 	}
 	f.mu.Unlock()
+
+	// Candidate census: one pass over the detections counts, per VID
+	// ordinal, how many listed scenarios sight each non-excluded candidate.
+	// The monotone stamp dedups within a scenario without any clearing.
+	detecting := 0
+	for i := range s.scans {
+		sc := &s.scans[i]
+		if sc.v == nil || sc.m == nil {
+			continue
+		}
+		if sc.m.Rows() > 0 {
+			detecting++
+		}
+		s.stamp++
+		stamp := s.stamp
+		for d := range sc.v.Detections {
+			ord := sc.ords[d]
+			if s.excl.Has(int(ord)) || s.seenScen[ord] == stamp {
+				continue
+			}
+			s.seenScen[ord] = stamp
+			if s.presence[ord] == 0 {
+				s.candOrds = append(s.candOrds, ord)
+			}
+			s.presence[ord]++
+		}
+	}
+	if len(s.candOrds) == 0 {
+		return res, nil
+	}
+
+	// Trajectory pruning: the matched VID is "the only one having the same
+	// trajectory with this EID" (paper §IV-B2), and a VID absent from more
+	// than half the detecting scenarios can never carry the majority vote —
+	// so drop such candidates outright, before any of the per-candidate
+	// feature work. This keeps the candidate pool from growing with crowd
+	// density (where each scenario contributes a hundred bystander VIDs) and
+	// saves their accumulations and feature comparisons. If nothing clears
+	// the bar (severe VID missing), every candidate stays eligible.
+	keptCount := 0
+	if need := (detecting + 1) / 2; need > 1 {
+		for _, ord := range s.candOrds {
+			if int(s.presence[ord]) >= need {
+				s.kept.Add(int(ord))
+				keptCount++
+			}
+		}
+	}
+	if keptCount == 0 {
+		for _, ord := range s.candOrds {
+			s.kept.Add(int(ord))
+		}
+	}
+
+	// Slot assignment and feature accumulation for the survivors only: each
+	// kept candidate's detections stream into its running-mean accumulator
+	// (same accumulation order as scanning, so the representative below is
+	// exactly the mean of its detection features).
 	for i := range s.scans {
 		sc := &s.scans[i]
 		if sc.v == nil || sc.m == nil {
@@ -353,7 +459,7 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 		}
 		for d := range sc.v.Detections {
 			ord := sc.ords[d]
-			if s.excl[ord] {
+			if !s.kept.Has(int(ord)) {
 				continue
 			}
 			slot := int(s.slotByOrd[ord])
@@ -361,52 +467,6 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 				slot = s.addSlot(sc.v.Detections[d].VID, ord, dim)
 			}
 			s.accs[slot].Add(sc.m.Row(d))
-		}
-	}
-	if s.slots() == 0 {
-		return res, nil
-	}
-
-	// Trajectory pruning: the matched VID is "the only one having the same
-	// trajectory with this EID" (paper §IV-B2), and a VID absent from more
-	// than half the detecting scenarios can never carry the majority vote —
-	// so drop such candidates outright. This keeps the candidate pool from
-	// growing with crowd density (where each scenario contributes a hundred
-	// bystander VIDs) and saves their feature comparisons. If nothing
-	// clears the bar (severe VID missing), every candidate stays eligible.
-	detecting := 0
-	for i := range s.scans {
-		if sc := &s.scans[i]; sc.v != nil && sc.m != nil && sc.m.Rows() > 0 {
-			detecting++
-		}
-	}
-	kept := 0
-	if need := (detecting + 1) / 2; need > 1 {
-		for i := range s.scans {
-			sc := &s.scans[i]
-			if sc.v == nil {
-				continue
-			}
-			stamp := i + 1
-			for d := range sc.v.Detections {
-				if slot := s.slotByOrd[sc.ords[d]]; slot >= 0 && s.seenAt[slot] != stamp {
-					s.seenAt[slot] = stamp
-					s.presence[slot]++
-				}
-			}
-		}
-		for slot := range s.keep {
-			if s.presence[slot] >= need {
-				s.keep[slot] = true
-				kept++
-			}
-		}
-	}
-	// No pruning (too few detecting scenarios) or nothing cleared the bar:
-	// every candidate stays eligible.
-	if kept == 0 {
-		for slot := range s.keep {
-			s.keep[slot] = true
 		}
 	}
 
@@ -425,9 +485,6 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	}
 	s.reps = s.reps[:s.slots()*dim]
 	for _, slot := range s.order {
-		if !s.keep[slot] {
-			continue
-		}
 		if s.accs[slot].Count() == 0 {
 			return res, fmt.Errorf("vfilter: representative for %s: feature: mean of no vectors", s.vids[slot])
 		}
@@ -440,9 +497,6 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 			continue
 		}
 		for _, slot := range s.order {
-			if !s.keep[slot] {
-				continue
-			}
 			s.prob[slot] *= feature.MaxSim(s.rep(slot, dim), sc.m)
 			comparisons += int64(sc.m.Rows())
 		}
@@ -463,7 +517,7 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 		bestProb := -1.0
 		for d := range sc.v.Detections {
 			slot := int(s.slotByOrd[sc.ords[d]])
-			if slot < 0 || !s.keep[slot] {
+			if slot < 0 {
 				continue
 			}
 			if s.prob[slot] > bestProb || (s.prob[slot] == bestProb && s.vids[slot] < winner) {
@@ -487,7 +541,7 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	bestVotes := -1
 	for _, slot := range s.order {
 		vid := s.vids[slot]
-		if !s.keep[slot] || s.votes[slot] == 0 {
+		if s.votes[slot] == 0 {
 			continue
 		}
 		switch n := s.votes[slot]; {
@@ -511,7 +565,7 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	bestOther := -1.0
 	for _, slot := range s.order {
 		vid := s.vids[slot]
-		if vid == best || !s.keep[slot] {
+		if vid == best {
 			continue
 		}
 		if s.prob[slot] > bestOther || (s.prob[slot] == bestOther && vid < res.RunnerUp) {

@@ -362,3 +362,53 @@ func TestMatchMarginDiagnostics(t *testing.T) {
 		t.Errorf("margin = %v, want finite >= 1", res.Margin)
 	}
 }
+
+// TestExtractBatchConcurrentWithMatch races the batched-extraction entry
+// point against Match calls over overlapping scenario lists (the schedule the
+// batched parallel V stage produces). The shared cache must keep every
+// scenario's extraction exactly-once however the callers interleave — run
+// under -race in CI's concurrency tier.
+func TestExtractBatchConcurrentWithMatch(t *testing.T) {
+	w := newWorld(t, 8)
+	shared := w.addScenario(t, 0, []int{0, 1, 2, 3, 4, 5, 6, 7})
+	all := []scenario.ID{shared}
+	lists := make([][]scenario.ID, 8)
+	for p := 0; p < 8; p++ {
+		own := w.addScenario(t, 1+p, []int{p})
+		all = append(all, own)
+		lists[p] = []scenario.ID{shared, own}
+	}
+	f := newFilter(t, w, 0.5)
+	var wg sync.WaitGroup
+	errs := make([]error, 12)
+	// Four batch extractors over overlapping windows of the full list...
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			lo := i * 2
+			hi := lo + 5
+			if hi > len(all) {
+				hi = len(all)
+			}
+			errs[8+i] = f.ExtractBatch(all[lo:hi])
+		}(i)
+	}
+	// ...racing eight matchers that demand the same scenarios.
+	for p := 0; p < 8; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			_, errs[p] = f.Match(eidOf(p), lists[p], nil)
+		}(p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("goroutine %d: %v", i, err)
+		}
+	}
+	if got := f.Stats().ScenariosProcessed; got != len(all) {
+		t.Errorf("ScenariosProcessed = %d, want %d (each scenario exactly once)", got, len(all))
+	}
+}
