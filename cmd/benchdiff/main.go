@@ -15,7 +15,8 @@
 // time/op grew by more than max(threshold% · old median, iqr-mult · IQR(old
 // samples)). The percentage term catches drift on quiet micro-benchmarks; the
 // IQR term widens the allowance for end-to-end benchmarks whose -count
-// samples are inherently noisy, so a wide old spread does not flake CI.
+// samples are inherently noisy, so a wide old spread does not flake CI. Each
+// row logs its effective allowance and which term chose it (pct or iqr).
 // Malformed input — an empty file, a truncated Benchmark line, a benchmark
 // with no ns/op samples — is an error (exit 2), never silently ignored.
 package main
@@ -66,19 +67,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sort.Strings(names)
 
 	regressions := 0
-	fmt.Fprintf(stdout, "%-32s %14s %14s %8s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allocs/op old→new")
+	fmt.Fprintf(stdout, "%-32s %14s %14s %8s %14s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allowance", "allocs/op old→new")
 	for _, name := range names {
 		o := old[name]
 		n, ok := new_[name]
 		if !ok {
-			fmt.Fprintf(stdout, "%-32s %14s %14s %8s (removed; not gated)\n", name, format(median(o.ns)), "-", "-")
+			fmt.Fprintf(stdout, "%-32s %14s %14s %8s %14s (removed; not gated)\n", name, format(median(o.ns)), "-", "-", "-")
 			continue
 		}
 		oldNs, newNs := median(o.ns), median(n.ns)
 		delta := (newNs - oldNs) / oldNs * 100
 		// Noise-adaptive gate: allow the larger of the percentage budget and
-		// iqr-mult times the old samples' interquartile range.
-		allowed := math.Max(*threshold/100*oldNs, *iqrMult*iqr(o.ns))
+		// iqr-mult times the old samples' interquartile range. The allowance
+		// column logs each benchmark's effective gate and which term chose it,
+		// so a CI failure (or a suspicious pass) is auditable from the table.
+		pctAllow := *threshold / 100 * oldNs
+		iqrAllow := *iqrMult * iqr(o.ns)
+		allowed, chosen := pctAllow, "pct"
+		if iqrAllow > pctAllow {
+			allowed, chosen = iqrAllow, "iqr"
+		}
+		allowance := fmt.Sprintf("≤+%.1f%%(%s)", allowed/oldNs*100, chosen)
 		mark := ""
 		if newNs-oldNs > allowed {
 			mark = "  REGRESSION"
@@ -88,11 +97,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if len(o.allocs) > 0 && len(n.allocs) > 0 {
 			allocs = fmt.Sprintf("%.0f→%.0f", median(o.allocs), median(n.allocs))
 		}
-		fmt.Fprintf(stdout, "%-32s %14s %14s %+7.1f%% %18s%s\n", name, format(oldNs), format(newNs), delta, allocs, mark)
+		fmt.Fprintf(stdout, "%-32s %14s %14s %+7.1f%% %14s %18s%s\n", name, format(oldNs), format(newNs), delta, allowance, allocs, mark)
 	}
 	for name := range new_ {
 		if _, ok := old[name]; !ok {
-			fmt.Fprintf(stdout, "%-32s %14s %14s %8s (new; not gated)\n", name, "-", format(median(new_[name].ns)), "-")
+			fmt.Fprintf(stdout, "%-32s %14s %14s %8s %14s (new; not gated)\n", name, "-", format(median(new_[name].ns)), "-", "-")
 		}
 	}
 	if regressions > 0 {

@@ -158,6 +158,36 @@ func TestIQR(t *testing.T) {
 	}
 }
 
+func TestAllowanceColumnLogsChosenGate(t *testing.T) {
+	// BenchmarkSim has a tight spread (IQR 1ns, 3·IQR < 20%·38ns): pct wins.
+	// BenchmarkNoisy has a wide spread: iqr wins. Both choices are logged.
+	wide := oldOut + `BenchmarkNoisy-8    1000    100000 ns/op
+BenchmarkNoisy-8    1000    120000 ns/op
+BenchmarkNoisy-8    1000    140000 ns/op
+`
+	oldPath := writeTemp(t, "old.txt", wide)
+	newPath := writeTemp(t, "new.txt", wide)
+	var stdout, stderr strings.Builder
+	if code := run([]string{oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d on identical runs; stderr: %s", code, stderr.String())
+	}
+	for _, line := range strings.Split(stdout.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "BenchmarkSim "):
+			if !strings.Contains(line, "(pct)") {
+				t.Errorf("tight-spread row should use the percentage gate: %s", line)
+			}
+		case strings.HasPrefix(line, "BenchmarkNoisy "):
+			if !strings.Contains(line, "(iqr)") {
+				t.Errorf("wide-spread row should use the IQR gate: %s", line)
+			}
+		}
+	}
+	if !strings.Contains(stdout.String(), "allowance") {
+		t.Errorf("header missing allowance column:\n%s", stdout.String())
+	}
+}
+
 func TestNoiseAdaptiveGateAbsorbsWideSpread(t *testing.T) {
 	// Old medians at 120µs with a 20µs IQR: the 3·IQR allowance (60µs) beats
 	// the 20% budget (24µs), so a 42% jump still passes...

@@ -2,10 +2,15 @@
 // EIDs and visual appearances moving by random waypoint, discretized into
 // EV-Scenarios.
 //
+// With -events it additionally (or instead) flattens the world into the
+// time-ordered JSONL observation log that cmd/evstream replays: one record
+// per EID sighting and per detection, timestamped inside its window.
+//
 // Usage:
 //
 //	evgen -out world.gob [-persons 1000] [-density 60] [-windows 64]
 //	      [-seed 1] [-layout grid|hex] [-practical] [-eid-miss 0] [-vid-miss 0]
+//	      [-events obs.jsonl] [-window-ms 1000]
 package main
 
 import (
@@ -15,6 +20,7 @@ import (
 	"os"
 
 	"evmatching"
+	"evmatching/internal/stream"
 )
 
 func main() {
@@ -27,7 +33,9 @@ func main() {
 func run(args []string) error {
 	fs := flag.NewFlagSet("evgen", flag.ContinueOnError)
 	var (
-		out       = fs.String("out", "", "output dataset file (required)")
+		out       = fs.String("out", "", "output dataset file")
+		events    = fs.String("events", "", "output JSONL observation log for stream replay")
+		windowMS  = fs.Int64("window-ms", 1000, "event-log window length in milliseconds")
 		persons   = fs.Int("persons", 1000, "number of human objects")
 		density   = fs.Float64("density", 60, "average persons per cell")
 		windows   = fs.Int("windows", 64, "number of scenario time windows")
@@ -40,8 +48,8 @@ func run(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *out == "" {
-		return errors.New("-out is required")
+	if *out == "" && *events == "" {
+		return errors.New("at least one of -out and -events is required")
 	}
 	cfg := evmatching.DefaultDatasetConfig()
 	cfg.NumPersons = *persons
@@ -66,10 +74,39 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	if err := ds.SaveFile(*out); err != nil {
+	if *out != "" {
+		if err := ds.SaveFile(*out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s: %d persons, %d EIDs, %d cells, %d scenarios\n",
+			*out, len(ds.Persons), len(ds.AllEIDs()), ds.Layout.NumCells(), ds.Store.Len())
+	}
+	if *events != "" {
+		if err := writeEvents(ds, *events, *windowMS, *seed); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// writeEvents flattens the dataset into the stream observation log.
+func writeEvents(ds *evmatching.Dataset, path string, windowMS, seed int64) error {
+	hdr, obs, err := stream.EventsFromDataset(ds, windowMS, seed)
+	if err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %d persons, %d EIDs, %d cells, %d scenarios\n",
-		*out, len(ds.Persons), len(ds.AllEIDs()), ds.Layout.NumCells(), ds.Store.Len())
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := stream.WriteLog(f, hdr, obs); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d observations over %d windows (window %d ms, dim %d)\n",
+		path, len(obs), ds.Config.NumWindows, hdr.WindowMS, hdr.Dim)
 	return nil
 }

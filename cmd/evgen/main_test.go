@@ -1,10 +1,13 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
+	"reflect"
 	"testing"
 
 	"evmatching"
+	"evmatching/internal/stream"
 )
 
 func TestRunGeneratesLoadableDataset(t *testing.T) {
@@ -52,6 +55,73 @@ func TestRunPracticalAndHex(t *testing.T) {
 	}
 	if len(ds.AllEIDs()) >= 40 {
 		t.Errorf("EIDs = %d, want < 40 with missing rate", len(ds.AllEIDs()))
+	}
+}
+
+// TestRunEventsRoundTrip pins the -events satellite: the written JSONL log
+// must decode back to exactly the flattening of the equivalently-generated
+// dataset, so evstream replays see the same observations evgen computed.
+func TestRunEventsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "w.gob")
+	events := filepath.Join(dir, "obs.jsonl")
+	err := run([]string{
+		"-out", out,
+		"-events", events,
+		"-window-ms", "500",
+		"-persons", "40",
+		"-density", "10",
+		"-windows", "6",
+		"-seed", "3",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatalf("open events: %v", err)
+	}
+	defer f.Close()
+	hdr, obs, err := stream.ReadLog(f)
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	ds, err := evmatching.LoadDataset(out)
+	if err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	wantHdr, wantObs, err := stream.EventsFromDataset(ds, 500, 3)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	if hdr != wantHdr {
+		t.Errorf("header = %+v, want %+v", hdr, wantHdr)
+	}
+	if len(obs) != len(wantObs) {
+		t.Fatalf("decoded %d observations, want %d", len(obs), len(wantObs))
+	}
+	for i := range obs {
+		if !reflect.DeepEqual(obs[i], wantObs[i]) {
+			t.Fatalf("observation %d:\ngot  %+v\nwant %+v", i, obs[i], wantObs[i])
+		}
+	}
+}
+
+// TestRunEventsOnly checks that -events without -out is a valid invocation.
+func TestRunEventsOnly(t *testing.T) {
+	events := filepath.Join(t.TempDir(), "obs.jsonl")
+	if err := run([]string{"-events", events, "-persons", "30", "-density", "10", "-windows", "4"}); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	f, err := os.Open(events)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer f.Close()
+	if _, obs, err := stream.ReadLog(f); err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	} else if len(obs) == 0 {
+		t.Error("events-only run produced an empty log")
 	}
 }
 

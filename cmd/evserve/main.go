@@ -5,9 +5,14 @@
 // Usage:
 //
 //	evserve -data world.gob [-addr 127.0.0.1:8080] [-mode serial|parallel|cluster] [-workers 3]
+//	        [-stream-window 0] [-stream-lateness 250]
 //
 // Endpoints: /healthz, /match?eid=, /reverse?vid=, /trajectory?eid=,
 // /whowasat?cell=&window=, /metricsz.
+//
+// With -stream-window > 0 a live stream engine runs alongside the batch
+// index, adding POST /ingest (JSONL observations) and GET /stream (SSE
+// resolutions); its gauges join /metricsz.
 //
 // In cluster mode the matching phase runs on the fault-tolerant distributed
 // runtime (an in-process coordinator plus -workers workers over localhost
@@ -32,6 +37,7 @@ import (
 	"evmatching/internal/mapreduce"
 	"evmatching/internal/metrics"
 	"evmatching/internal/server"
+	"evmatching/internal/stream"
 )
 
 func main() {
@@ -120,10 +126,12 @@ func publishClusterStats(reg *metrics.Registry, stats cluster.Stats, fallbacks i
 func run(args []string, ready chan<- string) error {
 	fs := flag.NewFlagSet("evserve", flag.ContinueOnError)
 	var (
-		data     = fs.String("data", "", "dataset file from evgen (required)")
-		addr     = fs.String("addr", "127.0.0.1:8080", "listen address")
-		modeName = fs.String("mode", "serial", "matching mode: serial, parallel, or cluster")
-		workers  = fs.Int("workers", 3, "worker count for -mode cluster")
+		data           = fs.String("data", "", "dataset file from evgen (required)")
+		addr           = fs.String("addr", "127.0.0.1:8080", "listen address")
+		modeName       = fs.String("mode", "serial", "matching mode: serial, parallel, or cluster")
+		workers        = fs.Int("workers", 3, "worker count for -mode cluster")
+		streamWindow   = fs.Int64("stream-window", 0, "enable live ingestion with this event-time window in ms (0 = off)")
+		streamLateness = fs.Int64("stream-lateness", 250, "allowed lateness for live ingestion in ms")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -180,7 +188,23 @@ func run(args []string, ready chan<- string) error {
 		publishClusterStats(reg, clusterExec.Stats(), clusterExec.Fallbacks())
 	}
 
-	srv, err := server.New(ds, idx, server.WithMetrics(reg.Snapshot))
+	srvOpts := []server.Option{server.WithMetrics(reg.Snapshot)}
+	if *streamWindow > 0 {
+		eng, err := stream.NewEngine(stream.Config{
+			Targets:    ds.AllEIDs(),
+			WindowMS:   *streamWindow,
+			LatenessMS: *streamLateness,
+			Dim:        ds.Config.DescriptorDim(),
+			Metrics:    reg,
+		})
+		if err != nil {
+			return err
+		}
+		srvOpts = append(srvOpts, server.WithStream(eng))
+		fmt.Printf("live ingestion enabled: window %d ms, lateness %d ms, %d targets\n",
+			*streamWindow, *streamLateness, len(ds.AllEIDs()))
+	}
+	srv, err := server.New(ds, idx, srvOpts...)
 	if err != nil {
 		return err
 	}

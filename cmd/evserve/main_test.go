@@ -89,6 +89,31 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+func TestServeStreamMode(t *testing.T) {
+	data := writeDataset(t)
+	addr := serveArgs(t, []string{"-data", data, "-addr", "127.0.0.1:0", "-stream-window", "1000"})
+
+	// The stream endpoints exist and accept an empty batch.
+	resp, err := http.Post(fmt.Sprintf("http://%s/ingest", addr), "application/x-ndjson", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("/ingest status = %d", resp.StatusCode)
+	}
+	var body struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Accepted != 0 || body.Dropped != 0 {
+		t.Errorf("empty ingest body = %+v", body)
+	}
+}
+
 func TestServeClusterMode(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cluster-mode end-to-end skipped in -short")

@@ -27,3 +27,12 @@ func BenchmarkMatchSSSerial(b *testing.B) {
 		Mode:      core.ModeSerial,
 	}, 40)(b)
 }
+
+// BenchmarkStreamReplay watches the streaming path end to end: replaying a
+// pre-flattened observation log through a fresh engine and finalizing. It
+// lives here rather than in internal/stream because bench-smoke also runs on
+// the merge base, where only this package's benchmarks are guaranteed to
+// exist.
+func BenchmarkStreamReplay(b *testing.B) {
+	streamReplayBench()(b)
+}

@@ -22,6 +22,7 @@ import (
 	"evmatching/internal/core"
 	"evmatching/internal/dataset"
 	"evmatching/internal/feature"
+	"evmatching/internal/stream"
 )
 
 // Result is one benchmark's measurement.
@@ -85,6 +86,54 @@ func matchBenchN(opts core.Options, numTargets int) func(b *testing.B) {
 	}
 }
 
+// streamReplayBench replays a flattened observation log through the
+// incremental stream engine and finalizes — the end-to-end cost of the
+// streaming path: event-time windowing, incremental split, early V stage,
+// and the batch-equivalent verification run. The log is flattened once
+// outside the timer; each iteration replays it through a fresh engine.
+func streamReplayBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		cfg := dataset.DefaultConfig()
+		cfg.NumPersons = 100
+		cfg.Density = 10
+		cfg.NumWindows = 12
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, obs, err := stream.EventsFromDataset(ds, 1_000, 5)
+		if err != nil {
+			b.Fatal(err)
+		}
+		scfg := stream.Config{
+			Targets:    ds.SampleEIDs(20, rand.New(rand.NewSource(5))),
+			WindowMS:   1_000,
+			LatenessMS: 250,
+			Dim:        ds.Config.DescriptorDim(),
+			Seed:       5,
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			e, err := stream.NewEngine(scfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range obs {
+				if _, err := e.Ingest(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			rep, err := e.Finalize(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(float64(len(e.Resolutions())), "resolutions")
+			b.ReportMetric(rep.Accuracy(ds.TruthVID)*100, "acc%")
+		}
+	}
+}
+
 func randomUnit(rng *rand.Rand, dim int) feature.Vector {
 	v := make(feature.Vector, dim)
 	for i := range v {
@@ -98,6 +147,7 @@ func benchmarks() []benchmark {
 		{"MatchSSSerial", matchBench(core.AlgorithmSS, core.ModeSerial)},
 		{"MatchSSParallel", matchBench(core.AlgorithmSS, core.ModeParallel)},
 		{"MatchEDPSerial", matchBench(core.AlgorithmEDP, core.ModeSerial)},
+		{"StreamReplay", streamReplayBench()},
 		{"Sim", func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			x, y := randomUnit(rng, 64), randomUnit(rng, 64)

@@ -59,6 +59,45 @@ func TestMatchReportDeterministic(t *testing.T) {
 	}
 }
 
+// TestScanInOrderDeterministic pins the in-order scan path: it must be valid,
+// deterministic, and record the round-0 effective scenarios the streaming
+// splitter checks itself against. The shuffled default is already covered by
+// TestMatchReportDeterministic; here we additionally assert that in-order and
+// shuffled runs resolve the same target set (the scan order changes which
+// scenarios are effective, not whether matching converges).
+func TestScanInOrderDeterministic(t *testing.T) {
+	opts := Options{Algorithm: AlgorithmSS, Mode: ModeSerial, Seed: 7, ScanOrder: ScanInOrder}
+	first := runFingerprint(t, opts)
+	if !strings.Contains(first, "vid=") {
+		t.Fatalf("fingerprint carries no results:\n%s", first)
+	}
+	if got := runFingerprint(t, opts); got != first {
+		t.Fatalf("in-order rerun diverged:\n--- first\n%s\n--- rerun\n%s", first, got)
+	}
+
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 40
+	cfg.Density = 6
+	cfg.NumWindows = 12
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	m := newMatcher(t, ds, opts)
+	rep, err := m.Match(context.Background(), ds.AllEIDs()[:12])
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if len(rep.SplitScenarios) == 0 {
+		t.Fatal("report records no round-0 split scenarios")
+	}
+	for _, e := range rep.Targets {
+		if rep.Results[e].VID == "" {
+			t.Errorf("target %s unresolved under in-order scan", e)
+		}
+	}
+}
+
 // TestSerialParallelAssignmentsAgree pins the §V equivalence at the
 // assignment level: the MapReduce parallelization must not change which VID
 // each EID is matched to. (Diagnostics like runner-up and comparison counts

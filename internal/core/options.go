@@ -63,6 +63,33 @@ func (m Mode) String() string {
 	}
 }
 
+// ScanOrder selects the order in which the E stage consumes time windows.
+type ScanOrder int
+
+// Scan orders.
+const (
+	// ScanShuffled visits windows in a seeded random order, the paper's
+	// Algorithm 3 preprocess step ("one random timestamp at a time").
+	ScanShuffled ScanOrder = iota + 1
+	// ScanInOrder visits windows in ascending event-time order — exactly the
+	// order a streaming consumer observes them. The batch run under
+	// ScanInOrder is the reference the internal/stream replay path must
+	// reproduce bit for bit (see DESIGN.md §10).
+	ScanInOrder
+)
+
+// String implements fmt.Stringer.
+func (s ScanOrder) String() string {
+	switch s {
+	case ScanShuffled:
+		return "shuffled"
+	case ScanInOrder:
+		return "in-order"
+	default:
+		return "invalid"
+	}
+}
+
 // ErrBadOptions reports invalid matcher options.
 var ErrBadOptions = errors.New("core: invalid options")
 
@@ -86,6 +113,10 @@ type Options struct {
 	// Seed drives scenario-order randomization; equal seeds give equal
 	// matchings. Defaults to 1.
 	Seed int64
+	// ScanOrder is the window order of the E stage. Defaults to ScanShuffled
+	// (the paper's randomized timestamp order); ScanInOrder pins the
+	// ascending event-time order shared with the streaming path.
+	ScanOrder ScanOrder
 	// AcceptMajority is the vote fraction a match must win to be accepted
 	// (refining re-runs the rest). Defaults to 0.7.
 	AcceptMajority float64
@@ -119,6 +150,9 @@ func (o Options) withDefaults() Options {
 	if o.Seed == 0 {
 		o.Seed = 1
 	}
+	if o.ScanOrder == 0 {
+		o.ScanOrder = ScanShuffled
+	}
 	if o.AcceptMajority == 0 {
 		o.AcceptMajority = 0.7
 	}
@@ -150,6 +184,9 @@ func (o Options) validate() error {
 	}
 	if o.BatchSize < 0 {
 		return fmt.Errorf("%w: batch size %d", ErrBadOptions, o.BatchSize)
+	}
+	if o.ScanOrder != ScanShuffled && o.ScanOrder != ScanInOrder {
+		return fmt.Errorf("%w: scan order %d", ErrBadOptions, o.ScanOrder)
 	}
 	if o.AcceptMajority < 0 || o.AcceptMajority > 1 {
 		return fmt.Errorf("%w: accept majority %f", ErrBadOptions, o.AcceptMajority)

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
 	"evmatching/internal/vfilter"
 )
 
@@ -32,6 +33,11 @@ type Report struct {
 	VStats vfilter.Stats
 	// RefineRounds is how many extra refine iterations ran (0 = none).
 	RefineRounds int
+	// SplitScenarios lists the effective scenarios recorded by the round-0
+	// set split, in application order. It is derived bookkeeping rather than
+	// a match result, so Fingerprint excludes it; stream.Engine.Finalize
+	// cross-checks its incremental split against it.
+	SplitScenarios []scenario.ID
 }
 
 // TotalTime returns the combined stage time (the paper's E+V time).

@@ -34,6 +34,12 @@ func (m *Matcher) matchSS(ctx context.Context, targets []ids.EID, filter *vfilte
 		if err != nil {
 			return nil, err
 		}
+		if round == 0 {
+			// The effective scenarios of the full-target split, in application
+			// order — the reference the incremental streaming splitter checks
+			// itself against (see stream.Engine.Finalize).
+			rep.SplitScenarios = append([]scenario.ID(nil), p.Recorded()...)
+		}
 		for _, e := range pending {
 			list := lists[e]
 			rep.PerEID[e] = len(list)
@@ -82,8 +88,13 @@ func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) 
 	if err != nil {
 		return nil, nil, err
 	}
-	rng := m.rngFor(int64(round)*7919 + 13)
-	windows := m.ds.Store.ShuffledWindows(rng)
+	var windows []int
+	if m.opts.ScanOrder == ScanInOrder {
+		windows = m.ds.Store.Windows()
+	} else {
+		rng := m.rngFor(int64(round)*7919 + 13)
+		windows = m.ds.Store.ShuffledWindows(rng)
+	}
 
 	for _, w := range windows {
 		if p.Done() {
@@ -149,12 +160,18 @@ func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) 
 	return p, lists, nil
 }
 
-// padToUnique extends an EID's scenario list until the intersection of the
-// listed scenarios' full inclusive EID sets is the singleton {e} (or no
-// further scenario helps), and at least MinPerEIDList scenarios are listed.
-// EDPMaxScenarios caps the total as a safety valve for worlds where the
-// trajectory never becomes unique.
+// padToUnique pads e's list with the matcher's configured lengths.
 func (m *Matcher) padToUnique(e ids.EID, list []scenario.ID, windows []int) []scenario.ID {
+	return PadToUnique(m.ds.Store, e, list, windows, m.opts.MinPerEIDList, m.opts.EDPMaxScenarios)
+}
+
+// PadToUnique extends an EID's scenario list until the intersection of the
+// listed scenarios' full inclusive EID sets is the singleton {e} (or no
+// further scenario helps), and at least minLen scenarios are listed. maxLen
+// caps the total as a safety valve for worlds where the trajectory never
+// becomes unique. It is shared between the batch split stage and the
+// incremental streaming V stage, which pads over the windows closed so far.
+func PadToUnique(store *scenario.Store, e ids.EID, list []scenario.ID, windows []int, minLen, maxLen int) []scenario.ID {
 	out := append([]scenario.ID(nil), list...)
 	in := make(map[scenario.ID]bool, len(out))
 	for _, id := range out {
@@ -186,18 +203,17 @@ func (m *Matcher) padToUnique(e ids.EID, list []scenario.ID, windows []int) []sc
 		cands = kept
 	}
 	for _, id := range out {
-		narrow(m.ds.Store.E(id))
+		narrow(store.E(id))
 	}
-	maxLen := m.opts.EDPMaxScenarios
-	if m.opts.MinPerEIDList > maxLen {
-		maxLen = m.opts.MinPerEIDList
+	if minLen > maxLen {
+		maxLen = minLen
 	}
 	for _, w := range windows {
-		if len(out) >= maxLen || (len(out) >= m.opts.MinPerEIDList && len(cands) <= 1) {
+		if len(out) >= maxLen || (len(out) >= minLen && len(cands) <= 1) {
 			break
 		}
-		for _, id := range m.ds.Store.AtWindow(w) {
-			s := m.ds.Store.E(id)
+		for _, id := range store.AtWindow(w) {
+			s := store.E(id)
 			if in[id] || !s.Inclusive(e) {
 				continue
 			}

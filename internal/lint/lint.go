@@ -59,6 +59,7 @@ func Analyzers() []*Analyzer {
 		ErrWrapAnalyzer(),
 		GoroutineAnalyzer(),
 		SeedCheckAnalyzer(),
+		WallClockAnalyzer(),
 	}
 }
 

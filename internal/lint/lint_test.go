@@ -21,6 +21,7 @@ var fixtureCases = []struct {
 	{"errwrap", "example.com/fixture/internal/retry"},
 	{"goroutine", "example.com/fixture/internal/cluster"},
 	{"seedcheck", "example.com/fixture/internal/seed"},
+	{"wallclock", "example.com/fixture/internal/stream"},
 }
 
 // lintFixture runs the full pass suite over testdata/src/<name> and renders
@@ -81,7 +82,7 @@ func TestAnalyzerGoldens(t *testing.T) {
 // maprange/goroutine findings when loaded under a path outside the
 // result-affecting and concurrency-heavy package lists.
 func TestScopedAnalyzersRespectPackagePaths(t *testing.T) {
-	for _, name := range []string{"maprange", "goroutine"} {
+	for _, name := range []string{"maprange", "goroutine", "wallclock"} {
 		t.Run(name, func(t *testing.T) {
 			out := lintFixture(t, name, "example.com/fixture/internal/unscoped")
 			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
@@ -90,6 +91,16 @@ func TestScopedAnalyzersRespectPackagePaths(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestWallClockCoversSubpackages: the wallclock scope includes subpackages
+// beneath its trees (internal/chaos/sim and friends), unlike the exact-suffix
+// scoping of maprange and goroutine.
+func TestWallClockCoversSubpackages(t *testing.T) {
+	out := lintFixture(t, "wallclock", "example.com/fixture/internal/chaos/sim")
+	if !strings.Contains(out, ": wallclock: ") {
+		t.Errorf("wallclock did not fire in a subpackage of internal/chaos:\n%s", out)
 	}
 }
 

@@ -15,6 +15,7 @@ var mapRangePackages = []string{
 	"internal/vfilter",
 	"internal/scenario",
 	"internal/partition",
+	"internal/stream",
 }
 
 // MapRangeAnalyzer flags `range` over map-typed values in result-affecting

@@ -1,0 +1,36 @@
+// Package wallclock is a fixture for the wallclock rule, loaded under an
+// import path inside internal/stream.
+package wallclock
+
+import "time"
+
+// Bad reads the wall clock directly: flagged.
+func Bad() time.Time {
+	return time.Now()
+}
+
+// BadElapsed measures with the wall clock: flagged.
+func BadElapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// BadDeadline is the third global entry point: flagged.
+func BadDeadline(deadline time.Time) time.Duration {
+	return time.Until(deadline)
+}
+
+// Seam is the sanctioned injected-clock seam: not reported.
+func Seam() time.Time {
+	//evlint:ignore wallclock fixture seam mirroring stream.SystemClock
+	return time.Now()
+}
+
+// Clean works in pure event time: nothing to flag.
+func Clean(tsMS, windowMS int64) int64 {
+	return tsMS / windowMS
+}
+
+// CleanArithmetic uses time values without reading the clock: not flagged.
+func CleanArithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d)
+}

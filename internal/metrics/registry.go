@@ -34,6 +34,22 @@ func (r *Registry) Set(name string, value int64) {
 	r.counters[name] = value
 }
 
+// SetMany overwrites a batch of counters under one lock acquisition, so a
+// publisher of related gauges (e.g. the stream engine) exposes a mutually
+// consistent snapshot instead of tearing between individual Set calls.
+func (r *Registry) SetMany(values map[string]int64) {
+	names := make([]string, 0, len(values))
+	for name := range values {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range names {
+		r.counters[name] = values[name]
+	}
+}
+
 // Get returns the named counter (0 when never touched).
 func (r *Registry) Get(name string) int64 {
 	r.mu.Lock()

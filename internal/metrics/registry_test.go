@@ -26,6 +26,21 @@ func TestRegistryAddSetGet(t *testing.T) {
 	}
 }
 
+func TestRegistrySetMany(t *testing.T) {
+	r := NewRegistry()
+	r.Set("keep", 1)
+	r.SetMany(map[string]int64{"b": 2, "a": 1, "keep": 9})
+	for name, want := range map[string]int64{"a": 1, "b": 2, "keep": 9} {
+		if got := r.Get(name); got != want {
+			t.Errorf("Get(%s) = %d, want %d", name, got, want)
+		}
+	}
+	r.SetMany(nil)
+	if got := r.Get("a"); got != 1 {
+		t.Errorf("SetMany(nil) disturbed existing gauges: a = %d", got)
+	}
+}
+
 func TestRegistryNamesSorted(t *testing.T) {
 	r := NewRegistry()
 	for _, n := range []string{"zeta", "alpha", "mid"} {

@@ -8,9 +8,12 @@
 //	GET /trajectory?eid=<eid>          the fused E+V trajectory
 //	GET /whowasat?cell=<id>&window=<w> everyone observed there, both identities
 //	GET /metricsz                      operational counters (with WithMetrics)
+//	POST /ingest                       JSONL observations (with WithStream)
+//	GET /stream                        resolutions as SSE (with WithStream)
 //
-// The server is read-only over an immutable dataset and index, so every
-// handler is safe for concurrent use.
+// The query handlers are read-only over an immutable dataset and index; the
+// optional stream endpoints delegate to a stream.Engine, which synchronizes
+// internally. Every handler is safe for concurrent use.
 package server
 
 import (
@@ -25,6 +28,7 @@ import (
 	"evmatching/internal/fusion"
 	"evmatching/internal/geo"
 	"evmatching/internal/ids"
+	"evmatching/internal/stream"
 )
 
 // Server serves fusion queries over one dataset.
@@ -33,6 +37,7 @@ type Server struct {
 	idx     *fusion.Index
 	mux     *http.ServeMux
 	metrics func() map[string]int64
+	stream  *stream.Engine
 }
 
 // Option customizes a Server.
@@ -61,6 +66,10 @@ func New(ds *dataset.Dataset, idx *fusion.Index, opts ...Option) (*Server, error
 	s.mux.HandleFunc("GET /whowasat", s.handleWhoWasAt)
 	if s.metrics != nil {
 		s.mux.HandleFunc("GET /metricsz", s.handleMetrics)
+	}
+	if s.stream != nil {
+		s.mux.HandleFunc("POST /ingest", s.handleIngest)
+		s.mux.HandleFunc("GET /stream", s.handleStream)
 	}
 	return s, nil
 }

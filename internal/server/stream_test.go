@@ -1,0 +1,234 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/fusion"
+	"evmatching/internal/stream"
+)
+
+// newStreamServer serves a matched world with a live stream engine attached,
+// returning the engine and the world's flattened observation log.
+func newStreamServer(t *testing.T) (*httptest.Server, *stream.Engine, []stream.Observation) {
+	t.Helper()
+	checkLeaks(t)
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 40
+	cfg.Density = 8
+	cfg.NumWindows = 8
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.MatchAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := fusion.BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, obs, err := stream.EventsFromDataset(ds, 1_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := stream.NewEngine(stream.Config{
+		Targets:    ds.AllEIDs()[:6],
+		WindowMS:   1_000,
+		LatenessMS: 250,
+		Dim:        ds.Config.DescriptorDim(),
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(ds, idx, WithStream(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv)
+	t.Cleanup(ts.Close)
+	return ts, eng, obs
+}
+
+// postJSONL posts observations as a JSONL body to /ingest.
+func postJSONL(t *testing.T, url string, obs []stream.Observation) (*http.Response, ingestBody) {
+	t.Helper()
+	var b strings.Builder
+	for _, o := range obs {
+		line, err := json.Marshal(o)
+		if err != nil {
+			t.Fatalf("marshal observation: %v", err)
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	resp, err := http.Post(url+"/ingest", "application/x-ndjson", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("POST /ingest: %v", err)
+	}
+	defer resp.Body.Close()
+	var body ingestBody
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			t.Fatalf("decode ingest response: %v", err)
+		}
+	}
+	return resp, body
+}
+
+// TestIngestAndStream is the live-path end-to-end test: observations posted
+// over HTTP fold into the engine, and /stream replays every emitted
+// resolution as SSE frames.
+func TestIngestAndStream(t *testing.T) {
+	ts, eng, obs := newStreamServer(t)
+
+	resp, body := postJSONL(t, ts.URL, obs)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status = %d", resp.StatusCode)
+	}
+	if body.Accepted != len(obs) || body.Dropped != 0 {
+		t.Fatalf("ingest body = %+v, want %d accepted", body, len(obs))
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	want := eng.Resolutions()
+	if len(want) == 0 {
+		t.Fatal("no resolutions after a full replay")
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/stream", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("GET /stream: %v", err)
+	}
+	defer sresp.Body.Close()
+	if got := sresp.Header.Get("Content-Type"); got != "text/event-stream" {
+		t.Errorf("Content-Type = %q", got)
+	}
+	var got []resolutionBody
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() && len(got) < len(want) {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var r resolutionBody
+		if err := json.Unmarshal([]byte(strings.TrimPrefix(line, "data: ")), &r); err != nil {
+			t.Fatalf("bad SSE data line %q: %v", line, err)
+		}
+		got = append(got, r)
+	}
+	cancel()
+	if len(got) != len(want) {
+		t.Fatalf("streamed %d resolutions, want %d", len(got), len(want))
+	}
+	for i, r := range got {
+		if r.Seq != want[i].Seq || r.EID != want[i].EID || r.VID != want[i].VID {
+			t.Errorf("frame %d = %+v, want seq=%d eid=%s vid=%s", i, r, want[i].Seq, want[i].EID, want[i].VID)
+		}
+	}
+}
+
+// TestIngestCountsLateDrops pins that re-delivered stale observations are
+// reported as dropped, not accepted.
+func TestIngestCountsLateDrops(t *testing.T) {
+	ts, _, obs := newStreamServer(t)
+	if resp, _ := postJSONL(t, ts.URL, obs); resp.StatusCode != http.StatusOK {
+		t.Fatalf("full ingest status = %d", resp.StatusCode)
+	}
+	resp, body := postJSONL(t, ts.URL, obs[:1])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("re-delivery status = %d", resp.StatusCode)
+	}
+	if body.Accepted != 0 || body.Dropped != 1 {
+		t.Errorf("re-delivery body = %+v, want 1 dropped", body)
+	}
+}
+
+// TestIngestSkipsHeaderLine pins that a whole evgen -events file — header
+// line included — can be posted as-is: the header is skipped, not counted.
+func TestIngestSkipsHeaderLine(t *testing.T) {
+	ts, _, obs := newStreamServer(t)
+	var b strings.Builder
+	b.WriteString(`{"kind":"header","version":1,"windowMs":1000,"dim":64}` + "\n")
+	line, err := json.Marshal(obs[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.Write(line)
+	b.WriteByte('\n')
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest with header status = %d, want 200", resp.StatusCode)
+	}
+	var body ingestBody
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Accepted != 1 || body.Dropped != 0 {
+		t.Errorf("body = %+v, want exactly the one observation accepted", body)
+	}
+}
+
+// TestIngestRejectsMalformed covers the 400 paths: non-JSON lines and
+// well-formed JSON that fails observation validation.
+func TestIngestRejectsMalformed(t *testing.T) {
+	ts, _, _ := newStreamServer(t)
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader("not json\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage line status = %d, want 400", resp.StatusCode)
+	}
+	resp, err = http.Post(ts.URL+"/ingest", "application/x-ndjson",
+		strings.NewReader(`{"ts":-5,"kind":"E","cell":0,"eid":"aa","attr":1}`+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid observation status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStreamEndpointsAbsentWithoutOption pins that servers built without
+// WithStream expose neither endpoint.
+func TestStreamEndpointsAbsentWithoutOption(t *testing.T) {
+	ts, _, _ := newTestServer(t)
+	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("/ingest without stream status = %d, want 404", resp.StatusCode)
+	}
+	if code := getJSON(t, ts.URL+"/stream", nil); code != http.StatusNotFound {
+		t.Errorf("/stream without stream status = %d, want 404", code)
+	}
+}

@@ -1,0 +1,211 @@
+package stream
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+// CheckpointVersion is the checkpoint format version this package writes.
+const CheckpointVersion = 1
+
+// ErrBadCheckpoint reports a checkpoint that cannot be restored.
+var ErrBadCheckpoint = errors.New("stream: bad checkpoint")
+
+// checkpointScenario is one closed EV-Scenario pair, saved in store-ID order
+// so restore re-adds them with identical IDs.
+type checkpointScenario struct {
+	E    scenario.EScenario
+	V    scenario.VScenario
+	HasV bool
+}
+
+// checkpointEID is one (EID, attr) entry of an open bucket, slice-encoded in
+// sorted order for stable checkpoint bytes.
+type checkpointEID struct {
+	EID  ids.EID
+	Attr scenario.Attr
+}
+
+// checkpointBucket is one open (window, cell) bucket.
+type checkpointBucket struct {
+	Window int
+	Cell   geo.CellID
+	EIDs   []checkpointEID
+	Dets   []scenario.Detection
+}
+
+// checkpointFile is the complete gob-encoded stream state. The partition and
+// the vfilter cache are deliberately absent: both are pure functions of the
+// closed scenarios, so restore rebuilds them by replaying SplitBy in store-ID
+// order — smaller checkpoints, and no risk of persisting internal state that
+// drifts from the data (DESIGN.md §10).
+type checkpointFile struct {
+	Version int
+
+	// Config guard: a checkpoint only restores into an engine windowing and
+	// matching identically.
+	WindowMS   int64
+	LatenessMS int64
+	Seed       int64
+	Dim        int
+	Targets    []ids.EID
+
+	// Ingested is the number of observations consumed (accepted or dropped)
+	// — the log offset a resumed replayer skips to.
+	Ingested    int64
+	LateDropped int64
+	MaxTS       int64
+	MinOpen     int
+	Seq         int
+
+	Scenarios   []checkpointScenario
+	Buckets     []checkpointBucket
+	Resolutions []Resolution
+	Accepted    []ids.VID
+	Resolved    []ids.EID
+}
+
+// Checkpoint serializes the engine's full stream state: closed scenarios,
+// open buckets, emitted resolutions, and counters. A consumer that persists
+// the checkpoint together with the ingested-count offset can crash and
+// resume without reprocessing the log from the start.
+func (e *Engine) Checkpoint(w io.Writer) error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	cp := checkpointFile{
+		Version:     CheckpointVersion,
+		WindowMS:    e.cfg.WindowMS,
+		LatenessMS:  e.cfg.LatenessMS,
+		Seed:        e.cfg.Seed,
+		Dim:         e.cfg.Dim,
+		Targets:     e.cfg.Targets,
+		Ingested:    e.ingested,
+		LateDropped: e.lateDropped,
+		MaxTS:       e.maxTS,
+		MinOpen:     e.minOpen,
+		Seq:         e.seq,
+		Resolutions: e.emitted,
+		Accepted:    ids.SortedVIDKeys(e.accepted),
+		Resolved:    ids.SortedEIDKeys(e.resolved),
+	}
+	for id := scenario.ID(0); int(id) < e.store.Len(); id++ {
+		cs := checkpointScenario{E: *e.store.E(id)}
+		if v := e.store.V(id); v != nil {
+			cs.V = *v
+			cs.HasV = true
+		}
+		cp.Scenarios = append(cp.Scenarios, cs)
+	}
+	var keys []bucketKey
+	for k := range e.buckets {
+		keys = append(keys, k)
+	}
+	sortBucketKeys(keys)
+	for _, k := range keys {
+		b := e.buckets[k]
+		cb := checkpointBucket{Window: k.Window, Cell: k.Cell, Dets: b.dets}
+		for _, eid := range ids.SortedEIDKeys(b.eids) {
+			cb.EIDs = append(cb.EIDs, checkpointEID{EID: eid, Attr: b.eids[eid]})
+		}
+		cp.Buckets = append(cp.Buckets, cb)
+	}
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// Restore builds an Engine from cfg and resumes it from a checkpoint written
+// by Checkpoint. The checkpoint's windowing and matching parameters must
+// match cfg; runtime-only fields (Clock, Metrics, Mode, Workers) come from
+// cfg alone.
+func Restore(cfg Config, r io.Reader) (*Engine, error) {
+	var cp checkpointFile
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("%w: decode: %w", ErrBadCheckpoint, err)
+	}
+	if cp.Version != CheckpointVersion {
+		return nil, fmt.Errorf("%w: version %d (want %d)", ErrBadCheckpoint, cp.Version, CheckpointVersion)
+	}
+	e, err := NewEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	switch {
+	case cp.WindowMS != e.cfg.WindowMS:
+		return nil, fmt.Errorf("%w: window %d ms vs config %d ms", ErrBadCheckpoint, cp.WindowMS, e.cfg.WindowMS)
+	case cp.LatenessMS != e.cfg.LatenessMS:
+		return nil, fmt.Errorf("%w: lateness %d ms vs config %d ms", ErrBadCheckpoint, cp.LatenessMS, e.cfg.LatenessMS)
+	case cp.Seed != e.cfg.Seed:
+		return nil, fmt.Errorf("%w: seed %d vs config %d", ErrBadCheckpoint, cp.Seed, e.cfg.Seed)
+	case cp.Dim != e.cfg.Dim:
+		return nil, fmt.Errorf("%w: dim %d vs config %d", ErrBadCheckpoint, cp.Dim, e.cfg.Dim)
+	case !eidsEqual(cp.Targets, e.cfg.Targets):
+		return nil, fmt.Errorf("%w: target set differs from config", ErrBadCheckpoint)
+	}
+
+	// Closed scenarios: re-add in ID order (the fresh store assigns the same
+	// IDs) and replay the split — the partition is a pure fold over them.
+	for i := range cp.Scenarios {
+		cs := &cp.Scenarios[i]
+		var vsc *scenario.VScenario
+		if cs.HasV {
+			vsc = &cs.V
+		}
+		id, err := e.store.Add(&cs.E, vsc)
+		if err != nil {
+			return nil, fmt.Errorf("%w: scenario %d: %w", ErrBadCheckpoint, i, err)
+		}
+		if int(id) != i {
+			return nil, fmt.Errorf("%w: scenario %d re-added as %d", ErrBadCheckpoint, i, id)
+		}
+		e.part.SplitBy(&cs.E)
+	}
+	for _, cb := range cp.Buckets {
+		b := &bucket{eids: make(map[ids.EID]scenario.Attr, len(cb.EIDs)), detSeen: make(map[string]bool, len(cb.Dets))}
+		for _, ea := range cb.EIDs {
+			b.eids[ea.EID] = ea.Attr
+		}
+		for _, d := range cb.Dets {
+			p := d.Patch
+			b.detSeen[detMergeKey(d.VID, d.TruePerson, &p)] = true
+		}
+		b.dets = cb.Dets
+		e.buckets[bucketKey{Window: cb.Window, Cell: cb.Cell}] = b
+	}
+	e.ingested = cp.Ingested
+	e.lateDropped = cp.LateDropped
+	e.maxTS = cp.MaxTS
+	e.minOpen = cp.MinOpen
+	e.seq = cp.Seq
+	e.emitted = cp.Resolutions
+	for _, eid := range cp.Resolved {
+		e.resolved[eid] = true
+	}
+	for _, vid := range cp.Accepted {
+		e.accepted[vid] = true
+	}
+	e.mu.Lock()
+	e.publishGauges()
+	e.mu.Unlock()
+	return e, nil
+}
+
+// eidsEqual reports element-wise equality of two sorted EID slices.
+func eidsEqual(a, b []ids.EID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

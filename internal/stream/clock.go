@@ -1,0 +1,22 @@
+package stream
+
+import "time"
+
+// Clock is the wall-clock seam of the streaming subsystem. Event-time logic
+// (windowing, watermarks, lateness) never consults it — it exists only for
+// operational observability, currently the watermark-lag gauge. Tests inject
+// a fake; production uses SystemClock. The evlint wallclock rule forbids any
+// other wall-clock access in this package.
+type Clock interface {
+	// Now returns the current wall-clock time.
+	Now() time.Time
+}
+
+// SystemClock is the real wall clock.
+type SystemClock struct{}
+
+// Now implements Clock.
+func (SystemClock) Now() time.Time {
+	//evlint:ignore wallclock the one sanctioned wall-clock access: the injected-clock seam itself
+	return time.Now()
+}

@@ -1,0 +1,308 @@
+// Package stream is the online ingestion and incremental-matching subsystem:
+// raw timestamped E/V observations are folded into EV-Scenarios per
+// (cell, window) by an event-time windower, each closed scenario refines a
+// live partition incrementally, and EIDs whose set becomes a singleton are
+// resolved early through vfilter. Replaying a complete observation log and
+// finalizing produces a report whose Fingerprint equals the batch SS run
+// under core.ScanInOrder — the equivalence DESIGN.md §10 argues and the
+// golden tests pin, including across checkpoint/restore crash schedules.
+package stream
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"evmatching/internal/dataset"
+	"evmatching/internal/feature"
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+// LogVersion is the observation-log format version this package writes.
+const LogVersion = 1
+
+// ErrBadObservation reports a malformed observation.
+var ErrBadObservation = errors.New("stream: bad observation")
+
+// ErrBadLog reports a malformed observation log.
+var ErrBadLog = errors.New("stream: bad observation log")
+
+// Kind tags an observation as electronic or visual.
+type Kind uint8
+
+// Observation kinds.
+const (
+	// KindE is an electronic sighting: one EID observed in a cell.
+	KindE Kind = iota + 1
+	// KindV is a visual sighting: one detection captured in a cell.
+	KindV
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindE:
+		return "E"
+	case KindV:
+		return "V"
+	default:
+		return "invalid"
+	}
+}
+
+// MarshalJSON encodes the kind as "E" or "V".
+func (k Kind) MarshalJSON() ([]byte, error) {
+	switch k {
+	case KindE, KindV:
+		return json.Marshal(k.String())
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrBadObservation, uint8(k))
+	}
+}
+
+// UnmarshalJSON decodes "E" or "V".
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "E":
+		*k = KindE
+	case "V":
+		*k = KindV
+	default:
+		return fmt.Errorf("%w: kind %q", ErrBadObservation, s)
+	}
+	return nil
+}
+
+// Observation is one raw timestamped sighting, the unit of stream ingestion.
+// An E observation carries EID and Attr (scenario.AttrInclusive or
+// scenario.AttrVague, serialized as 1 or 2); a V observation carries VID,
+// Patch, and the ground-truth Person index.
+type Observation struct {
+	// TS is the event time in milliseconds; the window index is TS divided
+	// by the log's window length. Must be non-negative.
+	TS   int64      `json:"ts"`
+	Kind Kind       `json:"kind"`
+	Cell geo.CellID `json:"cell"`
+
+	EID  ids.EID       `json:"eid,omitempty"`
+	Attr scenario.Attr `json:"attr,omitempty"`
+
+	VID    ids.VID        `json:"vid,omitempty"`
+	Person int            `json:"person"`
+	Patch  *feature.Patch `json:"patch,omitempty"`
+}
+
+// Validate reports whether the observation is well-formed.
+func (o Observation) Validate() error {
+	if o.TS < 0 {
+		return fmt.Errorf("%w: negative ts %d", ErrBadObservation, o.TS)
+	}
+	if o.Cell < 0 {
+		return fmt.Errorf("%w: cell %d", ErrBadObservation, o.Cell)
+	}
+	switch o.Kind {
+	case KindE:
+		if o.EID == ids.None {
+			return fmt.Errorf("%w: E observation without EID", ErrBadObservation)
+		}
+		if o.Attr != scenario.AttrInclusive && o.Attr != scenario.AttrVague {
+			return fmt.Errorf("%w: E observation attr %d", ErrBadObservation, o.Attr)
+		}
+	case KindV:
+		if o.VID == ids.NoVID {
+			return fmt.Errorf("%w: V observation without VID", ErrBadObservation)
+		}
+		if o.Patch == nil || len(o.Patch.Pix) == 0 || len(o.Patch.Pix) != o.Patch.W*o.Patch.H {
+			return fmt.Errorf("%w: V observation with malformed patch", ErrBadObservation)
+		}
+	default:
+		return fmt.Errorf("%w: kind %d", ErrBadObservation, uint8(o.Kind))
+	}
+	return nil
+}
+
+// Header is the observation log's first line: the parameters a consumer must
+// agree on to window the events identically.
+type Header struct {
+	Version  int   `json:"version"`
+	WindowMS int64 `json:"windowMs"`
+	// Dim is the feature descriptor dimensionality of the patches.
+	Dim int `json:"dim"`
+}
+
+// Validate reports whether the header is usable.
+func (h Header) Validate() error {
+	if h.Version != LogVersion {
+		return fmt.Errorf("%w: version %d (want %d)", ErrBadLog, h.Version, LogVersion)
+	}
+	if h.WindowMS <= 0 {
+		return fmt.Errorf("%w: windowMs %d", ErrBadLog, h.WindowMS)
+	}
+	if h.Dim < 2 {
+		return fmt.Errorf("%w: dim %d", ErrBadLog, h.Dim)
+	}
+	return nil
+}
+
+// headerLine is the wire form of the header, tagged so a reader can tell it
+// from an observation line.
+type headerLine struct {
+	Kind string `json:"kind"`
+	Header
+}
+
+// WriteLog writes a complete observation log: one header line, then one JSON
+// line per observation in the given order.
+func WriteLog(w io.Writer, h Header, obs []Observation) error {
+	if err := h.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerLine{Kind: "header", Header: h}); err != nil {
+		return fmt.Errorf("stream: write header: %w", err)
+	}
+	for i, o := range obs {
+		if err := o.Validate(); err != nil {
+			return fmt.Errorf("stream: observation %d: %w", i, err)
+		}
+		if err := enc.Encode(o); err != nil {
+			return fmt.Errorf("stream: write observation %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// LogReader decodes an observation log line by line, so a replayer can pace
+// or resume without materializing the whole log.
+type LogReader struct {
+	sc   *bufio.Scanner
+	hdr  Header
+	line int
+}
+
+// NewLogReader wraps r and consumes the header line.
+func NewLogReader(r io.Reader) (*LogReader, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, fmt.Errorf("stream: read header: %w", err)
+		}
+		return nil, fmt.Errorf("%w: empty log", ErrBadLog)
+	}
+	var hl headerLine
+	if err := json.Unmarshal(sc.Bytes(), &hl); err != nil {
+		return nil, fmt.Errorf("%w: header line: %w", ErrBadLog, err)
+	}
+	if hl.Kind != "header" {
+		return nil, fmt.Errorf("%w: first line kind %q", ErrBadLog, hl.Kind)
+	}
+	if err := hl.Header.Validate(); err != nil {
+		return nil, err
+	}
+	return &LogReader{sc: sc, hdr: hl.Header, line: 1}, nil
+}
+
+// Header returns the log's header.
+func (lr *LogReader) Header() Header { return lr.hdr }
+
+// Next returns the next observation, or io.EOF at the end of the log.
+func (lr *LogReader) Next() (Observation, error) {
+	if !lr.sc.Scan() {
+		if err := lr.sc.Err(); err != nil {
+			return Observation{}, fmt.Errorf("stream: read line %d: %w", lr.line+1, err)
+		}
+		return Observation{}, io.EOF
+	}
+	lr.line++
+	var o Observation
+	if err := json.Unmarshal(lr.sc.Bytes(), &o); err != nil {
+		return Observation{}, fmt.Errorf("%w: line %d: %w", ErrBadLog, lr.line, err)
+	}
+	if err := o.Validate(); err != nil {
+		return Observation{}, fmt.Errorf("stream: line %d: %w", lr.line, err)
+	}
+	return o, nil
+}
+
+// ReadLog decodes a complete observation log.
+func ReadLog(r io.Reader) (Header, []Observation, error) {
+	lr, err := NewLogReader(r)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	var obs []Observation
+	for {
+		o, err := lr.Next()
+		if errors.Is(err, io.EOF) {
+			return lr.Header(), obs, nil
+		}
+		if err != nil {
+			return Header{}, nil, err
+		}
+		obs = append(obs, o)
+	}
+}
+
+// EventsFromDataset flattens a generated dataset into a time-ordered
+// observation log: one E record per (scenario, EID) and one V record per
+// detection, each stamped with a seeded timestamp inside its window. The
+// flattening is deterministic in (ds, windowMS, seed). Replaying the result
+// through an Engine with matching window length rebuilds the dataset's store
+// exactly (DESIGN.md §10).
+func EventsFromDataset(ds *dataset.Dataset, windowMS int64, seed int64) (Header, []Observation, error) {
+	if ds == nil {
+		return Header{}, nil, errors.New("stream: nil dataset")
+	}
+	if windowMS <= 0 {
+		return Header{}, nil, fmt.Errorf("%w: windowMs %d", ErrBadLog, windowMS)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var obs []Observation
+	for _, w := range ds.Store.Windows() {
+		if w < 0 {
+			return Header{}, nil, fmt.Errorf("%w: negative window %d", ErrBadLog, w)
+		}
+		base := int64(w) * windowMS
+		for _, id := range ds.Store.AtWindow(w) {
+			esc := ds.Store.E(id)
+			for _, e := range esc.SortedEIDs() {
+				obs = append(obs, Observation{
+					TS:   base + rng.Int63n(windowMS),
+					Kind: KindE,
+					Cell: esc.Cell,
+					EID:  e,
+					Attr: esc.EIDs[e],
+				})
+			}
+			vsc := ds.Store.V(id)
+			if vsc == nil {
+				continue
+			}
+			for _, det := range vsc.Detections {
+				p := det.Patch
+				obs = append(obs, Observation{
+					TS:     base + rng.Int63n(windowMS),
+					Kind:   KindV,
+					Cell:   vsc.Cell,
+					VID:    det.VID,
+					Person: det.TruePerson,
+					Patch:  &p,
+				})
+			}
+		}
+	}
+	sort.SliceStable(obs, func(i, j int) bool { return obs[i].TS < obs[j].TS })
+	return Header{Version: LogVersion, WindowMS: windowMS, Dim: ds.Config.DescriptorDim()}, obs, nil
+}

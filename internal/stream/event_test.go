@@ -1,0 +1,144 @@
+package stream
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"evmatching/internal/feature"
+	"evmatching/internal/scenario"
+)
+
+// TestLogRoundTrip pins the JSONL observation-log codec: encoding a
+// dataset's event flattening and decoding it back must reproduce every
+// observation exactly.
+func TestLogRoundTrip(t *testing.T) {
+	ds := testDataset(t, true)
+	hdr, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	if len(obs) == 0 {
+		t.Fatal("no observations generated")
+	}
+	var buf bytes.Buffer
+	if err := WriteLog(&buf, hdr, obs); err != nil {
+		t.Fatalf("WriteLog: %v", err)
+	}
+	gotHdr, gotObs, err := ReadLog(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if gotHdr != hdr {
+		t.Errorf("header round-trip: got %+v, want %+v", gotHdr, hdr)
+	}
+	if len(gotObs) != len(obs) {
+		t.Fatalf("round-trip length %d, want %d", len(gotObs), len(obs))
+	}
+	for i := range obs {
+		if !reflect.DeepEqual(gotObs[i], obs[i]) {
+			t.Fatalf("observation %d round-trip:\ngot  %+v\nwant %+v", i, gotObs[i], obs[i])
+		}
+	}
+}
+
+// TestEventsFromDatasetDeterministic pins that the flattening is a pure
+// function of (dataset, window, seed) and that every timestamp lands inside
+// its scenario's window.
+func TestEventsFromDatasetDeterministic(t *testing.T) {
+	ds := testDataset(t, false)
+	_, first, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	_, again, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	if !reflect.DeepEqual(first, again) {
+		t.Fatal("same (dataset, window, seed) produced different logs")
+	}
+	_, other, err := EventsFromDataset(ds, testWindowMS, 8)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	if reflect.DeepEqual(first, other) {
+		t.Fatal("different seeds produced identical timestamp jitter")
+	}
+	last := int64(-1)
+	for i, o := range first {
+		if o.TS < last {
+			t.Fatalf("observation %d out of order: ts %d after %d", i, o.TS, last)
+		}
+		last = o.TS
+		if o.TS < 0 || o.TS >= int64(ds.Config.NumWindows)*testWindowMS {
+			t.Fatalf("observation %d ts %d outside the dataset's %d windows", i, o.TS, ds.Config.NumWindows)
+		}
+	}
+}
+
+// TestObservationValidate covers the malformed-observation rejections.
+func TestObservationValidate(t *testing.T) {
+	patch := &feature.Patch{W: 2, H: 2, Pix: []byte{1, 2, 3, 4}}
+	cases := []struct {
+		name string
+		obs  Observation
+		ok   bool
+	}{
+		{"good-e", Observation{TS: 5, Kind: KindE, Cell: 1, EID: "aa", Attr: scenario.AttrInclusive}, true},
+		{"good-v", Observation{TS: 5, Kind: KindV, Cell: 1, VID: "V00001", Patch: patch}, true},
+		{"negative-ts", Observation{TS: -1, Kind: KindE, EID: "aa", Attr: scenario.AttrInclusive}, false},
+		{"no-kind", Observation{TS: 5}, false},
+		{"e-without-eid", Observation{TS: 5, Kind: KindE, Attr: scenario.AttrInclusive}, false},
+		{"e-bad-attr", Observation{TS: 5, Kind: KindE, EID: "aa"}, false},
+		{"v-without-vid", Observation{TS: 5, Kind: KindV, Patch: patch}, false},
+		{"v-without-patch", Observation{TS: 5, Kind: KindV, VID: "V00001"}, false},
+		{"v-patch-dims", Observation{TS: 5, Kind: KindV, VID: "V00001", Patch: &feature.Patch{W: 3, H: 2, Pix: []byte{1}}}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.obs.Validate()
+			if tc.ok && err != nil {
+				t.Errorf("Validate: %v", err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Error("Validate accepted a malformed observation")
+				} else if !errors.Is(err, ErrBadObservation) {
+					t.Errorf("error %v is not ErrBadObservation", err)
+				}
+			}
+		})
+	}
+}
+
+// TestLogReaderErrors covers malformed logs: missing or wrong header, bad
+// lines, and truncation behavior.
+func TestLogReaderErrors(t *testing.T) {
+	if _, err := NewLogReader(strings.NewReader("")); !errors.Is(err, ErrBadLog) {
+		t.Errorf("empty log: %v", err)
+	}
+	if _, err := NewLogReader(strings.NewReader(`{"ts":5,"kind":"E"}` + "\n")); !errors.Is(err, ErrBadLog) {
+		t.Errorf("missing header: %v", err)
+	}
+	if _, err := NewLogReader(strings.NewReader(`{"kind":"header","version":99,"windowMs":1000,"dim":64}` + "\n")); !errors.Is(err, ErrBadLog) {
+		t.Errorf("future version: %v", err)
+	}
+	lr, err := NewLogReader(strings.NewReader(`{"kind":"header","version":1,"windowMs":1000,"dim":64}` + "\nnot json\n"))
+	if err != nil {
+		t.Fatalf("NewLogReader: %v", err)
+	}
+	if _, err := lr.Next(); !errors.Is(err, ErrBadLog) {
+		t.Errorf("garbage line: %v", err)
+	}
+	lr, err = NewLogReader(strings.NewReader(`{"kind":"header","version":1,"windowMs":1000,"dim":64}` + "\n"))
+	if err != nil {
+		t.Fatalf("NewLogReader: %v", err)
+	}
+	if _, err := lr.Next(); !errors.Is(err, io.EOF) {
+		t.Errorf("end of log: %v, want io.EOF", err)
+	}
+}

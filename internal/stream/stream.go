@@ -1,0 +1,602 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/feature"
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+	"evmatching/internal/metrics"
+	"evmatching/internal/partition"
+	"evmatching/internal/scenario"
+	"evmatching/internal/vfilter"
+)
+
+// ErrBadConfig reports an invalid engine configuration.
+var ErrBadConfig = errors.New("stream: invalid config")
+
+// ErrDiverged reports that the incremental split disagrees with the batch
+// reference — a bug surfaced rather than hidden, mirroring the MapReduce
+// divergence check in core.
+var ErrDiverged = errors.New("stream: incremental split diverged from batch reference")
+
+// Config parameterizes an Engine. The matching knobs (AcceptMajority,
+// WorkFactor, Seed, MinPerEIDList, MaxScenarios) default to the same values
+// as core.Options, so a stream replay and a batch run agree without tuning.
+type Config struct {
+	// Targets is the EID set to match. Required.
+	Targets []ids.EID
+	// WindowMS is the event-time window length in milliseconds. Required.
+	WindowMS int64
+	// LatenessMS is the allowed lateness: the watermark trails the maximum
+	// observed timestamp by this much, so any observation at most this far
+	// out of order still lands in its window. Observations older than the
+	// watermark's closed windows are dropped and counted.
+	LatenessMS int64
+	// Dim is the feature descriptor dimensionality of V patches. Required.
+	Dim int
+
+	// AcceptMajority, WorkFactor, Seed, MinPerEIDList, MaxScenarios mirror
+	// the same-named core.Options fields (MaxScenarios ↔ EDPMaxScenarios).
+	AcceptMajority float64
+	WorkFactor     int
+	Seed           int64
+	MinPerEIDList  int
+	MaxScenarios   int
+
+	// Mode is the execution mode of Finalize's batch verification run.
+	Mode core.Mode
+	// Workers sizes Finalize's parallel executor (0 = GOMAXPROCS).
+	Workers int
+
+	// Clock feeds the watermark-lag gauge; event-time logic never reads it.
+	// Defaults to SystemClock.
+	Clock Clock
+	// Metrics, when non-nil, receives the stream gauges (stream_open_windows,
+	// stream_watermark_lag_ms, stream_pending_eids,
+	// stream_resolutions_emitted, stream_late_dropped).
+	Metrics *metrics.Registry
+}
+
+// withDefaults returns a copy with defaults applied.
+func (c Config) withDefaults() Config {
+	if c.AcceptMajority == 0 {
+		c.AcceptMajority = 0.7
+	}
+	if c.WorkFactor == 0 {
+		c.WorkFactor = 4
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.MinPerEIDList == 0 {
+		c.MinPerEIDList = 3
+	}
+	if c.MaxScenarios == 0 {
+		c.MaxScenarios = 14
+	}
+	if c.Mode == 0 {
+		c.Mode = core.ModeSerial
+	}
+	if c.Clock == nil {
+		c.Clock = SystemClock{}
+	}
+	return c
+}
+
+// validate reports whether the (defaulted) config is usable.
+func (c Config) validate() error {
+	if len(c.Targets) == 0 {
+		return fmt.Errorf("%w: no targets", ErrBadConfig)
+	}
+	if c.WindowMS <= 0 {
+		return fmt.Errorf("%w: window %d ms", ErrBadConfig, c.WindowMS)
+	}
+	if c.LatenessMS < 0 {
+		return fmt.Errorf("%w: lateness %d ms", ErrBadConfig, c.LatenessMS)
+	}
+	if c.Dim < 2 {
+		return fmt.Errorf("%w: dim %d", ErrBadConfig, c.Dim)
+	}
+	if c.AcceptMajority < 0 || c.AcceptMajority > 1 {
+		return fmt.Errorf("%w: accept majority %f", ErrBadConfig, c.AcceptMajority)
+	}
+	if c.Mode != core.ModeSerial && c.Mode != core.ModeParallel {
+		return fmt.Errorf("%w: mode %d", ErrBadConfig, c.Mode)
+	}
+	return nil
+}
+
+// Resolution is one early-emission match: an EID whose partition set became
+// a singleton, matched over the scenarios closed so far. Resolutions are
+// provisional — later windows can refine the evidence — and Finalize's batch
+// verification run is the authoritative result.
+type Resolution struct {
+	// Seq numbers resolutions in emission order, starting at 1.
+	Seq int     `json:"seq"`
+	EID ids.EID `json:"eid"`
+	VID ids.VID `json:"vid"`
+	// Probability, MajorityFrac, RunnerUp, Margin and Acceptable carry the
+	// vfilter.Result confidence fields.
+	Probability  float64 `json:"probability"`
+	MajorityFrac float64 `json:"majorityFrac"`
+	RunnerUp     ids.VID `json:"runnerUp,omitempty"`
+	Margin       float64 `json:"margin"`
+	Acceptable   bool    `json:"acceptable"`
+	// Window is the last window closed before this resolution was emitted.
+	Window int `json:"window"`
+}
+
+// bucketKey addresses one open (window, cell) accumulation bucket.
+type bucketKey struct {
+	Window int
+	Cell   geo.CellID
+}
+
+// bucket accumulates one window+cell's observations until the watermark
+// closes it. Merging is order-independent: an EID's attribute upgrades from
+// vague to inclusive but never back, and detections are deduplicated by full
+// identity, so any arrival order within the lateness bound produces the same
+// closed scenario (the permutation property test pins this).
+type bucket struct {
+	eids    map[ids.EID]scenario.Attr
+	dets    []scenario.Detection
+	detSeen map[string]bool
+}
+
+// Engine is the incremental matcher. It is safe for concurrent use.
+type Engine struct {
+	mu     sync.Mutex
+	cfg    Config
+	store  *scenario.Store
+	part   *partition.Partition
+	filter *vfilter.Filter
+
+	buckets map[bucketKey]*bucket
+	maxTS   int64 // highest observed timestamp; -1 before the first event
+	minOpen int   // lowest window not yet closed
+
+	ingested    int64
+	lateDropped int64
+
+	seq      int
+	emitted  []Resolution
+	resolved map[ids.EID]bool // targets with an emitted resolution
+	accepted map[ids.VID]bool // acceptable VIDs ruled out for later matches
+
+	subs    map[int]chan Resolution
+	nextSub int
+}
+
+// NewEngine creates an Engine over an empty scenario store.
+func NewEngine(cfg Config) (*Engine, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	cfg.Targets = ids.SortEIDs(append([]ids.EID(nil), cfg.Targets...))
+	e := &Engine{
+		cfg:      cfg,
+		maxTS:    -1,
+		buckets:  make(map[bucketKey]*bucket),
+		resolved: make(map[ids.EID]bool),
+		accepted: make(map[ids.VID]bool),
+		subs:     make(map[int]chan Resolution),
+	}
+	if err := e.resetMatchState(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// resetMatchState builds a fresh store, partition, and filter (engine
+// construction and checkpoint restore).
+func (e *Engine) resetMatchState() error {
+	e.store = scenario.NewStore(nil)
+	p, err := partition.New(e.cfg.Targets)
+	if err != nil {
+		return err
+	}
+	e.part = p
+	f, err := vfilter.New(e.store, vfilter.Config{
+		Extractor:      feature.Extractor{Dim: e.cfg.Dim, WorkFactor: e.cfg.WorkFactor},
+		AcceptMajority: e.cfg.AcceptMajority,
+	})
+	if err != nil {
+		return err
+	}
+	e.filter = f
+	return nil
+}
+
+// Ingest consumes one observation. It returns whether the observation was
+// accepted: late observations (whose window the watermark already closed)
+// are dropped, counted, and reported as not accepted, with a nil error.
+func (e *Engine) Ingest(o Observation) (bool, error) {
+	if err := o.Validate(); err != nil {
+		return false, err
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ingested++
+	w := int(o.TS / e.cfg.WindowMS)
+	if w < e.minOpen {
+		e.lateDropped++
+		e.publishGauges()
+		return false, nil
+	}
+	b := e.buckets[bucketKey{Window: w, Cell: o.Cell}]
+	if b == nil {
+		b = &bucket{eids: make(map[ids.EID]scenario.Attr), detSeen: make(map[string]bool)}
+		e.buckets[bucketKey{Window: w, Cell: o.Cell}] = b
+	}
+	switch o.Kind {
+	case KindE:
+		// Inclusive wins over vague regardless of arrival order.
+		if cur, ok := b.eids[o.EID]; !ok || (cur == scenario.AttrVague && o.Attr == scenario.AttrInclusive) {
+			b.eids[o.EID] = o.Attr
+		}
+	case KindV:
+		key := detMergeKey(o.VID, o.Person, o.Patch)
+		if !b.detSeen[key] {
+			b.detSeen[key] = true
+			b.dets = append(b.dets, scenario.Detection{VID: o.VID, Patch: *o.Patch, TruePerson: o.Person})
+		}
+	}
+	if o.TS > e.maxTS {
+		e.maxTS = o.TS
+		if err := e.advance(); err != nil {
+			return false, err
+		}
+	}
+	e.publishGauges()
+	return true, nil
+}
+
+// detMergeKey is the full-identity deduplication key of a detection.
+func detMergeKey(vid ids.VID, person int, p *feature.Patch) string {
+	return fmt.Sprintf("%s\x00%d\x00%d\x00%d\x00%s", vid, person, p.W, p.H, p.Pix)
+}
+
+// Watermark returns the current event-time watermark and whether any event
+// has been observed yet.
+func (e *Engine) Watermark() (int64, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.maxTS < 0 {
+		return 0, false
+	}
+	return e.maxTS - e.cfg.LatenessMS, true
+}
+
+// advance closes every window the watermark has passed, in ascending
+// (window, cell) order — the exact order the batch generator emits scenarios
+// in, which makes the stream-built store identical to the batch store.
+// Callers hold e.mu.
+func (e *Engine) advance() error {
+	wm := e.maxTS - e.cfg.LatenessMS
+	target := floorDiv(wm, e.cfg.WindowMS)
+	if target <= int64(e.minOpen) {
+		return nil
+	}
+	if err := e.closeBelow(int(target)); err != nil {
+		return err
+	}
+	e.minOpen = int(target)
+	return e.sweepResolutions()
+}
+
+// closeBelow closes every open bucket with window < limit, in ascending
+// (window, cell) order. Callers hold e.mu.
+func (e *Engine) closeBelow(limit int) error {
+	var keys []bucketKey
+	for k := range e.buckets {
+		if k.Window < limit {
+			keys = append(keys, k)
+		}
+	}
+	sortBucketKeys(keys)
+	for _, k := range keys {
+		if err := e.closeBucket(k, e.buckets[k]); err != nil {
+			return err
+		}
+		delete(e.buckets, k)
+	}
+	return nil
+}
+
+// closeBucket seals one (window, cell) bucket into an EV-Scenario pair,
+// stores it, and refines the partition with it. Callers hold e.mu.
+func (e *Engine) closeBucket(k bucketKey, b *bucket) error {
+	esc := &scenario.EScenario{Cell: k.Cell, Window: k.Window, EIDs: b.eids}
+	var vsc *scenario.VScenario
+	if len(b.dets) > 0 {
+		sortDetections(b.dets)
+		vsc = &scenario.VScenario{Cell: k.Cell, Window: k.Window, Detections: b.dets}
+	}
+	if _, err := e.store.Add(esc, vsc); err != nil {
+		return fmt.Errorf("stream: close window %d cell %d: %w", k.Window, k.Cell, err)
+	}
+	// SplitBy ignores EIDs outside the partition's index and is a no-op once
+	// every set is a singleton, so applying the full scenario unconditionally
+	// records the same effective-scenario list as the batch split stage's
+	// filtered, early-exiting scan (DESIGN.md §10).
+	e.part.SplitBy(esc)
+	return nil
+}
+
+// sortDetections orders detections by (VID, TruePerson, patch bytes). VID
+// labels are zero-padded person indexes, so for generated worlds this is the
+// batch generator's person-index order — scenario detections come out
+// byte-identical to the batch store, and the V stage's accumulation order
+// (which affects float results) is preserved. The extra keys only break ties
+// between synthetic near-duplicates.
+func sortDetections(dets []scenario.Detection) {
+	sort.Slice(dets, func(i, j int) bool {
+		if dets[i].VID != dets[j].VID {
+			return dets[i].VID < dets[j].VID
+		}
+		if dets[i].TruePerson != dets[j].TruePerson {
+			return dets[i].TruePerson < dets[j].TruePerson
+		}
+		return bytes.Compare(dets[i].Patch.Pix, dets[j].Patch.Pix) < 0
+	})
+}
+
+// sweepResolutions emits a resolution for every target whose set newly became
+// a singleton, in sorted EID order; acceptable VIDs are ruled out for later
+// matches, mirroring the batch V stage's serial rule-out. Callers hold e.mu.
+func (e *Engine) sweepResolutions() error {
+	for _, t := range e.cfg.Targets {
+		if e.resolved[t] {
+			continue
+		}
+		ok, err := e.part.Resolved(t)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			continue
+		}
+		pos, err := e.part.PositiveScenarios(t)
+		if err != nil {
+			return err
+		}
+		list := core.PadToUnique(e.store, t, pos, e.store.Windows(), e.cfg.MinPerEIDList, e.cfg.MaxScenarios)
+		if len(list) == 0 {
+			continue // no closed scenario mentions the EID yet; retry later
+		}
+		res, err := e.filter.Match(t, list, e.accepted)
+		if err != nil {
+			return err
+		}
+		e.resolved[t] = true
+		if res.VID != ids.NoVID && res.Acceptable {
+			e.accepted[res.VID] = true
+		}
+		e.seq++
+		r := Resolution{
+			Seq:          e.seq,
+			EID:          t,
+			VID:          res.VID,
+			Probability:  res.Probability,
+			MajorityFrac: res.MajorityFrac,
+			RunnerUp:     res.RunnerUp,
+			Margin:       res.Margin,
+			Acceptable:   res.Acceptable,
+			Window:       e.minOpen - 1,
+		}
+		e.emitted = append(e.emitted, r)
+		e.broadcast(r)
+	}
+	return nil
+}
+
+// broadcast delivers r to every subscriber, dropping on full buffers so a
+// stalled consumer cannot block ingestion. Callers hold e.mu.
+func (e *Engine) broadcast(r Resolution) {
+	var keys []int
+	for id := range e.subs {
+		keys = append(keys, id)
+	}
+	sort.Ints(keys)
+	for _, id := range keys {
+		select {
+		case e.subs[id] <- r:
+		default:
+		}
+	}
+}
+
+// Subscribe returns the resolutions emitted so far plus a channel of future
+// ones. The returned cancel closes the channel and must be called once.
+func (e *Engine) Subscribe() (backlog []Resolution, ch <-chan Resolution, cancel func()) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	backlog = append([]Resolution(nil), e.emitted...)
+	c := make(chan Resolution, 1024)
+	id := e.nextSub
+	e.nextSub++
+	e.subs[id] = c
+	return backlog, c, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if _, ok := e.subs[id]; ok {
+			delete(e.subs, id)
+			close(c)
+		}
+	}
+}
+
+// Flush closes every open bucket regardless of the watermark — the
+// end-of-log signal — and runs a final resolution sweep.
+func (e *Engine) Flush() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.flushLocked()
+}
+
+func (e *Engine) flushLocked() error {
+	maxWin := e.minOpen
+	var wins []int
+	for k := range e.buckets {
+		wins = append(wins, k.Window)
+	}
+	sort.Ints(wins)
+	if n := len(wins); n > 0 && wins[n-1]+1 > maxWin {
+		maxWin = wins[n-1] + 1
+	}
+	if err := e.closeBelow(maxWin); err != nil {
+		return err
+	}
+	e.minOpen = maxWin
+	if err := e.sweepResolutions(); err != nil {
+		return err
+	}
+	e.publishGauges()
+	return nil
+}
+
+// Finalize flushes the stream and runs the authoritative batch match over
+// the stream-built store under core.ScanInOrder, cross-checking that the
+// incremental split recorded exactly the scenarios the batch split does. The
+// returned report's Fingerprint equals the batch SS fingerprint over the
+// same data — the subsystem's headline invariant.
+func (e *Engine) Finalize(ctx context.Context) (*core.Report, error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.flushLocked(); err != nil {
+		return nil, err
+	}
+	ds := &dataset.Dataset{
+		Config: dataset.Config{FeatureDim: e.cfg.Dim},
+		Store:  e.store,
+	}
+	m, err := core.New(ds, core.Options{
+		Algorithm:       core.AlgorithmSS,
+		Mode:            e.cfg.Mode,
+		Workers:         e.cfg.Workers,
+		Seed:            e.cfg.Seed,
+		ScanOrder:       core.ScanInOrder,
+		AcceptMajority:  e.cfg.AcceptMajority,
+		WorkFactor:      e.cfg.WorkFactor,
+		EDPMaxScenarios: e.cfg.MaxScenarios,
+		MinPerEIDList:   e.cfg.MinPerEIDList,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := m.Match(ctx, e.cfg.Targets)
+	if err != nil {
+		return nil, err
+	}
+	if !scenarioIDsEqual(rep.SplitScenarios, e.part.Recorded()) {
+		return nil, fmt.Errorf("%w: batch recorded %v, stream recorded %v",
+			ErrDiverged, rep.SplitScenarios, e.part.Recorded())
+	}
+	return rep, nil
+}
+
+func scenarioIDsEqual(a, b []scenario.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Ingested returns how many observations Ingest has consumed (accepted or
+// dropped) — the resume offset a restored consumer skips to in the log.
+func (e *Engine) Ingested() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.ingested
+}
+
+// LateDropped returns how many observations arrived after their window
+// closed and were dropped.
+func (e *Engine) LateDropped() int64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.lateDropped
+}
+
+// Resolutions returns a copy of every resolution emitted so far.
+func (e *Engine) Resolutions() []Resolution {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return append([]Resolution(nil), e.emitted...)
+}
+
+// OpenWindows returns how many distinct windows currently have open buckets.
+func (e *Engine) OpenWindows() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.openWindowsLocked()
+}
+
+func (e *Engine) openWindowsLocked() int {
+	var wins []int
+	for k := range e.buckets {
+		wins = append(wins, k.Window)
+	}
+	sort.Ints(wins)
+	n := 0
+	for i, w := range wins {
+		if i == 0 || w != wins[i-1] {
+			n++
+		}
+	}
+	return n
+}
+
+// publishGauges pushes the stream gauges into the configured registry.
+// Callers hold e.mu.
+func (e *Engine) publishGauges() {
+	if e.cfg.Metrics == nil {
+		return
+	}
+	lag := int64(0)
+	if e.maxTS >= 0 {
+		lag = e.cfg.Clock.Now().UnixMilli() - (e.maxTS - e.cfg.LatenessMS)
+	}
+	e.cfg.Metrics.SetMany(map[string]int64{
+		"stream_open_windows":        int64(e.openWindowsLocked()),
+		"stream_watermark_lag_ms":    lag,
+		"stream_pending_eids":        int64(len(e.cfg.Targets) - len(e.resolved)),
+		"stream_resolutions_emitted": int64(e.seq),
+		"stream_late_dropped":        e.lateDropped,
+	})
+}
+
+// sortBucketKeys orders keys ascending by (window, cell) — the close order,
+// which matches the batch generator's cell-ascending emission per window.
+func sortBucketKeys(keys []bucketKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Window != keys[j].Window {
+			return keys[i].Window < keys[j].Window
+		}
+		return keys[i].Cell < keys[j].Cell
+	})
+}
+
+// floorDiv is integer division rounding toward negative infinity, so a
+// pre-epoch watermark (before any event) never closes window 0.
+func floorDiv(a, b int64) int64 {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}

@@ -1,0 +1,264 @@
+package stream
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+	"time"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/ids"
+	"evmatching/internal/metrics"
+)
+
+const (
+	testWindowMS   = 1_000
+	testLatenessMS = 250
+)
+
+// testDataset mirrors core's golden conformance datasets (60 persons, 16
+// windows; the practical variant adds noise, vague zones, and missing data).
+func testDataset(t *testing.T, practical bool) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 60
+	cfg.Density = 8
+	cfg.NumWindows = 16
+	if practical {
+		cfg = cfg.Practical()
+		cfg.EIDMissingRate = 0.1
+		cfg.VIDMissingRate = 0.05
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+// testConfig is the engine configuration the equivalence tests share.
+func testConfig(ds *dataset.Dataset, targets []ids.EID, mode core.Mode) Config {
+	return Config{
+		Targets:    targets,
+		WindowMS:   testWindowMS,
+		LatenessMS: testLatenessMS,
+		Dim:        ds.Config.DescriptorDim(),
+		Seed:       7,
+		Mode:       mode,
+		Workers:    4,
+	}
+}
+
+// batchFingerprint runs the batch SS reference under ScanInOrder — the order
+// a stream consumer observes windows in.
+func batchFingerprint(t *testing.T, ds *dataset.Dataset, targets []ids.EID, mode core.Mode) string {
+	t.Helper()
+	m, err := core.New(ds, core.Options{
+		Algorithm: core.AlgorithmSS,
+		Mode:      mode,
+		Workers:   4,
+		Seed:      7,
+		ScanOrder: core.ScanInOrder,
+	})
+	if err != nil {
+		t.Fatalf("core.New: %v", err)
+	}
+	rep, err := m.Match(context.Background(), targets)
+	if err != nil {
+		t.Fatalf("batch Match: %v", err)
+	}
+	return rep.Fingerprint()
+}
+
+// replayFingerprint streams the observations through a fresh engine and
+// finalizes.
+func replayFingerprint(t *testing.T, cfg Config, obs []Observation) string {
+	t.Helper()
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for i, o := range obs {
+		accepted, err := e.Ingest(o)
+		if err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+		if !accepted {
+			t.Fatalf("Ingest %d: in-order observation dropped as late", i)
+		}
+	}
+	rep, err := e.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return rep.Fingerprint()
+}
+
+// TestStreamGoldenEquivalence pins the subsystem's headline invariant:
+// replaying a complete observation log through the stream path produces a
+// report whose Fingerprint is byte-identical to the batch SS run over the
+// original dataset. The sha256 pins guard both paths at once — a mismatch
+// means match results changed, not just speed.
+func TestStreamGoldenEquivalence(t *testing.T) {
+	cases := []struct {
+		name      string
+		practical bool
+		mode      core.Mode
+		want      string
+	}{
+		{"ideal-serial", false, core.ModeSerial,
+			"f9148d9c52037f0eed05a463f872bd009795fff2bc1b388ee2550aa68525ec1e"},
+		{"practical-serial", true, core.ModeSerial,
+			"25e495c8abf1c04522dc5e33d326b83a9ddcea4a3185c1dc5ce641eeafe688d5"},
+		{"ideal-parallel", false, core.ModeParallel,
+			"4cfed9fb5feb849ccec4aec8aa93195ff0137603e4a78cd85aa8c9f484794416"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := testDataset(t, tc.practical)
+			targets := ds.AllEIDs()[:20]
+			_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+			if err != nil {
+				t.Fatalf("EventsFromDataset: %v", err)
+			}
+			batch := batchFingerprint(t, ds, targets, tc.mode)
+			stream := replayFingerprint(t, testConfig(ds, targets, tc.mode), obs)
+			if stream != batch {
+				t.Fatalf("stream fingerprint diverges from batch:\n--- batch\n%s\n--- stream\n%s", batch, stream)
+			}
+			sum := sha256.Sum256([]byte(stream))
+			if got := hex.EncodeToString(sum[:]); got != tc.want {
+				t.Errorf("fingerprint hash = %s, want %s (match results changed)", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestStreamEmitsResolutions checks the incremental V stage: a complete
+// replay must emit one resolution per target, with monotonically increasing
+// sequence numbers and confidence fields populated.
+func TestStreamEmitsResolutions(t *testing.T) {
+	ds := testDataset(t, false)
+	targets := ds.AllEIDs()[:20]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	e, err := NewEngine(testConfig(ds, targets, core.ModeSerial))
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	backlog, ch, cancel := e.Subscribe()
+	defer cancel()
+	if len(backlog) != 0 {
+		t.Fatalf("fresh engine has backlog of %d", len(backlog))
+	}
+	for _, o := range obs {
+		if _, err := e.Ingest(o); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	got := e.Resolutions()
+	if len(got) != len(targets) {
+		t.Fatalf("emitted %d resolutions for %d targets", len(got), len(targets))
+	}
+	correct := 0
+	for i, r := range got {
+		if r.Seq != i+1 {
+			t.Errorf("resolution %d has seq %d", i, r.Seq)
+		}
+		if r.VID == ids.NoVID {
+			t.Errorf("resolution for %s carries no VID", r.EID)
+			continue
+		}
+		if r.Probability <= 0 || r.MajorityFrac <= 0 {
+			t.Errorf("resolution for %s has empty confidence: %+v", r.EID, r)
+		}
+		if r.VID == ds.TruthVID(r.EID) {
+			correct++
+		}
+	}
+	// The ideal setting matches essentially perfectly in batch mode; early
+	// emission sees fewer windows, so allow a small slack.
+	if correct < len(targets)*8/10 {
+		t.Errorf("only %d/%d early resolutions correct", correct, len(targets))
+	}
+	// The subscription must have received every emission.
+	for i := 0; i < len(got); i++ {
+		select {
+		case r := <-ch:
+			if r.Seq != i+1 {
+				t.Fatalf("subscriber got seq %d at position %d", r.Seq, i)
+			}
+		default:
+			t.Fatalf("subscriber starved after %d resolutions", i)
+		}
+	}
+}
+
+// fakeClock is a settable Clock for gauge tests.
+type fakeClock struct{ now time.Time }
+
+func (f *fakeClock) Now() time.Time { return f.now }
+
+// TestStreamGauges checks that the engine publishes its gauges and that the
+// watermark-lag gauge reads the injected clock, not the wall clock.
+func TestStreamGauges(t *testing.T) {
+	ds := testDataset(t, false)
+	targets := ds.AllEIDs()[:5]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	clk := &fakeClock{now: time.UnixMilli(50_000)}
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	cfg.Metrics = reg
+	cfg.Clock = clk
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	half := obs[:len(obs)/2]
+	for _, o := range half {
+		if _, err := e.Ingest(o); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+	}
+	if got := reg.Get("stream_open_windows"); got < 1 {
+		t.Errorf("stream_open_windows = %d, want >= 1", got)
+	}
+	wm, ok := e.Watermark()
+	if !ok {
+		t.Fatal("no watermark after ingesting half the log")
+	}
+	if got, want := reg.Get("stream_watermark_lag_ms"), 50_000-wm; got != want {
+		t.Errorf("stream_watermark_lag_ms = %d, want %d (injected clock at 50000)", got, want)
+	}
+	if got := reg.Get("stream_pending_eids"); got < 0 || got > int64(len(targets)) {
+		t.Errorf("stream_pending_eids = %d out of range", got)
+	}
+
+	// A wildly late observation must be dropped and counted.
+	late := half[0]
+	if accepted, err := e.Ingest(late); err != nil || accepted {
+		t.Fatalf("late replay of first event: accepted=%t err=%v", accepted, err)
+	}
+	if got := reg.Get("stream_late_dropped"); got != 1 {
+		t.Errorf("stream_late_dropped = %d, want 1", got)
+	}
+	if err := e.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := reg.Get("stream_resolutions_emitted"); got != int64(len(e.Resolutions())) {
+		t.Errorf("stream_resolutions_emitted = %d, want %d", got, len(e.Resolutions()))
+	}
+	if got := reg.Get("stream_open_windows"); got != 0 {
+		t.Errorf("stream_open_windows = %d after flush, want 0", got)
+	}
+}
