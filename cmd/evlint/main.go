@@ -3,12 +3,18 @@
 //
 // Usage:
 //
-//	evlint [-rules maprange,errwrap,goroutine,seedcheck] [-v] [patterns]
+//	evlint [-rules maprange,poolescape,...] [-format text|json] [-v] [patterns]
 //
 // Patterns follow the go tool loosely: "./..." (the default) lints the whole
 // module; a package directory (with or without a trailing /...) restricts
 // the report to packages under it. Analysis always type-checks the full
 // module so cross-package types resolve.
+//
+// -format json emits one JSON object per finding, one per line:
+//
+//	{"file":"internal/x/x.go","line":12,"col":3,"rule":"maprange","message":"..."}
+//
+// a shape a CI problem matcher can parse line-by-line.
 //
 // Suppress a finding by annotating the line (or the line above) with
 //
@@ -18,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -28,6 +35,15 @@ import (
 	"evmatching/internal/lint"
 )
 
+// jsonFinding is the -format json shape, one object per line.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
@@ -37,9 +53,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	var (
 		rules   = fs.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		format  = fs.String("format", "text", "output format: text or json (one object per finding per line)")
 		verbose = fs.Bool("v", false, "report package count and type-check diagnostics")
 	)
 	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *format != "text" && *format != "json" {
+		fmt.Fprintf(stderr, "evlint: unknown format %q (want text or json)\n", *format)
 		return 2
 	}
 
@@ -75,12 +96,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 
 	findings := lint.Run(pkgs, analyzers)
 	cwd, _ := os.Getwd()
+	enc := json.NewEncoder(stdout)
 	for _, f := range findings {
 		pos := f.Pos
 		if cwd != "" {
 			if rel, err := filepath.Rel(cwd, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
 				pos.Filename = rel
 			}
+		}
+		if *format == "json" {
+			// Encode writes exactly one line per finding — JSON Lines, so a
+			// problem matcher or jq stream consumes findings one by one.
+			err := enc.Encode(jsonFinding{
+				File:    pos.Filename,
+				Line:    pos.Line,
+				Col:     pos.Column,
+				Rule:    f.Rule,
+				Message: f.Message,
+			})
+			if err != nil {
+				fmt.Fprintln(stderr, "evlint:", err)
+				return 2
+			}
+			continue
 		}
 		fmt.Fprintf(stdout, "%s:%d:%d: %s: %s\n", pos.Filename, pos.Line, pos.Column, f.Rule, f.Message)
 	}

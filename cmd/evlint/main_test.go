@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -84,6 +85,56 @@ func TestRunCleanTreeExitsZero(t *testing.T) {
 	}
 	if out.String() != "" {
 		t.Errorf("clean tree produced output:\n%s", out.String())
+	}
+}
+
+func TestRunJSONFormat(t *testing.T) {
+	writeModule(t, map[string]string{"internal/core/core.go": violatingSource})
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "json", "./..."}, &out, &errb); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr:\n%s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 1 {
+		t.Fatalf("want one JSON line per finding, got %d:\n%s", len(lines), out.String())
+	}
+	var f struct {
+		File    string `json:"file"`
+		Line    int    `json:"line"`
+		Col     int    `json:"col"`
+		Rule    string `json:"rule"`
+		Message string `json:"message"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &f); err != nil {
+		t.Fatalf("finding line is not JSON: %v\n%s", err, lines[0])
+	}
+	if f.Rule != "maprange" || f.Line != 5 || f.Col == 0 || f.Message == "" {
+		t.Errorf("unexpected finding fields: %+v", f)
+	}
+	if f.File != filepath.Join("internal", "core", "core.go") {
+		t.Errorf("file = %q, want module-relative path", f.File)
+	}
+}
+
+func TestRunJSONCleanTree(t *testing.T) {
+	writeModule(t, map[string]string{"internal/core/core.go": cleanSource})
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "json", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr:\n%s", code, errb.String())
+	}
+	if out.String() != "" {
+		t.Errorf("clean tree produced JSON output:\n%s", out.String())
+	}
+}
+
+func TestRunUnknownFormat(t *testing.T) {
+	writeModule(t, map[string]string{"internal/core/core.go": cleanSource})
+	var out, errb strings.Builder
+	if code := run([]string{"-format", "xml", "./..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown format") {
+		t.Errorf("stderr does not explain the bad format:\n%s", errb.String())
 	}
 }
 

@@ -143,7 +143,7 @@ type Coordinator struct {
 	closed    bool
 	workers   map[string]time.Time // live workers by last contact
 	lastAlive time.Time            // most recent contact from any worker
-	stats     Stats
+	stats     statsCounters
 
 	jobMu sync.Mutex // serializes RunJob callers
 
@@ -377,7 +377,7 @@ func (c *Coordinator) sweepLocked(now time.Time) {
 	}
 	for w := range dead {
 		delete(c.workers, w)
-		c.stats.DeadWorkers++
+		c.stats.deadWorkers.Add(1)
 	}
 	job := c.job
 	if job == nil {
@@ -409,7 +409,7 @@ func (c *Coordinator) sweepTasksLocked(job *activeJob, tasks []taskInfo, dead ma
 		}
 		specAlive := t.specWorker != "" && !dead[t.specWorker] && now.Sub(t.specStarted) <= c.cfg.TaskTimeout
 		if dead[t.worker] || now.Sub(t.started) > c.cfg.TaskTimeout {
-			c.stats.Evictions++
+			c.stats.evictions.Add(1)
 			if specAlive {
 				// The speculative copy is still healthy: promote it to
 				// primary instead of requeueing.
@@ -462,7 +462,7 @@ func (c *Coordinator) claimTaskLocked(tasks []taskInfo, now time.Time, worker st
 			t.specWorker = ""
 			t.attempts++
 			if t.attempts > 1 {
-				c.stats.Retries++
+				c.stats.retries.Add(1)
 			}
 			return i, true
 		}
@@ -496,7 +496,7 @@ func (c *Coordinator) claimSpeculativeLocked(tasks []taskInfo, now time.Time, wo
 	t := &tasks[best]
 	t.specWorker = worker
 	t.specStarted = now
-	c.stats.SpeculativeDispatches++
+	c.stats.speculativeDispatches.Add(1)
 	return best, true
 }
 
@@ -585,7 +585,7 @@ func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
 	c.touchLocked(args.WorkerID, time.Now())
 	job := c.job
 	if job == nil || job.id != args.JobID {
-		c.stats.StaleReports++
+		c.stats.staleReports.Add(1)
 		return nil
 	}
 	var tasks []taskInfo
@@ -596,11 +596,11 @@ func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
 	case TaskReduce:
 		tasks, left = job.reduceTasks, &job.reducesLeft
 	default:
-		c.stats.StaleReports++
+		c.stats.staleReports.Add(1)
 		return fmt.Errorf("cluster: report for %v task", args.Kind)
 	}
 	if args.TaskID < 0 || args.TaskID >= len(tasks) {
-		c.stats.StaleReports++
+		c.stats.staleReports.Add(1)
 		return fmt.Errorf("cluster: report for unknown task %d", args.TaskID)
 	}
 	if args.Err != "" {
@@ -614,12 +614,12 @@ func (r *coordinatorRPC) ReportTask(args *TaskReport, reply *TaskAck) error {
 	}
 	t := &tasks[args.TaskID]
 	if t.state == taskCompleted {
-		c.stats.StaleReports++
+		c.stats.staleReports.Add(1)
 		return nil
 	}
 	if t.state == taskInProgress && t.specWorker != "" &&
 		args.WorkerID == t.specWorker && args.WorkerID != t.worker {
-		c.stats.SpeculativeWins++
+		c.stats.speculativeWins.Add(1)
 	}
 	t.state = taskCompleted
 	*left--

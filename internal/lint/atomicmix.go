@@ -1,0 +1,139 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// atomicFuncs are the sync/atomic package-level functions whose first
+// argument addresses the word being accessed atomically.
+var atomicFuncs = map[string]bool{
+	"AddInt32": true, "AddInt64": true, "AddUint32": true, "AddUint64": true, "AddUintptr": true,
+	"LoadInt32": true, "LoadInt64": true, "LoadUint32": true, "LoadUint64": true, "LoadUintptr": true, "LoadPointer": true,
+	"StoreInt32": true, "StoreInt64": true, "StoreUint32": true, "StoreUint64": true, "StoreUintptr": true, "StorePointer": true,
+	"SwapInt32": true, "SwapInt64": true, "SwapUint32": true, "SwapUint64": true, "SwapUintptr": true, "SwapPointer": true,
+	"CompareAndSwapInt32": true, "CompareAndSwapInt64": true, "CompareAndSwapUint32": true,
+	"CompareAndSwapUint64": true, "CompareAndSwapUintptr": true, "CompareAndSwapPointer": true,
+}
+
+// AtomicMixAnalyzer flags struct fields that are accessed through sync/atomic
+// somewhere in the module and accessed plainly somewhere else. Mixed access
+// is a data race the -race tier only catches probabilistically — it needs the
+// racing schedule to actually occur under the detector — whereas this check
+// is total: every plain read or write of a field that is atomic anywhere is
+// reported, across package boundaries (the loader shares one types.Info
+// universe, so a field object is identical wherever it is referenced).
+//
+// The recommended fix is a typed atomic (atomic.Int64, atomic.Uint64, ...):
+// the type system then makes plain access impossible and this rule moot for
+// that field — typed atomics are never flagged.
+func AtomicMixAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name:      "atomicmix",
+		Doc:       "flag plain reads/writes of struct fields accessed via sync/atomic elsewhere in the module",
+		RunModule: runAtomicMix,
+	}
+}
+
+func runAtomicMix(m *Module) []Finding {
+	// Phase 1: every field whose address is handed to a sync/atomic function
+	// anywhere in the module, with the selector nodes that did so (those
+	// sites are sanctioned, all others are plain).
+	atomicFields := make(map[types.Object]string) // field -> one atomic site, for the message
+	sanctioned := make(map[ast.Node]bool)
+	for _, p := range m.Passes {
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok || !isAtomicCall(p, call) || len(call.Args) == 0 {
+					return true
+				}
+				addr, ok := call.Args[0].(*ast.UnaryExpr)
+				if !ok {
+					return true
+				}
+				sel, ok := addr.X.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				if f := fieldObject(p, sel); f != nil {
+					if _, seen := atomicFields[f]; !seen {
+						atomicFields[f] = p.Fset.Position(call.Pos()).String()
+					}
+					sanctioned[sel] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+
+	// Phase 2: every other selector resolving to one of those fields is a
+	// plain access and therefore a race with the atomic sites.
+	var out []Finding
+	for _, p := range m.Passes {
+		for _, file := range p.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok || sanctioned[sel] {
+					return true
+				}
+				f := fieldObject(p, sel)
+				if f == nil {
+					return true
+				}
+				site, ok := atomicFields[f]
+				if !ok {
+					return true
+				}
+				out = append(out, Finding{
+					Rule: "atomicmix",
+					Pos:  p.Fset.Position(sel.Pos()),
+					Message: fmt.Sprintf("field %s is accessed atomically at %s but plainly here; mixed access is a data race — use sync/atomic at every site, or make the field a typed atomic (atomic.Int64/atomic.Uint64)",
+						f.Name(), site),
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// isAtomicCall matches atomic.F(...) for the address-taking sync/atomic
+// package functions.
+func isAtomicCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !atomicFuncs[sel.Sel.Name] {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if obj, ok := p.Info.Uses[id]; ok {
+		pn, ok := obj.(*types.PkgName)
+		return ok && pn.Imported().Path() == "sync/atomic"
+	}
+	return id.Name == "atomic"
+}
+
+// fieldObject resolves sel to a struct field object, or nil.
+func fieldObject(p *Pass, sel *ast.SelectorExpr) types.Object {
+	if s, ok := p.Info.Selections[sel]; ok {
+		if s.Kind() == types.FieldVal {
+			return s.Obj()
+		}
+		return nil
+	}
+	// Qualified references (pkg.Var) resolve through Uses; only fields
+	// qualify.
+	if obj, ok := p.Info.Uses[sel.Sel]; ok {
+		if v, ok := obj.(*types.Var); ok && v.IsField() {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,215 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// gobdetPackages are the packages whose gob streams must be byte-
+// deterministic and lossless: internal/stream's checkpoint file is the
+// crash/restore seam, and its bytes are pinned by the checkpoint → restore →
+// re-checkpoint identity property.
+var gobdetPackages = []string{
+	"internal/stream",
+}
+
+// GobDetAnalyzer walks the type graph reachable from every value the package
+// gob-encodes or gob-decodes (gob.Encoder.Encode / gob.Decoder.Decode call
+// sites) and flags three lossy-or-nondeterministic shapes:
+//
+//   - map-typed fields: gob serializes map entries in Go's randomized
+//     iteration order, so two encodes of equal state produce different
+//     bytes — checkpoint byte-reproducibility is gone. Encode a sorted
+//     slice of pairs instead.
+//   - unexported fields: gob silently skips them, so state survives encode
+//     but not restore — a lossy round trip with no error anywhere.
+//   - interface-typed fields in a package with no gob.Register call: the
+//     concrete type cannot be transmitted, so Encode fails at runtime — on
+//     the first checkpoint that actually carries a value.
+//
+// Types with custom encodings (GobEncode/GobDecode or MarshalBinary/
+// UnmarshalBinary) are treated as opaque: their determinism is the
+// implementor's contract, not reflection's.
+func GobDetAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "gobdet",
+		Doc:  "flag map, unexported, and unregistered-interface fields reachable from gob-encoded types",
+		Run:  runGobDet,
+	}
+}
+
+func runGobDet(p *Pass) []Finding {
+	if !inPackages(p.Path, gobdetPackages) {
+		return nil
+	}
+	roots, hasRegister := gobRootsAndRegisters(p)
+	if len(roots) == 0 {
+		return nil
+	}
+	w := &gobWalker{p: p, hasRegister: hasRegister, seen: make(map[types.Type]bool)}
+	for _, r := range roots {
+		w.walk(r.t, r.origin)
+	}
+	return w.findings
+}
+
+// gobRoot pairs a root type with the Encode/Decode call position that
+// anchors findings on types defined outside the package's own files.
+type gobRoot struct {
+	t      types.Type
+	origin string
+}
+
+// gobRootsAndRegisters finds the static types of every gob Encode/Decode
+// argument in the package, and whether the package registers any concrete
+// type for interface transmission.
+func gobRootsAndRegisters(p *Pass) ([]gobRoot, bool) {
+	var roots []gobRoot
+	hasRegister := false
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if isPkgFunc(p, call.Fun, "encoding/gob", "Register") || isPkgFunc(p, call.Fun, "encoding/gob", "RegisterName") {
+				hasRegister = true
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || (sel.Sel.Name != "Encode" && sel.Sel.Name != "Decode") || len(call.Args) != 1 {
+				return true
+			}
+			if !isGobCodec(p.Info.TypeOf(sel.X)) {
+				return true
+			}
+			t := p.Info.TypeOf(call.Args[0])
+			if t == nil {
+				return true
+			}
+			for {
+				ptr, ok := t.Underlying().(*types.Pointer)
+				if !ok {
+					break
+				}
+				t = ptr.Elem()
+			}
+			roots = append(roots, gobRoot{t: t, origin: p.Fset.Position(call.Pos()).String()})
+			return true
+		})
+	}
+	return roots, hasRegister
+}
+
+// isGobCodec reports whether t is (a pointer to) gob.Encoder or gob.Decoder.
+func isGobCodec(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "encoding/gob" &&
+		(obj.Name() == "Encoder" || obj.Name() == "Decoder")
+}
+
+type gobWalker struct {
+	p           *Pass
+	hasRegister bool
+	seen        map[types.Type]bool
+	findings    []Finding
+}
+
+// walk visits every type reachable from t through struct fields and
+// composite element types, flagging the offending fields.
+func (w *gobWalker) walk(t types.Type, origin string) {
+	if t == nil || w.seen[t] {
+		return
+	}
+	w.seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if hasCustomGobEncoding(named) {
+			return
+		}
+		w.walk(named.Underlying(), origin)
+		return
+	}
+	switch u := t.(type) {
+	case *types.Pointer:
+		w.walk(u.Elem(), origin)
+	case *types.Slice:
+		w.walk(u.Elem(), origin)
+	case *types.Array:
+		w.walk(u.Elem(), origin)
+	case *types.Map:
+		w.walk(u.Key(), origin)
+		w.walk(u.Elem(), origin)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			w.field(u.Field(i), origin)
+		}
+	}
+}
+
+// field applies the three checks to one struct field, then recurses into
+// its type.
+func (w *gobWalker) field(f *types.Var, origin string) {
+	pos := w.p.Fset.Position(f.Pos())
+	if !f.Exported() && !f.Embedded() {
+		w.findings = append(w.findings, Finding{
+			Rule: "gobdet",
+			Pos:  pos,
+			Message: fmt.Sprintf("unexported field %s is reachable from the gob stream at %s; gob silently drops it, so restore is lossy — export it or encode it explicitly",
+				f.Name(), origin),
+		})
+		return // its contents never hit the wire; nothing below matters
+	}
+	ft := f.Type()
+	if _, isMap := ft.Underlying().(*types.Map); isMap && !typeHasCustomGobEncoding(ft) {
+		w.findings = append(w.findings, Finding{
+			Rule: "gobdet",
+			Pos:  pos,
+			Message: fmt.Sprintf("map field %s is gob-encoded (via %s) in randomized iteration order; equal states produce different checkpoint bytes — encode a sorted slice of pairs instead",
+				f.Name(), origin),
+		})
+	}
+	if iface, isIface := ft.Underlying().(*types.Interface); isIface && !w.hasRegister {
+		what := "interface"
+		if iface.Empty() {
+			what = "empty-interface"
+		}
+		w.findings = append(w.findings, Finding{
+			Rule: "gobdet",
+			Pos:  pos,
+			Message: fmt.Sprintf("%s field %s is gob-encoded (via %s) but the package never calls gob.Register; Encode fails on the first non-nil value",
+				what, f.Name(), origin),
+		})
+	}
+	w.walk(ft, origin)
+}
+
+// hasCustomGobEncoding reports whether the named type (or its pointer
+// receiver set) implements gob or binary custom encoding on both sides.
+func hasCustomGobEncoding(named *types.Named) bool {
+	enc, dec := false, false
+	for _, t := range []types.Type{named, types.NewPointer(named)} {
+		ms := types.NewMethodSet(t)
+		for i := 0; i < ms.Len(); i++ {
+			switch ms.At(i).Obj().Name() {
+			case "GobEncode", "MarshalBinary":
+				enc = true
+			case "GobDecode", "UnmarshalBinary":
+				dec = true
+			}
+		}
+	}
+	return enc && dec
+}
+
+func typeHasCustomGobEncoding(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && hasCustomGobEncoding(named)
+}

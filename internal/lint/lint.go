@@ -1,9 +1,10 @@
 // Package lint implements evlint, the project's static-analysis pass suite.
 // It enforces the correctness disciplines the EV-Matching reproduction
 // depends on — deterministic iteration in result-affecting packages, error
-// wrapping, goroutine join discipline, and seedable randomness — as named,
-// individually testable analyzers built only on go/ast, go/parser, and
-// go/types.
+// wrapping, goroutine join discipline, seedable randomness, pooled-scratch
+// containment, consistent atomic access, lock balance, and deterministic gob
+// checkpoints — as named, individually testable analyzers built only on
+// go/ast, go/parser, and go/types.
 //
 // A finding can be suppressed by annotating the offending line (or the line
 // directly above it) with
@@ -12,7 +13,8 @@
 //
 // The reason is mandatory: a directive without one suppresses nothing and is
 // itself reported, so every escape hatch documents why the rule does not
-// apply.
+// apply. A directive that suppresses nothing is itself reported as stale, so
+// suppressions cannot outlive the code they excused.
 package lint
 
 import (
@@ -20,8 +22,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at a source position.
@@ -45,14 +49,28 @@ type Pass struct {
 	Info  *types.Info
 }
 
-// Analyzer is one named rule over a package.
-type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) []Finding
+// Module hands every type-checked package to a module-scope analyzer. All
+// passes share one loader, so a types.Object seen in one package is the same
+// object when referenced from another — cross-package rules (atomicmix)
+// compare object identities directly.
+type Module struct {
+	Passes []*Pass
 }
 
-// Analyzers returns the full pass suite in its canonical order.
+// Analyzer is one named rule. Run analyzes one package at a time and may run
+// concurrently with itself on different packages; RunModule sees the whole
+// module at once for rules whose evidence spans packages. An analyzer sets
+// exactly one of the two.
+type Analyzer struct {
+	Name      string
+	Doc       string
+	Run       func(*Pass) []Finding
+	RunModule func(*Module) []Finding
+}
+
+// Analyzers returns the full pass suite in its canonical order: the five
+// syntax-level analyzers of PR 1/5 first, then the four type-aware
+// deep-analysis rules, each group in introduction order.
 func Analyzers() []*Analyzer {
 	return []*Analyzer{
 		MapRangeAnalyzer(),
@@ -60,22 +78,29 @@ func Analyzers() []*Analyzer {
 		GoroutineAnalyzer(),
 		SeedCheckAnalyzer(),
 		WallClockAnalyzer(),
+		PoolEscapeAnalyzer(),
+		AtomicMixAnalyzer(),
+		LockBalanceAnalyzer(),
+		GobDetAnalyzer(),
 	}
 }
 
-// ignoreDirective is one parsed //evlint:ignore comment.
+// ignoreDirective is one parsed //evlint:ignore comment. used records
+// whether any finding was suppressed by it; a directive that stays unused
+// through a full run is stale and becomes a finding itself.
 type ignoreDirective struct {
 	rule   string
 	reason string
 	pos    token.Position
+	used   bool
 }
 
 const directivePrefix = "//evlint:ignore"
 
 // directives extracts the ignore directives of every file in the package,
-// keyed by file name then line.
-func directives(p *Pass) (map[string]map[int]ignoreDirective, []Finding) {
-	out := make(map[string]map[int]ignoreDirective)
+// keyed by file name then line, merging into dirs. Malformed directives are
+// returned as findings.
+func directives(p *Pass, dirs map[string]map[int]*ignoreDirective) []Finding {
 	var bad []Finding
 	for _, file := range p.Files {
 		for _, cg := range file.Comments {
@@ -95,51 +120,122 @@ func directives(p *Pass) (map[string]map[int]ignoreDirective, []Finding) {
 					})
 					continue
 				}
-				byLine := out[pos.Filename]
+				byLine := dirs[pos.Filename]
 				if byLine == nil {
-					byLine = make(map[int]ignoreDirective)
-					out[pos.Filename] = byLine
+					byLine = make(map[int]*ignoreDirective)
+					dirs[pos.Filename] = byLine
 				}
-				byLine[pos.Line] = ignoreDirective{rule: rule, reason: reason, pos: pos}
+				byLine[pos.Line] = &ignoreDirective{rule: rule, reason: reason, pos: pos}
 			}
 		}
 	}
-	return out, bad
+	return bad
 }
 
-// suppressed reports whether a finding of rule at pos is covered by a
-// directive on the same line or the line directly above.
-func suppressed(dirs map[string]map[int]ignoreDirective, rule string, pos token.Position) bool {
+// suppress reports whether a finding of rule at pos is covered by a
+// directive on the same line or the line directly above, marking the
+// directive used.
+func suppress(dirs map[string]map[int]*ignoreDirective, rule string, pos token.Position) bool {
 	byLine := dirs[pos.Filename]
 	if byLine == nil {
 		return false
 	}
 	for _, line := range []int{pos.Line, pos.Line - 1} {
 		if d, ok := byLine[line]; ok && d.rule == rule {
+			d.used = true
 			return true
 		}
 	}
 	return false
 }
 
-// Run applies every analyzer to every package, applies suppressions, and
-// returns the surviving findings sorted by position.
+// Run applies every analyzer to every package, applies suppressions, audits
+// them for staleness, and returns the surviving findings sorted by position.
+//
+// Per-package analyzers run concurrently across packages (the suite is
+// dominated by type-checking plus AST walks over independent packages);
+// findings are collected per package and merged in package order, so the
+// output is deterministic regardless of scheduling. Module-scope analyzers
+// run once over all passes afterwards.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Finding {
+	passes := make([]*Pass, len(pkgs))
+	for i, pkg := range pkgs {
+		passes[i] = &Pass{Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
+	}
+
+	// Directives first (serially — they share one map across packages, and a
+	// module-scope finding may land in a file of another package).
+	dirs := make(map[string]map[int]*ignoreDirective)
 	var all []Finding
-	for _, pkg := range pkgs {
-		pass := &Pass{Path: pkg.Path, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Pkg, Info: pkg.Info}
-		dirs, bad := directives(pass)
-		all = append(all, bad...)
-		for _, a := range analyzers {
-			for _, f := range a.Run(pass) {
-				if !suppressed(dirs, f.Rule, f.Pos) {
-					all = append(all, f)
+	for _, p := range passes {
+		all = append(all, directives(p, dirs)...)
+	}
+
+	// Per-package analyzers, concurrent across packages.
+	perPkg := make([][]Finding, len(passes))
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	var wg sync.WaitGroup
+	for i, p := range passes {
+		wg.Add(1)
+		go func(i int, p *Pass) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var out []Finding
+			for _, a := range analyzers {
+				if a.Run != nil {
+					out = append(out, a.Run(p)...)
 				}
 			}
+			perPkg[i] = out
+		}(i, p)
+	}
+	wg.Wait()
+
+	module := &Module{Passes: passes}
+	var raw []Finding
+	for _, fs := range perPkg {
+		raw = append(raw, fs...)
+	}
+	for _, a := range analyzers {
+		if a.RunModule != nil {
+			raw = append(raw, a.RunModule(module)...)
 		}
 	}
+	for _, f := range raw {
+		if !suppress(dirs, f.Rule, f.Pos) {
+			all = append(all, f)
+		}
+	}
+
+	all = append(all, auditDirectives(dirs, analyzers)...)
 	SortFindings(all)
 	return all
+}
+
+// auditDirectives reports every directive that suppressed nothing during the
+// run. Only directives whose rule was actually part of the analyzer set are
+// audited, so running a -rules subset cannot misreport suppressions of the
+// rules it skipped.
+func auditDirectives(dirs map[string]map[int]*ignoreDirective, analyzers []*Analyzer) []Finding {
+	ran := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var out []Finding
+	for _, byLine := range dirs {
+		for _, d := range byLine {
+			if d.used || !ran[d.rule] {
+				continue
+			}
+			out = append(out, Finding{
+				Rule:    "ignore",
+				Pos:     d.pos,
+				Message: fmt.Sprintf("stale //evlint:ignore %s directive suppresses nothing; remove it (or fix the reason) so suppressions cannot outlive the code they excused", d.rule),
+			})
+		}
+	}
+	return out
 }
 
 // SortFindings orders findings by file, line, column, then rule.

@@ -22,6 +22,12 @@ var fixtureCases = []struct {
 	{"goroutine", "example.com/fixture/internal/cluster"},
 	{"seedcheck", "example.com/fixture/internal/seed"},
 	{"wallclock", "example.com/fixture/internal/stream"},
+	{"poolescape", "example.com/fixture/internal/pool"},
+	{"atomicmix", "example.com/fixture/internal/counters"},
+	{"lockbalance", "example.com/fixture/internal/locks"},
+	// gobdet is scoped to the checkpoint-writing packages; the fixture poses
+	// as internal/stream to be in range.
+	{"gobdet", "example.com/fixture/internal/stream"},
 }
 
 // lintFixture runs the full pass suite over testdata/src/<name> and renders
@@ -38,9 +44,17 @@ func lintFixture(t *testing.T, name, importPath string) string {
 	for _, te := range pkg.TypeErrors {
 		t.Errorf("fixture %s does not type-check: %v", name, te)
 	}
+	// Cross-reference positions inside messages (atomicmix's "atomically at
+	// <site>", gobdet's "via <site>") carry absolute paths; strip the fixture
+	// dir so goldens are checkout-independent.
+	absDir, err := filepath.Abs(filepath.Join("testdata", "src", name))
+	if err != nil {
+		t.Fatal(err)
+	}
 	var sb strings.Builder
 	for _, f := range Run([]*Package{pkg}, Analyzers()) {
 		f.Pos.Filename = filepath.Base(f.Pos.Filename)
+		f.Message = strings.ReplaceAll(f.Message, absDir+string(filepath.Separator), "")
 		sb.WriteString(f.String())
 		sb.WriteByte('\n')
 	}
@@ -110,6 +124,75 @@ func TestSuppressionNeedsReason(t *testing.T) {
 	out := lintFixture(t, "maprange", "example.com/fixture/internal/core")
 	if !strings.Contains(out, ": ignore: ") {
 		t.Errorf("reasonless directive was not reported:\n%s", out)
+	}
+}
+
+// TestStaleIgnoreAudit: a directive that suppresses nothing is itself a
+// finding, so suppressions cannot silently outlive the code they excuse.
+func TestStaleIgnoreAudit(t *testing.T) {
+	out := lintFixture(t, "ignoreaudit", "example.com/fixture/internal/core")
+	if !strings.Contains(out, ": ignore: stale //evlint:ignore maprange") {
+		t.Errorf("stale directive was not reported:\n%s", out)
+	}
+}
+
+// TestAnalyzersCanonicalOrder pins the registry: nine analyzers, stable
+// order, so -rules filtering and documentation stay aligned.
+func TestAnalyzersCanonicalOrder(t *testing.T) {
+	want := []string{
+		"maprange", "errwrap", "goroutine", "seedcheck", "wallclock",
+		"poolescape", "atomicmix", "lockbalance", "gobdet",
+	}
+	got := Analyzers()
+	if len(got) != len(want) {
+		t.Fatalf("Analyzers() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("Analyzers()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+	}
+}
+
+// TestRunIsDeterministic: the concurrent per-package stage must not leak
+// scheduling order into the output — repeated runs over the same multi-
+// package load produce byte-identical findings.
+func TestRunIsDeterministic(t *testing.T) {
+	var pkgs []*Package
+	for _, tc := range fixtureCases {
+		pkg, err := LoadDir(filepath.Join("testdata", "src", tc.rule), tc.importPath)
+		if err != nil {
+			t.Fatalf("LoadDir %s: %v", tc.rule, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	render := func() ([]Finding, string) {
+		fs := Run(pkgs, Analyzers())
+		var sb strings.Builder
+		for _, f := range fs {
+			sb.WriteString(f.String())
+			sb.WriteByte('\n')
+		}
+		return fs, sb.String()
+	}
+	findings, first := render()
+	if first == "" {
+		t.Fatal("fixture suite produced no findings; determinism check is vacuous")
+	}
+	for i := 0; i < 5; i++ {
+		if _, got := render(); got != first {
+			t.Fatalf("run %d diverged:\n--- first\n%s--- got\n%s", i+2, first, got)
+		}
+	}
+	// Findings are merged from concurrent workers, so ordering is the
+	// framework's job: the returned slice must already be in canonical
+	// (file, line, column, rule) order.
+	sorted := append([]Finding(nil), findings...)
+	SortFindings(sorted)
+	for i := range findings {
+		if findings[i] != sorted[i] {
+			t.Errorf("finding %d out of canonical order: %s", i, findings[i])
+		}
 	}
 }
 

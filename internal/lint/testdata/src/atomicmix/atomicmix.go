@@ -1,0 +1,37 @@
+// Package atomicmix fixtures: a field accessed via sync/atomic anywhere must
+// be accessed atomically everywhere.
+package atomicmix
+
+import "sync/atomic"
+
+type counters struct {
+	hits  int64
+	typed atomic.Int64
+}
+
+// Bump is the atomic writer that puts hits under the atomicmix contract.
+func (c *counters) Bump() {
+	atomic.AddInt64(&c.hits, 1)
+	c.typed.Add(1)
+}
+
+// Snapshot reads hits plainly — the data race the analyzer exists to catch.
+func (c *counters) Snapshot() int64 {
+	return c.hits // want: plain read of atomic field
+}
+
+// Reset writes hits plainly under the atomic writer's nose.
+func (c *counters) Reset() {
+	c.hits = 0 // want: plain write of atomic field
+}
+
+// Typed uses the typed atomic; plain access is impossible, never flagged.
+func (c *counters) Typed() int64 {
+	return c.typed.Load()
+}
+
+// FinalSnapshot documents a sanctioned plain read: all writers have joined.
+func (c *counters) FinalSnapshot() int64 {
+	//evlint:ignore atomicmix read happens after Wait(); every writer has joined
+	return c.hits
+}

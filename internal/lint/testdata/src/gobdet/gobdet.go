@@ -1,0 +1,44 @@
+// Package gobdet fixtures: types reachable from a gob stream must encode
+// deterministically and losslessly.
+package gobdet
+
+import (
+	"bytes"
+	"encoding/gob"
+)
+
+type inner struct {
+	Weights map[string]float64 // want: map field, randomized order
+	secret  int                // want: unexported, silently dropped
+}
+
+type payload struct {
+	Name  string
+	Parts []inner
+	Extra any // want: interface without gob.Register
+}
+
+// Save gob-encodes a payload — the root the reachability walk starts from.
+func Save(w *bytes.Buffer, p *payload) error {
+	return gob.NewEncoder(w).Encode(p)
+}
+
+type sanctioned struct {
+	//evlint:ignore gobdet bytes of this side stream are never compared; order does not matter
+	Index map[int]bool
+}
+
+// SaveSanctioned's map field carries a documented suppression.
+func SaveSanctioned(w *bytes.Buffer, s *sanctioned) error {
+	return gob.NewEncoder(w).Encode(s)
+}
+
+type clean struct {
+	ID    int64
+	Names []string
+}
+
+// SaveClean round-trips losslessly and deterministically; no findings.
+func SaveClean(w *bytes.Buffer, c *clean) error {
+	return gob.NewEncoder(w).Encode(c)
+}

@@ -1,0 +1,70 @@
+// Package lockbalance fixtures: Lock/Unlock must balance on every return
+// path, with matching read/write kinds.
+package lockbalance
+
+import "sync"
+
+type box struct {
+	mu  sync.Mutex
+	rmu sync.RWMutex
+	n   int
+}
+
+// BadEarlyReturn forgets the unlock on the early path.
+func (b *box) BadEarlyReturn(flag bool) int {
+	b.mu.Lock()
+	if flag {
+		return -1 // want: return while b.mu is held
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// BadKindMismatch releases a write lock with the read-side method.
+func (b *box) BadKindMismatch() {
+	b.rmu.Lock()
+	b.n++
+	b.rmu.RUnlock() // want: write lock released with RUnlock
+}
+
+// BadLoopAccumulates acquires once per iteration without releasing.
+func (b *box) BadLoopAccumulates(xs []int) {
+	for range xs { // want: loop body changes hold state
+		b.mu.Lock()
+	}
+}
+
+// GoodDefer is the canonical paired form.
+func (b *box) GoodDefer() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// GoodExplicitBranches releases on every path explicitly.
+func (b *box) GoodExplicitBranches(flag bool) int {
+	b.mu.Lock()
+	if flag {
+		b.mu.Unlock()
+		return -1
+	}
+	n := b.n
+	b.mu.Unlock()
+	return n
+}
+
+// GoodReadSide pairs the read-side methods.
+func (b *box) GoodReadSide() int {
+	b.rmu.RLock()
+	defer b.rmu.RUnlock()
+	return b.n
+}
+
+// LockedView acquires for the caller by contract — the one shape that must
+// return while holding, sanctioned by directive.
+func (b *box) LockedView() int {
+	b.mu.Lock()
+	//evlint:ignore lockbalance acquires for the caller; the caller must Unlock
+	return b.n
+}

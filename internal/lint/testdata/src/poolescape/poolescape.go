@@ -1,0 +1,92 @@
+// Package poolescape fixtures: pooled scratch must not outlive its Put.
+package poolescape
+
+import "sync"
+
+type scratch struct {
+	buf []float64
+}
+
+var pool = sync.Pool{New: func() any { return new(scratch) }}
+
+var leaked *scratch
+
+// BadReturn hands the pooled value to the caller while the deferred Put
+// recycles it.
+func BadReturn() *scratch {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return s // want: escapes via return
+}
+
+// BadSliceReturn leaks pooled backing memory through a re-slice alias.
+func BadSliceReturn(n int) []float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	return s.buf[:n] // want: escapes via return
+}
+
+// BadStoreGlobal parks pooled scratch in a package-level variable.
+func BadStoreGlobal() {
+	s := pool.Get().(*scratch)
+	leaked = s // want: stored in package-level leaked
+	pool.Put(s)
+}
+
+type holder struct{ s *scratch }
+
+// BadStoreStruct stores pooled scratch in a struct that outlives the Put.
+func BadStoreStruct(h *holder) {
+	s := pool.Get().(*scratch)
+	h.s = s // want: stored in h.s
+	pool.Put(s)
+}
+
+// BadGoroutine launches a reader while the launcher's defer Puts the value.
+func BadGoroutine(done chan struct{}) {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	go func() {
+		_ = s.buf // want: captured by a goroutine
+		close(done)
+	}()
+}
+
+// getScratch is a sanctioned provider: it intentionally hands out pooled
+// scratch, and its callers are tracked like direct Get callers.
+func getScratch() *scratch {
+	//evlint:ignore poolescape provider; callers borrow through getScratch and must Put
+	return pool.Get().(*scratch)
+}
+
+// BadProviderReturn shows provider-call tracking: the borrow came from
+// getScratch, not pool.Get, and still must not escape.
+func BadProviderReturn() *scratch {
+	s := getScratch()
+	defer pool.Put(s)
+	return s // want: escapes via return
+}
+
+// GoodCopyOut reduces into a plain value before the Put; nothing aliases the
+// scratch afterwards.
+func GoodCopyOut(xs []float64) float64 {
+	s := pool.Get().(*scratch)
+	defer pool.Put(s)
+	s.buf = append(s.buf[:0], xs...)
+	total := 0.0
+	for _, v := range s.buf {
+		total += v
+	}
+	return total
+}
+
+// GoodGoroutineOwns transfers the borrow: the goroutine Puts the value back
+// itself, so the capture is the ownership handoff, not a leak.
+func GoodGoroutineOwns(done chan struct{}) {
+	s := pool.Get().(*scratch)
+	go func() {
+		_ = s.buf
+		pool.Put(s)
+		close(done)
+	}()
+}

@@ -62,7 +62,6 @@ func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	names := make([]string, 0, len(r.counters))
-	//evlint:ignore maprange collect-then-sort: names are sorted before use
 	for name := range r.counters {
 		names = append(names, name)
 	}

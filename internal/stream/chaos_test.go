@@ -58,6 +58,18 @@ func TestStreamCrashRestoreChaos(t *testing.T) {
 					if err != nil {
 						t.Fatalf("Restore after crash %d: %v", crashes, err)
 					}
+					// Byte-identity invariant: re-checkpointing the restored
+					// engine must reproduce the exact bytes it was restored
+					// from — the checkpoint format has no nondeterminism and
+					// restore loses nothing.
+					var again bytes.Buffer
+					if err := e.Checkpoint(&again); err != nil {
+						t.Fatalf("re-Checkpoint after crash %d: %v", crashes, err)
+					}
+					if !bytes.Equal(again.Bytes(), checkpoint.Bytes()) {
+						t.Fatalf("crash %d: re-checkpoint bytes differ from the checkpoint restored from (len %d vs %d)",
+							crashes, again.Len(), checkpoint.Len())
+					}
 					i = int(e.Ingested())
 					crashes++
 				case rng.Float64() < 0.01:

@@ -12,17 +12,27 @@ import (
 )
 
 // CheckpointVersion is the checkpoint format version this package writes.
-const CheckpointVersion = 1
+// Version 2 flattened the E-Scenario EID set from a map into a sorted
+// (EID, attr) slice: gob encodes maps in randomized iteration order, so the
+// v1 format produced different bytes for equal states and broke the
+// checkpoint → restore → re-checkpoint byte-identity property.
+const CheckpointVersion = 2
 
 // ErrBadCheckpoint reports a checkpoint that cannot be restored.
 var ErrBadCheckpoint = errors.New("stream: bad checkpoint")
 
 // checkpointScenario is one closed EV-Scenario pair, saved in store-ID order
-// so restore re-adds them with identical IDs.
+// so restore re-adds them with identical IDs. The E side is flattened: an
+// EScenario holds its EID set as a map, which gob would encode in randomized
+// order, so the set is saved as a sorted (EID, attr) slice instead — every
+// field reachable from checkpointFile must encode deterministically (the
+// gobdet analyzer enforces this).
 type checkpointScenario struct {
-	E    scenario.EScenario
-	V    scenario.VScenario
-	HasV bool
+	Cell   geo.CellID
+	Window int
+	EIDs   []checkpointEID
+	V      scenario.VScenario
+	HasV   bool
 }
 
 // checkpointEID is one (EID, attr) entry of an open bucket, slice-encoded in
@@ -95,7 +105,11 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 		Resolved:    ids.SortedEIDKeys(e.resolved),
 	}
 	for id := scenario.ID(0); int(id) < e.store.Len(); id++ {
-		cs := checkpointScenario{E: *e.store.E(id)}
+		esc := e.store.E(id)
+		cs := checkpointScenario{Cell: esc.Cell, Window: esc.Window}
+		for _, eid := range ids.SortedEIDKeys(esc.EIDs) {
+			cs.EIDs = append(cs.EIDs, checkpointEID{EID: eid, Attr: esc.EIDs[eid]})
+		}
 		if v := e.store.V(id); v != nil {
 			cs.V = *v
 			cs.HasV = true
@@ -154,18 +168,26 @@ func Restore(cfg Config, r io.Reader) (*Engine, error) {
 	// IDs) and replay the split — the partition is a pure fold over them.
 	for i := range cp.Scenarios {
 		cs := &cp.Scenarios[i]
+		esc := &scenario.EScenario{
+			Cell:   cs.Cell,
+			Window: cs.Window,
+			EIDs:   make(map[ids.EID]scenario.Attr, len(cs.EIDs)),
+		}
+		for _, ea := range cs.EIDs {
+			esc.EIDs[ea.EID] = ea.Attr
+		}
 		var vsc *scenario.VScenario
 		if cs.HasV {
 			vsc = &cs.V
 		}
-		id, err := e.store.Add(&cs.E, vsc)
+		id, err := e.store.Add(esc, vsc)
 		if err != nil {
 			return nil, fmt.Errorf("%w: scenario %d: %w", ErrBadCheckpoint, i, err)
 		}
 		if int(id) != i {
 			return nil, fmt.Errorf("%w: scenario %d re-added as %d", ErrBadCheckpoint, i, id)
 		}
-		e.part.SplitBy(&cs.E)
+		e.part.SplitBy(esc)
 	}
 	for _, cb := range cp.Buckets {
 		b := &bucket{eids: make(map[ids.EID]scenario.Attr, len(cb.EIDs)), detSeen: make(map[string]bool, len(cb.Dets))}

@@ -280,6 +280,31 @@ func TestMatchConcurrentSafe(t *testing.T) {
 	var wg sync.WaitGroup
 	errs := make([]error, 8)
 	results := make([]Result, 8)
+	// Stats readers race the matchers: the typed-atomic counters must give a
+	// race-free snapshot whose monotone fields never run backwards.
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for r := 0; r < 2; r++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			var last Stats
+			for {
+				s := f.Stats()
+				if s.ScenariosProcessed < last.ScenariosProcessed ||
+					s.Extractions < last.Extractions || s.Comparisons < last.Comparisons {
+					t.Errorf("stats snapshot went backwards: %+v after %+v", s, last)
+					return
+				}
+				last = s
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+	}
 	for p := 0; p < 8; p++ {
 		wg.Add(1)
 		go func(p int) {
@@ -288,6 +313,8 @@ func TestMatchConcurrentSafe(t *testing.T) {
 		}(p)
 	}
 	wg.Wait()
+	close(stop)
+	readers.Wait()
 	for p := 0; p < 8; p++ {
 		if errs[p] != nil {
 			t.Fatalf("person %d: %v", p, errs[p])
