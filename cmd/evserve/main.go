@@ -5,14 +5,18 @@
 // Usage:
 //
 //	evserve -data world.gob [-addr 127.0.0.1:8080] [-mode serial|parallel|cluster] [-workers 3]
-//	        [-stream-window 0] [-stream-lateness 250]
+//	        [-stream-window 0] [-stream-lateness 250] [-stream-shards 0]
 //
 // Endpoints: /healthz, /match?eid=, /reverse?vid=, /trajectory?eid=,
 // /whowasat?cell=&window=, /metricsz.
 //
 // With -stream-window > 0 a live stream engine runs alongside the batch
 // index, adding POST /ingest (JSONL observations) and GET /stream (SSE
-// resolutions); its gauges join /metricsz.
+// resolutions); its gauges join /metricsz. With -stream-shards N > 0 the
+// ingest path runs through the sharded router instead: observations partition
+// by cell across N concurrent windowers, and /metricsz additionally carries
+// the per-shard stream_shard<N>_ingested gauges plus stream_shards and
+// stream_shard_redispatches.
 //
 // In cluster mode the matching phase runs on the fault-tolerant distributed
 // runtime (an in-process coordinator plus -workers workers over localhost
@@ -132,6 +136,7 @@ func run(args []string, ready chan<- string) error {
 		workers        = fs.Int("workers", 3, "worker count for -mode cluster")
 		streamWindow   = fs.Int64("stream-window", 0, "enable live ingestion with this event-time window in ms (0 = off)")
 		streamLateness = fs.Int64("stream-lateness", 250, "allowed lateness for live ingestion in ms")
+		streamShards   = fs.Int("stream-shards", 0, "cell-range ingest shards for live ingestion (0 = unsharded single engine)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -190,17 +195,30 @@ func run(args []string, ready chan<- string) error {
 
 	srvOpts := []server.Option{server.WithMetrics(reg.Snapshot)}
 	if *streamWindow > 0 {
-		eng, err := stream.NewEngine(stream.Config{
+		scfg := stream.Config{
 			Targets:    ds.AllEIDs(),
 			WindowMS:   *streamWindow,
 			LatenessMS: *streamLateness,
 			Dim:        ds.Config.DescriptorDim(),
 			Metrics:    reg,
-		})
-		if err != nil {
-			return err
 		}
-		srvOpts = append(srvOpts, server.WithStream(eng))
+		var proc stream.Processor
+		if *streamShards > 0 {
+			router, err := stream.NewRouter(stream.RouterConfig{Config: scfg, Shards: *streamShards})
+			if err != nil {
+				return err
+			}
+			defer router.Close()
+			proc = router
+			fmt.Printf("live ingestion sharded across %d cell-range windowers\n", *streamShards)
+		} else {
+			eng, err := stream.NewEngine(scfg)
+			if err != nil {
+				return err
+			}
+			proc = eng
+		}
+		srvOpts = append(srvOpts, server.WithStream(proc))
 		fmt.Printf("live ingestion enabled: window %d ms, lateness %d ms, %d targets\n",
 			*streamWindow, *streamLateness, len(ds.AllEIDs()))
 	}

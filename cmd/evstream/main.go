@@ -10,8 +10,14 @@
 //
 //	evstream -log obs.jsonl [-targets aa:bb:...,...] [-lateness-ms 250]
 //	         [-speed 0] [-seed 1] [-mode serial|parallel] [-workers 0]
-//	         [-checkpoint state.ckpt] [-checkpoint-every 2000]
+//	         [-shards 0] [-checkpoint state.ckpt] [-checkpoint-every 2000]
 //	         [-max-events 0] [-finalize] [-v]
+//
+// With -shards N > 0 the replay runs through the sharded router: N
+// concurrent per-cell-range windowers behind a cell-partitioning router,
+// producing the same resolutions and the same final fingerprint as the
+// unsharded engine (checkpoints are then written in the sharded v3 format;
+// both v2 and v3 images restore into any shard count).
 //
 // When -checkpoint names an existing file the replay resumes from it,
 // skipping the observations the checkpointed engine already ingested — the
@@ -52,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		seed       = fs.Int64("seed", 1, "matcher seed")
 		modeName   = fs.String("mode", "serial", "finalize execution mode: serial or parallel")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
+		shards     = fs.Int("shards", 0, "cell-range ingest shards (0 = unsharded single engine)")
 		ckptPath   = fs.String("checkpoint", "", "checkpoint file: resumed from when present, rewritten during replay")
 		ckptEvery  = fs.Int64("checkpoint-every", 2000, "observations between checkpoint writes")
 		maxEvents  = fs.Int64("max-events", 0, "stop after this log position (0 = whole log)")
@@ -114,13 +121,19 @@ func run(args []string, out io.Writer) error {
 		Workers:    *workers,
 	}
 
-	// Resume from the checkpoint when one exists; otherwise start fresh.
-	var e *stream.Engine
+	// Resume from the checkpoint when one exists; otherwise start fresh. With
+	// -shards the processor is the sharded router, which restores both v2
+	// single-engine and v3 sharded images, redistributing buckets by cell.
+	var e stream.Processor
 	if *ckptPath != "" {
 		cf, err := os.Open(*ckptPath)
 		switch {
 		case err == nil:
-			e, err = stream.Restore(cfg, cf)
+			if *shards > 0 {
+				e, err = stream.RestoreRouter(stream.RouterConfig{Config: cfg, Shards: *shards}, cf)
+			} else {
+				e, err = stream.Restore(cfg, cf)
+			}
 			cf.Close()
 			if err != nil {
 				return fmt.Errorf("resume from %s: %w", *ckptPath, err)
@@ -133,9 +146,17 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if e == nil {
-		if e, err = stream.NewEngine(cfg); err != nil {
+		if *shards > 0 {
+			e, err = stream.NewRouter(stream.RouterConfig{Config: cfg, Shards: *shards})
+		} else {
+			e, err = stream.NewEngine(cfg)
+		}
+		if err != nil {
 			return err
 		}
+	}
+	if r, ok := e.(*stream.Router); ok {
+		defer r.Close()
 	}
 
 	start := e.Ingested()
@@ -227,9 +248,9 @@ func drainResolutions(ch <-chan stream.Resolution, w io.Writer) {
 	}
 }
 
-// writeCheckpoint writes the engine state atomically: a crash mid-write
+// writeCheckpoint writes the processor state atomically: a crash mid-write
 // leaves the previous checkpoint intact.
-func writeCheckpoint(e *stream.Engine, path string) error {
+func writeCheckpoint(e stream.Processor, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {

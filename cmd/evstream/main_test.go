@@ -149,6 +149,68 @@ func TestRunCrashResume(t *testing.T) {
 	}
 }
 
+// TestRunShardedReplayMatchesBatch extends the CLI golden invariant to the
+// sharded router: -shards N replays print the same fingerprint hash as the
+// batch SS run, at the degenerate 1-shard case and a genuinely partitioned 4.
+func TestRunShardedReplayMatchesBatch(t *testing.T) {
+	dir := t.TempDir()
+	ds, logPath := writeTestLog(t, dir)
+	flag, targets := targetsFlag(ds, 12)
+	want := batchHash(t, ds, targets, 7)
+	for _, shards := range []string{"1", "4"} {
+		var buf bytes.Buffer
+		err := run([]string{"-log", logPath, "-targets", flag, "-seed", "7", "-shards", shards}, &buf)
+		if err != nil {
+			t.Fatalf("run -shards %s: %v\n%s", shards, err, buf.String())
+		}
+		if got := extractHash(t, buf.String()); got != want {
+			t.Errorf("-shards %s replay hash %s, want batch hash %s", shards, got, want)
+		}
+	}
+}
+
+// TestRunShardedCrashResume is the sharded crash drill, covering both
+// checkpoint-format transitions: a 3-shard run leaves a v3 image that a
+// 2-shard run resumes (resharding restore), and an unsharded run leaves a v2
+// image that a 2-shard run upgrades — both finishing at the batch hash.
+func TestRunShardedCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	ds, logPath := writeTestLog(t, dir)
+	flag, targets := targetsFlag(ds, 12)
+	want := batchHash(t, ds, targets, 7)
+	for _, tc := range []struct{ name, firstShards string }{
+		{"v3-reshard", "3"},
+		{"v2-upgrade", "0"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			ckpt := filepath.Join(dir, tc.name+".ckpt")
+			var first bytes.Buffer
+			err := run([]string{
+				"-log", logPath, "-targets", flag, "-seed", "7", "-shards", tc.firstShards,
+				"-checkpoint", ckpt, "-checkpoint-every", "500",
+				"-max-events", "1500", "-finalize=false",
+			}, &first)
+			if err != nil {
+				t.Fatalf("first run: %v\n%s", err, first.String())
+			}
+			var second bytes.Buffer
+			err = run([]string{
+				"-log", logPath, "-targets", flag, "-seed", "7", "-shards", "2",
+				"-checkpoint", ckpt, "-checkpoint-every", "500",
+			}, &second)
+			if err != nil {
+				t.Fatalf("second run: %v\n%s", err, second.String())
+			}
+			if !strings.Contains(second.String(), "resumed from") {
+				t.Fatalf("second run did not resume:\n%s", second.String())
+			}
+			if got := extractHash(t, second.String()); got != want {
+				t.Errorf("resumed sharded replay hash %s, want batch hash %s", got, want)
+			}
+		})
+	}
+}
+
 // TestRunDefaultTargets covers the pre-scan path: with no -targets the CLI
 // matches every EID sighted in the log.
 func TestRunDefaultTargets(t *testing.T) {

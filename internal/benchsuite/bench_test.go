@@ -1,6 +1,7 @@
 package benchsuite
 
 import (
+	"fmt"
 	"testing"
 
 	"evmatching/internal/core"
@@ -35,4 +36,18 @@ func BenchmarkMatchSSSerial(b *testing.B) {
 // exist.
 func BenchmarkStreamReplay(b *testing.B) {
 	streamReplayBench()(b)
+}
+
+// BenchmarkStreamReplayShards sweeps the sharded router over shard counts,
+// timing ingest through Flush (Finalize's constant-work verification run is
+// excluded — it is identical at every N). The 4-shard/1-shard throughput
+// ratio is the scaling gate for the sharded ingest path: per-shard windowing
+// and seal-time feature extraction must parallelize, leaving only the
+// (window, cell)-ordered fold serial. The ratio is bounded by available
+// cores — on a GOMAXPROCS=1 runner the sweep degenerates to measuring
+// sharding overhead (expect a flat curve there, not a regression).
+func BenchmarkStreamReplayShards(b *testing.B) {
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards-%d", shards), streamReplayShardsBench(shards))
+	}
 }

@@ -134,6 +134,65 @@ func streamReplayBench() func(b *testing.B) {
 	}
 }
 
+// streamReplayShardsWorkload builds the flattened log and engine config the
+// sharded replay benchmarks share — the same dataset family and target sample
+// as streamReplayBench, so the 1-shard entry is directly comparable with the
+// unsharded StreamReplay.
+func streamReplayShardsWorkload(b *testing.B) (stream.Config, []stream.Observation) {
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 100
+	cfg.Density = 10
+	cfg.NumWindows = 12
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, obs, err := stream.EventsFromDataset(ds, 1_000, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return stream.Config{
+		Targets:    ds.SampleEIDs(20, rand.New(rand.NewSource(5))),
+		WindowMS:   1_000,
+		LatenessMS: 250,
+		Dim:        ds.Config.DescriptorDim(),
+		Seed:       5,
+	}, obs
+}
+
+// streamReplayShardsBench replays the log through an N-shard router, timing
+// ingest through Flush. Finalize — the constant-work batch verification run,
+// identical at every shard count — stays outside the timer, so the measured
+// throughput isolates exactly what sharding parallelizes: per-shard windowing
+// and seal-time feature extraction.
+func streamReplayShardsBench(shards int) func(b *testing.B) {
+	return func(b *testing.B) {
+		scfg, obs := streamReplayShardsWorkload(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewRouter(stream.RouterConfig{Config: scfg, Shards: shards})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range obs {
+				if _, err := r.Ingest(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := r.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(r.Resolutions())), "resolutions")
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+}
+
 func randomUnit(rng *rand.Rand, dim int) feature.Vector {
 	v := make(feature.Vector, dim)
 	for i := range v {
@@ -148,6 +207,8 @@ func benchmarks() []benchmark {
 		{"MatchSSParallel", matchBench(core.AlgorithmSS, core.ModeParallel)},
 		{"MatchEDPSerial", matchBench(core.AlgorithmEDP, core.ModeSerial)},
 		{"StreamReplay", streamReplayBench()},
+		{"StreamReplayShards1", streamReplayShardsBench(1)},
+		{"StreamReplayShards4", streamReplayShardsBench(4)},
 		{"Sim", func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			x, y := randomUnit(rng, 64), randomUnit(rng, 64)

@@ -1,0 +1,140 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// ErrBadShardLease reports an invalid shard-lease configuration or argument.
+var ErrBadShardLease = errors.New("cluster: bad shard lease")
+
+// ShardLeaseTable tracks liveness leases for a fixed set of region shards —
+// the in-process analogue of the coordinator's worker heartbeat map
+// (sweepLocked). Each shard holds a lease it must renew within the TTL; a
+// lease that lapses marks the shard dead, and Redispatch hands its identity
+// to a replacement under a bumped incarnation so stale renewals from the old
+// owner are rejected.
+//
+// The table is a pure data structure: it never reads the wall clock. Every
+// method takes the caller's notion of "now", so deterministic tests drive it
+// from an injected clock while production passes real time.
+type ShardLeaseTable struct {
+	mu           sync.Mutex
+	ttl          time.Duration
+	shards       []shardLease
+	redispatches int64
+	renewals     int64
+	staleRenews  int64
+}
+
+// shardLease is one shard's lease state.
+type shardLease struct {
+	incarnation int
+	lastRenew   time.Time
+}
+
+// ShardLeaseStats is a snapshot of the table's counters.
+type ShardLeaseStats struct {
+	// Shards is the fixed shard count.
+	Shards int
+	// Redispatches counts lease takeovers: a lapsed shard handed to a
+	// replacement incarnation.
+	Redispatches int64
+	// Renewals counts accepted lease renewals.
+	Renewals int64
+	// StaleRenewals counts renewals rejected because a newer incarnation
+	// already owns the shard.
+	StaleRenewals int64
+}
+
+// NewShardLeaseTable creates a table of n shard leases, all granted to
+// incarnation 1 at time now with the given TTL.
+func NewShardLeaseTable(n int, ttl time.Duration, now time.Time) (*ShardLeaseTable, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("%w: %d shards", ErrBadShardLease, n)
+	}
+	if ttl <= 0 {
+		return nil, fmt.Errorf("%w: ttl %v", ErrBadShardLease, ttl)
+	}
+	t := &ShardLeaseTable{ttl: ttl, shards: make([]shardLease, n)}
+	for i := range t.shards {
+		t.shards[i] = shardLease{incarnation: 1, lastRenew: now}
+	}
+	return t, nil
+}
+
+// Renew records a sign of life from the given incarnation of a shard. It
+// returns false when the incarnation is stale — a replacement already owns
+// the shard — which tells the caller to stand down, mirroring how the
+// coordinator ignores reports from evicted workers.
+func (t *ShardLeaseTable) Renew(shard, incarnation int, now time.Time) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if shard < 0 || shard >= len(t.shards) {
+		return false
+	}
+	s := &t.shards[shard]
+	if incarnation != s.incarnation {
+		t.staleRenews++
+		return false
+	}
+	if now.After(s.lastRenew) {
+		s.lastRenew = now
+	}
+	t.renewals++
+	return true
+}
+
+// Expired returns the shards whose lease lapsed more than the TTL before
+// now, in ascending shard order — the failure-detector sweep.
+func (t *ShardLeaseTable) Expired(now time.Time) []int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	var dead []int
+	for i := range t.shards {
+		if now.Sub(t.shards[i].lastRenew) > t.ttl {
+			dead = append(dead, i)
+		}
+	}
+	return dead
+}
+
+// Redispatch hands the shard to a replacement: the incarnation is bumped so
+// renewals from the previous owner are rejected, and the fresh lease starts
+// at now. It returns the new incarnation the replacement must renew under.
+func (t *ShardLeaseTable) Redispatch(shard int, now time.Time) (int, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if shard < 0 || shard >= len(t.shards) {
+		return 0, fmt.Errorf("%w: shard %d of %d", ErrBadShardLease, shard, len(t.shards))
+	}
+	s := &t.shards[shard]
+	s.incarnation++
+	s.lastRenew = now
+	t.redispatches++
+	return s.incarnation, nil
+}
+
+// Incarnation returns the current lease-holding incarnation of a shard.
+func (t *ShardLeaseTable) Incarnation(shard int) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if shard < 0 || shard >= len(t.shards) {
+		return 0
+	}
+	return t.shards[shard].incarnation
+}
+
+// Stats snapshots the table's counters.
+func (t *ShardLeaseTable) Stats() ShardLeaseStats {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return ShardLeaseStats{
+		Shards:        len(t.shards),
+		Redispatches:  t.redispatches,
+		Renewals:      t.renewals,
+		StaleRenewals: t.staleRenews,
+	}
+}

@@ -1,0 +1,92 @@
+package cluster
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestShardLeaseLifecycle(t *testing.T) {
+	base := time.UnixMilli(0)
+	ttl := 100 * time.Millisecond
+	tbl, err := NewShardLeaseTable(3, ttl, base)
+	if err != nil {
+		t.Fatalf("NewShardLeaseTable: %v", err)
+	}
+	if got := tbl.Expired(base.Add(ttl)); len(got) != 0 {
+		t.Fatalf("expired at exactly TTL: %v", got)
+	}
+	// Shard 1 renews; 0 and 2 stay silent past the TTL.
+	if !tbl.Renew(1, 1, base.Add(90*time.Millisecond)) {
+		t.Fatal("fresh renewal rejected")
+	}
+	got := tbl.Expired(base.Add(101 * time.Millisecond))
+	if len(got) != 2 || got[0] != 0 || got[1] != 2 {
+		t.Fatalf("Expired = %v, want [0 2]", got)
+	}
+
+	// Redispatch shard 0: the new incarnation renews, the old one is stale.
+	inc, err := tbl.Redispatch(0, base.Add(101*time.Millisecond))
+	if err != nil {
+		t.Fatalf("Redispatch: %v", err)
+	}
+	if inc != 2 {
+		t.Fatalf("new incarnation %d, want 2", inc)
+	}
+	if tbl.Renew(0, 1, base.Add(102*time.Millisecond)) {
+		t.Fatal("stale incarnation renewed after redispatch")
+	}
+	if !tbl.Renew(0, 2, base.Add(102*time.Millisecond)) {
+		t.Fatal("replacement incarnation rejected")
+	}
+	if got := tbl.Incarnation(0); got != 2 {
+		t.Fatalf("Incarnation(0) = %d, want 2", got)
+	}
+
+	st := tbl.Stats()
+	if st.Shards != 3 || st.Redispatches != 1 || st.StaleRenewals != 1 || st.Renewals != 2 {
+		t.Fatalf("Stats = %+v", st)
+	}
+}
+
+func TestShardLeaseRenewNeverRewindsClock(t *testing.T) {
+	base := time.UnixMilli(0)
+	tbl, err := NewShardLeaseTable(1, 50*time.Millisecond, base)
+	if err != nil {
+		t.Fatalf("NewShardLeaseTable: %v", err)
+	}
+	if !tbl.Renew(0, 1, base.Add(40*time.Millisecond)) {
+		t.Fatal("renewal rejected")
+	}
+	// An out-of-order renewal carrying an older timestamp must not rewind the
+	// lease: liveness information is monotone.
+	if !tbl.Renew(0, 1, base.Add(10*time.Millisecond)) {
+		t.Fatal("out-of-order renewal rejected")
+	}
+	if got := tbl.Expired(base.Add(85 * time.Millisecond)); len(got) != 0 {
+		t.Fatalf("lease rewound by an out-of-order renewal: %v", got)
+	}
+}
+
+func TestShardLeaseValidation(t *testing.T) {
+	base := time.UnixMilli(0)
+	if _, err := NewShardLeaseTable(0, time.Second, base); !errors.Is(err, ErrBadShardLease) {
+		t.Errorf("0 shards: err = %v", err)
+	}
+	if _, err := NewShardLeaseTable(2, 0, base); !errors.Is(err, ErrBadShardLease) {
+		t.Errorf("zero ttl: err = %v", err)
+	}
+	tbl, err := NewShardLeaseTable(2, time.Second, base)
+	if err != nil {
+		t.Fatalf("NewShardLeaseTable: %v", err)
+	}
+	if _, err := tbl.Redispatch(5, base); !errors.Is(err, ErrBadShardLease) {
+		t.Errorf("out-of-range redispatch: err = %v", err)
+	}
+	if tbl.Renew(-1, 1, base) {
+		t.Error("out-of-range renewal accepted")
+	}
+	if got := tbl.Incarnation(7); got != 0 {
+		t.Errorf("Incarnation(7) = %d, want 0", got)
+	}
+}

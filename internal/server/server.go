@@ -12,8 +12,9 @@
 //	GET /stream                        resolutions as SSE (with WithStream)
 //
 // The query handlers are read-only over an immutable dataset and index; the
-// optional stream endpoints delegate to a stream.Engine, which synchronizes
-// internally. Every handler is safe for concurrent use.
+// optional stream endpoints delegate to a stream.Processor — the unsharded
+// Engine or the sharded Router — which synchronizes internally. Every handler
+// is safe for concurrent use.
 package server
 
 import (
@@ -37,7 +38,7 @@ type Server struct {
 	idx     *fusion.Index
 	mux     *http.ServeMux
 	metrics func() map[string]int64
-	stream  *stream.Engine
+	stream  stream.Processor
 }
 
 // Option customizes a Server.

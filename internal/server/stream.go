@@ -11,16 +11,16 @@ import (
 	"evmatching/internal/stream"
 )
 
-// WithStream attaches a live stream engine, enabling ingestion and
-// resolution streaming:
+// WithStream attaches a live stream processor — the unsharded Engine or the
+// sharded Router — enabling ingestion and resolution streaming:
 //
-//	POST /ingest   JSONL observation lines folded into the engine
+//	POST /ingest   JSONL observation lines folded into the processor
 //	GET  /stream   server-sent events: past and future resolutions
 //
-// The engine is safe for concurrent use, so both endpoints can run alongside
+// Processors are safe for concurrent use, so both endpoints can run alongside
 // the read-only fusion queries.
-func WithStream(e *stream.Engine) Option {
-	return func(s *Server) { s.stream = e }
+func WithStream(p stream.Processor) Option {
+	return func(s *Server) { s.stream = p }
 }
 
 // ingestBody is the POST /ingest response.

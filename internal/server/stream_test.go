@@ -15,9 +15,10 @@ import (
 	"evmatching/internal/stream"
 )
 
-// newStreamServer serves a matched world with a live stream engine attached,
-// returning the engine and the world's flattened observation log.
-func newStreamServer(t *testing.T) (*httptest.Server, *stream.Engine, []stream.Observation) {
+// newStreamServer serves a matched world with a live stream processor
+// attached — the unsharded engine, or the sharded router when shards > 0 —
+// returning the processor and the world's flattened observation log.
+func newStreamServer(t *testing.T, shards int) (*httptest.Server, stream.Processor, []stream.Observation) {
 	t.Helper()
 	checkLeaks(t)
 	cfg := dataset.DefaultConfig()
@@ -44,23 +45,39 @@ func newStreamServer(t *testing.T) (*httptest.Server, *stream.Engine, []stream.O
 	if err != nil {
 		t.Fatal(err)
 	}
-	eng, err := stream.NewEngine(stream.Config{
+	scfg := stream.Config{
 		Targets:    ds.AllEIDs()[:6],
 		WindowMS:   1_000,
 		LatenessMS: 250,
 		Dim:        ds.Config.DescriptorDim(),
 		Seed:       7,
-	})
-	if err != nil {
-		t.Fatal(err)
 	}
-	srv, err := New(ds, idx, WithStream(eng))
+	var proc stream.Processor
+	if shards > 0 {
+		router, err := stream.NewRouter(stream.RouterConfig{Config: scfg, Shards: shards})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() {
+			if err := router.Close(); err != nil {
+				t.Errorf("router Close: %v", err)
+			}
+		})
+		proc = router
+	} else {
+		eng, err := stream.NewEngine(scfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		proc = eng
+	}
+	srv, err := New(ds, idx, WithStream(proc))
 	if err != nil {
 		t.Fatal(err)
 	}
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)
-	return ts, eng, obs
+	return ts, proc, obs
 }
 
 // postJSONL posts observations as a JSONL body to /ingest.
@@ -90,10 +107,16 @@ func postJSONL(t *testing.T, url string, obs []stream.Observation) (*http.Respon
 }
 
 // TestIngestAndStream is the live-path end-to-end test: observations posted
-// over HTTP fold into the engine, and /stream replays every emitted
-// resolution as SSE frames.
+// over HTTP fold into the processor, and /stream replays every emitted
+// resolution as SSE frames. It runs once over the unsharded engine and once
+// over a 3-shard router — WithStream serves both through the same handlers.
 func TestIngestAndStream(t *testing.T) {
-	ts, eng, obs := newStreamServer(t)
+	t.Run("engine", func(t *testing.T) { testIngestAndStream(t, 0) })
+	t.Run("sharded", func(t *testing.T) { testIngestAndStream(t, 3) })
+}
+
+func testIngestAndStream(t *testing.T, shards int) {
+	ts, eng, obs := newStreamServer(t, shards)
 
 	resp, body := postJSONL(t, ts.URL, obs)
 	if resp.StatusCode != http.StatusOK {
@@ -151,7 +174,7 @@ func TestIngestAndStream(t *testing.T) {
 // TestIngestCountsLateDrops pins that re-delivered stale observations are
 // reported as dropped, not accepted.
 func TestIngestCountsLateDrops(t *testing.T) {
-	ts, _, obs := newStreamServer(t)
+	ts, _, obs := newStreamServer(t, 0)
 	if resp, _ := postJSONL(t, ts.URL, obs); resp.StatusCode != http.StatusOK {
 		t.Fatalf("full ingest status = %d", resp.StatusCode)
 	}
@@ -167,7 +190,7 @@ func TestIngestCountsLateDrops(t *testing.T) {
 // TestIngestSkipsHeaderLine pins that a whole evgen -events file — header
 // line included — can be posted as-is: the header is skipped, not counted.
 func TestIngestSkipsHeaderLine(t *testing.T) {
-	ts, _, obs := newStreamServer(t)
+	ts, _, obs := newStreamServer(t, 0)
 	var b strings.Builder
 	b.WriteString(`{"kind":"header","version":1,"windowMs":1000,"dim":64}` + "\n")
 	line, err := json.Marshal(obs[0])
@@ -196,7 +219,7 @@ func TestIngestSkipsHeaderLine(t *testing.T) {
 // TestIngestRejectsMalformed covers the 400 paths: non-JSON lines and
 // well-formed JSON that fails observation validation.
 func TestIngestRejectsMalformed(t *testing.T) {
-	ts, _, _ := newStreamServer(t)
+	ts, _, _ := newStreamServer(t, 0)
 	resp, err := http.Post(ts.URL+"/ingest", "application/x-ndjson", strings.NewReader("not json\n"))
 	if err != nil {
 		t.Fatal(err)

@@ -87,7 +87,16 @@ type checkpointFile struct {
 // resume without reprocessing the log from the start.
 func (e *Engine) Checkpoint(w io.Writer) error {
 	e.mu.Lock()
-	defer e.mu.Unlock()
+	cp := e.checkpointLocked()
+	e.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// checkpointLocked builds the engine's checkpoint image. Callers hold e.mu.
+func (e *Engine) checkpointLocked() checkpointFile {
 	cp := checkpointFile{
 		Version:     CheckpointVersion,
 		WindowMS:    e.cfg.WindowMS,
@@ -122,17 +131,44 @@ func (e *Engine) Checkpoint(w io.Writer) error {
 	}
 	sortBucketKeys(keys)
 	for _, k := range keys {
-		b := e.buckets[k]
-		cb := checkpointBucket{Window: k.Window, Cell: k.Cell, Dets: b.dets}
-		for _, eid := range ids.SortedEIDKeys(b.eids) {
-			cb.EIDs = append(cb.EIDs, checkpointEID{EID: eid, Attr: b.eids[eid]})
-		}
-		cp.Buckets = append(cp.Buckets, cb)
+		cp.Buckets = append(cp.Buckets, bucketToCheckpoint(k, e.buckets[k]))
 	}
-	if err := gob.NewEncoder(w).Encode(cp); err != nil {
-		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	return cp
+}
+
+// bucketToCheckpoint flattens one open bucket into its checkpoint form: the
+// EID map becomes a sorted (EID, attr) slice and the detections are deep-
+// copied, so the image stays valid while the live bucket keeps absorbing —
+// the router's sub-checkpoint snapshots outlive the shard that emitted them.
+func bucketToCheckpoint(k bucketKey, b *bucket) checkpointBucket {
+	cb := checkpointBucket{
+		Window: k.Window,
+		Cell:   k.Cell,
+		Dets:   append(make([]scenario.Detection, 0, len(b.dets)), b.dets...),
 	}
-	return nil
+	for _, eid := range ids.SortedEIDKeys(b.eids) {
+		cb.EIDs = append(cb.EIDs, checkpointEID{EID: eid, Attr: b.eids[eid]})
+	}
+	return cb
+}
+
+// bucketFromCheckpoint rebuilds an open bucket from its checkpoint form,
+// deep-copying the detections so restored buckets never share backing arrays
+// with the image they came from (a redispatched shard and its stale
+// predecessor may both restore from the same sub-checkpoint).
+func bucketFromCheckpoint(cb checkpointBucket) *bucket {
+	b := &bucket{
+		eids:    make(map[ids.EID]scenario.Attr, len(cb.EIDs)),
+		detSeen: make(map[string]bool, len(cb.Dets)),
+	}
+	for _, ea := range cb.EIDs {
+		b.eids[ea.EID] = ea.Attr
+	}
+	b.dets = append(make([]scenario.Detection, 0, len(cb.Dets)), cb.Dets...)
+	for i := range b.dets {
+		b.detSeen[detMergeKey(b.dets[i].VID, b.dets[i].TruePerson, &b.dets[i].Patch)] = true
+	}
+	return b
 }
 
 // Restore builds an Engine from cfg and resumes it from a checkpoint written
@@ -151,21 +187,44 @@ func Restore(cfg Config, r io.Reader) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := e.guardCheckpoint(&cp); err != nil {
+		return nil, err
+	}
+	if err := e.restoreScenarios(&cp); err != nil {
+		return nil, err
+	}
+	for _, cb := range cp.Buckets {
+		e.buckets[bucketKey{Window: cb.Window, Cell: cb.Cell}] = bucketFromCheckpoint(cb)
+	}
+	e.restoreCounters(&cp)
+	e.mu.Lock()
+	e.publishGauges()
+	e.mu.Unlock()
+	return e, nil
+}
+
+// guardCheckpoint rejects a checkpoint whose windowing or matching
+// parameters disagree with the engine's config.
+func (e *Engine) guardCheckpoint(cp *checkpointFile) error {
 	switch {
 	case cp.WindowMS != e.cfg.WindowMS:
-		return nil, fmt.Errorf("%w: window %d ms vs config %d ms", ErrBadCheckpoint, cp.WindowMS, e.cfg.WindowMS)
+		return fmt.Errorf("%w: window %d ms vs config %d ms", ErrBadCheckpoint, cp.WindowMS, e.cfg.WindowMS)
 	case cp.LatenessMS != e.cfg.LatenessMS:
-		return nil, fmt.Errorf("%w: lateness %d ms vs config %d ms", ErrBadCheckpoint, cp.LatenessMS, e.cfg.LatenessMS)
+		return fmt.Errorf("%w: lateness %d ms vs config %d ms", ErrBadCheckpoint, cp.LatenessMS, e.cfg.LatenessMS)
 	case cp.Seed != e.cfg.Seed:
-		return nil, fmt.Errorf("%w: seed %d vs config %d", ErrBadCheckpoint, cp.Seed, e.cfg.Seed)
+		return fmt.Errorf("%w: seed %d vs config %d", ErrBadCheckpoint, cp.Seed, e.cfg.Seed)
 	case cp.Dim != e.cfg.Dim:
-		return nil, fmt.Errorf("%w: dim %d vs config %d", ErrBadCheckpoint, cp.Dim, e.cfg.Dim)
+		return fmt.Errorf("%w: dim %d vs config %d", ErrBadCheckpoint, cp.Dim, e.cfg.Dim)
 	case !eidsEqual(cp.Targets, e.cfg.Targets):
-		return nil, fmt.Errorf("%w: target set differs from config", ErrBadCheckpoint)
+		return fmt.Errorf("%w: target set differs from config", ErrBadCheckpoint)
 	}
+	return nil
+}
 
-	// Closed scenarios: re-add in ID order (the fresh store assigns the same
-	// IDs) and replay the split — the partition is a pure fold over them.
+// restoreScenarios re-adds the closed scenarios in ID order (the fresh store
+// assigns the same IDs) and replays the split — the partition is a pure fold
+// over them.
+func (e *Engine) restoreScenarios(cp *checkpointFile) error {
 	for i := range cp.Scenarios {
 		cs := &cp.Scenarios[i]
 		esc := &scenario.EScenario{
@@ -182,25 +241,19 @@ func Restore(cfg Config, r io.Reader) (*Engine, error) {
 		}
 		id, err := e.store.Add(esc, vsc)
 		if err != nil {
-			return nil, fmt.Errorf("%w: scenario %d: %w", ErrBadCheckpoint, i, err)
+			return fmt.Errorf("%w: scenario %d: %w", ErrBadCheckpoint, i, err)
 		}
 		if int(id) != i {
-			return nil, fmt.Errorf("%w: scenario %d re-added as %d", ErrBadCheckpoint, i, id)
+			return fmt.Errorf("%w: scenario %d re-added as %d", ErrBadCheckpoint, i, id)
 		}
 		e.part.SplitBy(esc)
 	}
-	for _, cb := range cp.Buckets {
-		b := &bucket{eids: make(map[ids.EID]scenario.Attr, len(cb.EIDs)), detSeen: make(map[string]bool, len(cb.Dets))}
-		for _, ea := range cb.EIDs {
-			b.eids[ea.EID] = ea.Attr
-		}
-		for _, d := range cb.Dets {
-			p := d.Patch
-			b.detSeen[detMergeKey(d.VID, d.TruePerson, &p)] = true
-		}
-		b.dets = cb.Dets
-		e.buckets[bucketKey{Window: cb.Window, Cell: cb.Cell}] = b
-	}
+	return nil
+}
+
+// restoreCounters applies the checkpoint's counters, resolutions, and
+// rule-out sets.
+func (e *Engine) restoreCounters(cp *checkpointFile) {
 	e.ingested = cp.Ingested
 	e.lateDropped = cp.LateDropped
 	e.maxTS = cp.MaxTS
@@ -213,10 +266,6 @@ func Restore(cfg Config, r io.Reader) (*Engine, error) {
 	for _, vid := range cp.Accepted {
 		e.accepted[vid] = true
 	}
-	e.mu.Lock()
-	e.publishGauges()
-	e.mu.Unlock()
-	return e, nil
 }
 
 // eidsEqual reports element-wise equality of two sorted EID slices.

@@ -1,0 +1,184 @@
+package stream
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"evmatching/internal/ids"
+)
+
+// RouterCheckpointVersion is the sharded checkpoint format version. Version
+// 3 extends the v2 single-engine layout with a shard count and per-shard
+// sub-checkpoint sections; the global section (scenarios, resolutions,
+// counters) is unchanged, so a v2 checkpoint upgrades losslessly into a
+// router and a v3 checkpoint redistributes across any shard count.
+const RouterCheckpointVersion = 3
+
+// shardCheckpoint is one shard's sub-checkpoint: its open bucket images in
+// ascending (window, cell) order.
+type shardCheckpoint struct {
+	Shard   int
+	Buckets []checkpointBucket
+}
+
+// routerCheckpointFile is the gob-encoded sharded stream state. Its field
+// names are a superset of the v2 checkpointFile — gob matches fields by
+// name, so a v2 stream decodes into this type with Buckets populated and
+// ShardBuckets empty, and Engine.Restore cleanly rejects a v3 stream by its
+// version number. Everything reachable from here encodes deterministically
+// (sorted slices, no maps — the gobdet analyzer enforces this), preserving
+// the checkpoint → restore → re-checkpoint byte-identity property.
+type routerCheckpointFile struct {
+	Version int
+	Shards  int
+
+	// Config guard, as in v2.
+	WindowMS   int64
+	LatenessMS int64
+	Seed       int64
+	Dim        int
+	Targets    []ids.EID
+
+	Ingested    int64
+	LateDropped int64
+	MaxTS       int64
+	MinOpen     int
+	Seq         int
+
+	Scenarios   []checkpointScenario
+	Resolutions []Resolution
+	Accepted    []ids.VID
+	Resolved    []ids.EID
+
+	// Buckets carries a v2 checkpoint's open buckets (the upgrade path);
+	// v3 files carry ShardBuckets instead and leave this empty.
+	Buckets      []checkpointBucket
+	ShardBuckets []shardCheckpoint
+}
+
+// Checkpoint serializes the router's full sharded state. It is a barrier:
+// every shard is asked for a fresh sub-checkpoint and every issued close
+// round must fold before the image is written, so the checkpoint captures a
+// consistent cut — the global section reflects exactly the closures the
+// sub-checkpoints no longer contain. A shard that dies during the barrier
+// is redispatched and the barrier completes through its replacement.
+func (r *Router) Checkpoint(w io.Writer) error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRouterClosed
+	}
+	want := make([]int64, len(r.slots))
+	for i := range r.slots {
+		slot := &r.slots[i]
+		r.sendLocked(slot, shardMsg{kind: msgSnap})
+		slot.pendingSnap = slot.sent
+		want[i] = slot.sent
+	}
+	round := r.round
+	if err := r.awaitBarrierLocked(want, round); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	for i := range r.slots {
+		r.adoptAckLocked(&r.slots[i])
+	}
+	r.merged.mu.Lock()
+	cpg := r.merged.checkpointLocked()
+	r.merged.mu.Unlock()
+	cp := routerCheckpointFile{
+		Version:     RouterCheckpointVersion,
+		Shards:      r.cfg.Shards,
+		WindowMS:    cpg.WindowMS,
+		LatenessMS:  cpg.LatenessMS,
+		Seed:        cpg.Seed,
+		Dim:         cpg.Dim,
+		Targets:     cpg.Targets,
+		Ingested:    r.ingested,
+		LateDropped: r.lateDropped,
+		MaxTS:       r.maxTS,
+		MinOpen:     r.minOpen,
+		Seq:         cpg.Seq,
+		Scenarios:   cpg.Scenarios,
+		Resolutions: cpg.Resolutions,
+		Accepted:    cpg.Accepted,
+		Resolved:    cpg.Resolved,
+	}
+	for i := range r.slots {
+		cp.ShardBuckets = append(cp.ShardBuckets, shardCheckpoint{
+			Shard:   i,
+			Buckets: r.slots[i].snapBuckets,
+		})
+	}
+	r.mu.Unlock()
+	if err := gob.NewEncoder(w).Encode(cp); err != nil {
+		return fmt.Errorf("stream: encode checkpoint: %w", err)
+	}
+	return nil
+}
+
+// awaitBarrierLocked waits until every shard's sub-checkpoint ack has
+// reached the wanted position and the merge stage has folded every issued
+// round, redispatching dead shards so the barrier always completes. Callers
+// hold r.mu; holding it through the wait is deliberate — a checkpoint is an
+// ingest barrier, and the shards and merger it waits on never take r.mu.
+func (r *Router) awaitBarrierLocked(want []int64, round int) error {
+	//evlint:ignore lockbalance condition-wait loop: drops the caller-held r.mu across each sleep and reacquires before retesting, net-neutral per iteration
+	for {
+		folded, err := r.progress()
+		if err != nil {
+			return err
+		}
+		if folded >= round {
+			r.snapMu.Lock()
+			done := true
+			for i, w := range want {
+				if r.acks[i].pos < w {
+					done = false
+					break
+				}
+			}
+			r.snapMu.Unlock()
+			if done {
+				return nil
+			}
+		}
+		r.redispatchExpiredLocked()
+		//evlint:ignore lockbalance releases the caller-held r.mu for the sleep; reacquired two lines down
+		r.mu.Unlock()
+		time.Sleep(sendRetryDelay)
+		r.mu.Lock()
+	}
+}
+
+// RestoreRouter builds a Router from cfg and resumes it from a checkpoint —
+// either a v3 sharded image or a v2 single-engine image (the upgrade path).
+// Open buckets are redistributed by ShardOf under cfg's shard count, so a
+// checkpoint written under any shard count restores under any other,
+// including a v2 file restoring into a 1-shard (or N-shard) router.
+func RestoreRouter(cfg RouterConfig, rd io.Reader) (*Router, error) {
+	var cp routerCheckpointFile
+	if err := gob.NewDecoder(rd).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("%w: decode: %w", ErrBadCheckpoint, err)
+	}
+	var open []checkpointBucket
+	switch cp.Version {
+	case CheckpointVersion: // v2: single-engine image
+		if len(cp.ShardBuckets) != 0 {
+			return nil, fmt.Errorf("%w: v2 checkpoint carries shard sections", ErrBadCheckpoint)
+		}
+		open = cp.Buckets
+	case RouterCheckpointVersion:
+		if len(cp.Buckets) != 0 {
+			return nil, fmt.Errorf("%w: v3 checkpoint carries unsharded buckets", ErrBadCheckpoint)
+		}
+		for _, sc := range cp.ShardBuckets {
+			open = append(open, sc.Buckets...)
+		}
+	default:
+		return nil, fmt.Errorf("%w: version %d (want %d or %d)", ErrBadCheckpoint, cp.Version, CheckpointVersion, RouterCheckpointVersion)
+	}
+	return newRouter(cfg, &cp, open)
+}

@@ -1,0 +1,980 @@
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"evmatching/internal/cluster"
+	"evmatching/internal/core"
+	"evmatching/internal/feature"
+	"evmatching/internal/geo"
+	"evmatching/internal/scenario"
+)
+
+// ErrRouterClosed reports use of a router after Close.
+var ErrRouterClosed = errors.New("stream: router closed")
+
+// Default router knobs.
+const (
+	// DefaultShardQueue is the per-shard input channel capacity.
+	DefaultShardQueue = 1024
+	// DefaultSubCheckpointEvery is how many journalled messages a shard
+	// buffers before the router requests a sub-checkpoint snapshot from it.
+	DefaultSubCheckpointEvery = 512
+	// DefaultShardLeaseTTL is the shard liveness lease: a shard silent this
+	// long is declared dead and its cell range redispatched.
+	DefaultShardLeaseTTL = 2 * time.Second
+
+	// leaseCheckEvery rate-limits the router's failure-detector sweep to one
+	// lease-table scan per this many ingests, keeping the lease mutex off the
+	// per-observation hot path.
+	leaseCheckEvery = 64
+	// renewEveryMsgs rate-limits a busy shard's lease renewals for the same
+	// reason; an idle shard renews from its ticker instead.
+	renewEveryMsgs = 32
+	// sendRetryDelay paces the backpressure/redispatch retry loop when a
+	// shard's queue is full.
+	sendRetryDelay = 50 * time.Microsecond
+)
+
+// ShardFault is the injected fault for one (shard, incarnation, step):
+// chaos tests kill or stall shard windowers mid-window through it.
+type ShardFault struct {
+	// Kill makes the shard goroutine exit silently before processing the
+	// message; its lease lapses and the router redispatches its cell range.
+	Kill bool
+	// Stall delays processing by this much — a straggler shard.
+	Stall time.Duration
+}
+
+// ShardFaultPlan decides shard faults from pure coordinates, mirroring
+// cluster.FaultPlan: decisions depend only on (shard, incarnation, step),
+// never on goroutine interleaving, so fault schedules are reproducible.
+// chaos.NewShardInjector is the seeded implementation.
+type ShardFaultPlan interface {
+	ShardFault(shard, incarnation, step int) ShardFault
+}
+
+// RouterConfig parameterizes a Router. The embedded Config is the matching
+// configuration every shard and the merge stage share.
+type RouterConfig struct {
+	Config
+
+	// Shards is the number of region shards observations partition across
+	// (0 = 1). The assignment is ShardOf: cell modulo shard count.
+	Shards int
+	// QueueLen is the per-shard input channel capacity (0 = DefaultShardQueue).
+	QueueLen int
+	// SubCheckpointEvery is the journal length that triggers a sub-checkpoint
+	// snapshot request (0 = DefaultSubCheckpointEvery). Smaller values bound
+	// replay work after a shard death at the cost of more frequent snapshots.
+	SubCheckpointEvery int
+	// LeaseTTL is the shard liveness lease (0 = DefaultShardLeaseTTL),
+	// measured against Config.Clock so deterministic tests drive detection
+	// from an injected clock.
+	LeaseTTL time.Duration
+	// Faults, when non-nil, injects shard faults (tests only).
+	Faults ShardFaultPlan
+}
+
+// withDefaults returns a copy with the router knobs defaulted.
+func (c RouterConfig) withDefaults() RouterConfig {
+	c.Config = c.Config.withDefaults()
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.QueueLen == 0 {
+		c.QueueLen = DefaultShardQueue
+	}
+	if c.SubCheckpointEvery == 0 {
+		c.SubCheckpointEvery = DefaultSubCheckpointEvery
+	}
+	if c.LeaseTTL == 0 {
+		c.LeaseTTL = DefaultShardLeaseTTL
+	}
+	return c
+}
+
+// validate reports whether the (defaulted) router config is usable.
+func (c RouterConfig) validate() error {
+	if err := c.Config.validate(); err != nil {
+		return err
+	}
+	if c.Shards < 1 {
+		return fmt.Errorf("%w: %d shards", ErrBadConfig, c.Shards)
+	}
+	if c.QueueLen < 1 {
+		return fmt.Errorf("%w: queue length %d", ErrBadConfig, c.QueueLen)
+	}
+	if c.SubCheckpointEvery < 1 {
+		return fmt.Errorf("%w: sub-checkpoint every %d", ErrBadConfig, c.SubCheckpointEvery)
+	}
+	if c.LeaseTTL <= 0 {
+		return fmt.Errorf("%w: lease ttl %v", ErrBadConfig, c.LeaseTTL)
+	}
+	return nil
+}
+
+// ShardOf is the stable cell → shard assignment: the cell's residue modulo
+// the shard count. It depends on nothing but its arguments, so any router —
+// or any node in a future multi-process deployment — routes a cell
+// identically, and a checkpoint written under one shard count redistributes
+// cleanly under another.
+func ShardOf(cell geo.CellID, shards int) int {
+	return int(cell % geo.CellID(shards))
+}
+
+// shardMsgKind tags a message on a shard's input channel.
+type shardMsgKind uint8
+
+const (
+	msgObs shardMsgKind = iota + 1
+	msgClose
+	msgSnap
+)
+
+// shardMsg is one journalled message to a shard windower. pos is the
+// router-assigned position in the shard's message sequence, the coordinate
+// the sub-checkpoint handoff protocol is anchored to.
+type shardMsg struct {
+	pos    int64
+	kind   shardMsgKind
+	obs    Observation // msgObs
+	round  int         // msgClose
+	target int         // msgClose: close windows < target
+	maxTS  int64       // msgClose: router watermark state at issue time
+}
+
+// shardOutKind tags a message on the shared shard → merger channel.
+type shardOutKind uint8
+
+const (
+	outRound shardOutKind = iota + 1
+	outSnap
+)
+
+// shardOut is one shard emission: a round of sealed window closures, or a
+// sub-checkpoint snapshot acknowledging a journal position.
+type shardOut struct {
+	shard    int
+	kind     shardOutKind
+	round    int
+	target   int
+	maxTS    int64
+	sealed   []sealedScenario
+	snapPos  int64
+	snapshot []checkpointBucket
+}
+
+// snapAck is the merger-recorded latest sub-checkpoint of one shard.
+type snapAck struct {
+	pos     int64
+	buckets []checkpointBucket
+}
+
+// shardSlot is the router-side state of one shard: its current incarnation's
+// channels plus the replay journal and last acknowledged sub-checkpoint that
+// make the shard's state reconstructible after a death.
+type shardSlot struct {
+	id          int
+	incarnation int
+	in          chan shardMsg
+	stop        chan struct{}
+
+	sent    int64      // position of the last journalled message
+	journal []shardMsg // messages since the last acknowledged sub-checkpoint
+
+	snapPos     int64              // position of the last acknowledged sub-checkpoint
+	snapBuckets []checkpointBucket // its bucket image
+	pendingSnap int64              // outstanding snapshot request position (0 = none)
+
+	routed    int64  // observations routed to this shard (gauge)
+	gaugeName string // precomputed per-shard gauge key
+}
+
+// Router is the sharded streaming ingest tier: observations partition by
+// cell across N in-process shard windowers (ShardOf), each shard seals its
+// windows when the router's global watermark closes them, and a merge stage
+// folds the sealed closures — in ascending (window, cell) order across all
+// shards — into a single global Engine. Because the merge replays exactly
+// the close-and-sweep sequence the unsharded engine performs, the router's
+// Finalize fingerprint is bit-identical to the unsharded stream replay and
+// to the batch SS run (the shard-invariance tests pin this).
+//
+// Fault tolerance reuses the cluster lease model: every shard holds a
+// liveness lease (cluster.ShardLeaseTable); a shard that dies mid-window
+// stops renewing, and the router redispatches its cell range to a fresh
+// incarnation restored from the last sub-checkpoint plus a replay of the
+// journalled messages since. Replayed emissions are deduplicated by round,
+// so a death never loses or duplicates a window closure.
+//
+// The router is safe for concurrent use.
+type Router struct {
+	cfg    RouterConfig
+	merged *Engine
+	leases *cluster.ShardLeaseTable
+
+	mu           sync.Mutex
+	closed       bool
+	slots        []shardSlot
+	maxTS        int64
+	minOpen      int
+	round        int // close rounds issued
+	ingested     int64
+	lateDropped  int64
+	redispatches int64
+	seen         map[bucketKey]bool // open (window, cell) keys routed so far
+	openPerWin   map[int]int        // open bucket count per window
+	sinceSweep   int                // ingests since the last lease sweep
+
+	out        chan shardOut
+	wg         sync.WaitGroup
+	mergerDone chan struct{}
+	closeOnce  sync.Once
+
+	snapMu sync.Mutex
+	acks   []snapAck
+
+	foldMu      sync.Mutex
+	foldedRound int
+	firstErr    error
+
+	seqGauge      atomic.Int64
+	resolvedGauge atomic.Int64
+	kills         atomic.Int64
+}
+
+// RouterStats is a snapshot of the router's fault-handling counters.
+type RouterStats struct {
+	// Shards is the configured shard count.
+	Shards int
+	// Redispatches counts shard takeovers: a lapsed lease handed to a fresh
+	// incarnation restored from its sub-checkpoint.
+	Redispatches int64
+	// Kills counts injected shard-kill faults taken (tests only).
+	Kills int64
+	// Leases is the underlying lease table's counters.
+	Leases cluster.ShardLeaseStats
+}
+
+// NewRouter creates a sharded router with empty state and starts its shard
+// windowers and merge stage. Callers must Close it to join the goroutines.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	return newRouter(cfg, nil, nil)
+}
+
+// newRouter builds a router, optionally seeded from a decoded checkpoint
+// (cp) and its open buckets (open, redistributed by ShardOf).
+func newRouter(cfg RouterConfig, cp *routerCheckpointFile, open []checkpointBucket) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// The merge stage reuses the unsharded engine wholesale; the router owns
+	// the stream_* gauge surface, so the merged engine publishes none.
+	mergedCfg := cfg.Config
+	mergedCfg.Metrics = nil
+	merged, err := NewEngine(mergedCfg)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Targets = merged.cfg.Targets // sorted copy
+	leases, err := cluster.NewShardLeaseTable(cfg.Shards, cfg.LeaseTTL, cfg.Clock.Now())
+	if err != nil {
+		return nil, err
+	}
+	r := &Router{
+		cfg:        cfg,
+		merged:     merged,
+		leases:     leases,
+		slots:      make([]shardSlot, cfg.Shards),
+		maxTS:      -1,
+		seen:       make(map[bucketKey]bool),
+		openPerWin: make(map[int]int),
+		out:        make(chan shardOut, 4*cfg.Shards),
+		mergerDone: make(chan struct{}),
+		acks:       make([]snapAck, cfg.Shards),
+	}
+
+	perShard := make([][]checkpointBucket, cfg.Shards)
+	if cp != nil {
+		if err := r.restoreCheckpoint(cp); err != nil {
+			return nil, err
+		}
+		for _, cb := range open {
+			if cb.Cell < 0 {
+				return nil, fmt.Errorf("%w: bucket cell %d", ErrBadCheckpoint, cb.Cell)
+			}
+			s := ShardOf(cb.Cell, cfg.Shards)
+			perShard[s] = append(perShard[s], cb)
+			k := bucketKey{Window: cb.Window, Cell: cb.Cell}
+			if !r.seen[k] {
+				r.seen[k] = true
+				r.openPerWin[cb.Window]++
+			}
+		}
+		for s := range perShard {
+			sortCheckpointBuckets(perShard[s])
+		}
+	}
+
+	for s := 0; s < cfg.Shards; s++ {
+		slot := &r.slots[s]
+		slot.id = s
+		slot.incarnation = 1
+		slot.in = make(chan shardMsg, cfg.QueueLen)
+		slot.stop = make(chan struct{})
+		slot.snapBuckets = perShard[s]
+		slot.gaugeName = fmt.Sprintf("stream_shard%d_ingested", s)
+		initial := make(map[bucketKey]*bucket, len(perShard[s]))
+		for _, cb := range perShard[s] {
+			initial[bucketKey{Window: cb.Window, Cell: cb.Cell}] = bucketFromCheckpoint(cb)
+		}
+		r.wg.Add(1)
+		go r.runShard(s, 1, slot.in, slot.stop, initial)
+	}
+	go r.runMerger()
+	return r, nil
+}
+
+// restoreCheckpoint applies a decoded checkpoint's global section: the
+// merged engine's scenarios, resolutions, and counters, plus the router's
+// own watermark and ingest counters.
+func (r *Router) restoreCheckpoint(cp *routerCheckpointFile) error {
+	view := checkpointFile{
+		WindowMS:    cp.WindowMS,
+		LatenessMS:  cp.LatenessMS,
+		Seed:        cp.Seed,
+		Dim:         cp.Dim,
+		Targets:     cp.Targets,
+		Ingested:    cp.Ingested,
+		LateDropped: cp.LateDropped,
+		MaxTS:       cp.MaxTS,
+		MinOpen:     cp.MinOpen,
+		Seq:         cp.Seq,
+		Scenarios:   cp.Scenarios,
+		Resolutions: cp.Resolutions,
+		Accepted:    cp.Accepted,
+		Resolved:    cp.Resolved,
+	}
+	if err := r.merged.guardCheckpoint(&view); err != nil {
+		return err
+	}
+	if err := r.merged.restoreScenarios(&view); err != nil {
+		return err
+	}
+	r.merged.restoreCounters(&view)
+	r.ingested = cp.Ingested
+	r.lateDropped = cp.LateDropped
+	r.maxTS = cp.MaxTS
+	r.minOpen = cp.MinOpen
+	r.seqGauge.Store(int64(cp.Seq))
+	r.resolvedGauge.Store(int64(len(cp.Resolved)))
+	return nil
+}
+
+// Ingest consumes one observation: validation and the late-drop decision
+// happen here — the router's watermark is the single source of truth, so
+// sharding never changes which observations are accepted — then the
+// observation is journalled and routed to its cell's shard. When the
+// observation advances the watermark past a window boundary, a close round
+// is broadcast to every shard.
+func (r *Router) Ingest(o Observation) (bool, error) {
+	if err := o.Validate(); err != nil {
+		return false, err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return false, ErrRouterClosed
+	}
+	if err := r.errState(); err != nil {
+		return false, err
+	}
+	r.ingested++
+	w := int(o.TS / r.cfg.WindowMS)
+	if w < r.minOpen {
+		r.lateDropped++
+		r.publishGaugesLocked()
+		return false, nil
+	}
+	shard := ShardOf(o.Cell, r.cfg.Shards)
+	slot := &r.slots[shard]
+	r.sendLocked(slot, shardMsg{kind: msgObs, obs: o})
+	slot.routed++
+	k := bucketKey{Window: w, Cell: o.Cell}
+	if !r.seen[k] {
+		r.seen[k] = true
+		r.openPerWin[w]++
+	}
+	if o.TS > r.maxTS {
+		r.maxTS = o.TS
+		if target := floorDiv(r.maxTS-r.cfg.LatenessMS, r.cfg.WindowMS); target > int64(r.minOpen) {
+			r.issueCloseLocked(int(target))
+		}
+	}
+	r.maybeSnapshotLocked(slot)
+	r.adoptAckLocked(slot)
+	r.sinceSweep++
+	if r.sinceSweep >= leaseCheckEvery {
+		r.sinceSweep = 0
+		r.redispatchExpiredLocked()
+	}
+	r.publishGaugesLocked()
+	return true, nil
+}
+
+// sendLocked journals m for the shard and delivers it to the current
+// incarnation. A full queue is retried with backpressure; if the shard is
+// redispatched while we wait, the replacement's journal replay has already
+// delivered m, so the send completes vacuously. Callers hold r.mu.
+func (r *Router) sendLocked(s *shardSlot, m shardMsg) {
+	s.sent++
+	m.pos = s.sent
+	s.journal = append(s.journal, m)
+	for {
+		cur := s.in
+		select {
+		case cur <- m:
+			return
+		default:
+		}
+		r.redispatchExpiredLocked()
+		if s.in != cur {
+			return // redispatched: the journal replay delivered m
+		}
+		time.Sleep(sendRetryDelay)
+	}
+}
+
+// issueCloseLocked broadcasts one close round: every shard seals its buckets
+// with window < target and emits them to the merge stage. Rounds are the
+// unit of merge ordering — the merger folds a round only once all shards
+// have reported it. Callers hold r.mu; target must be >= r.minOpen.
+func (r *Router) issueCloseLocked(target int) {
+	r.round++
+	if target > r.minOpen {
+		r.minOpen = target
+	}
+	m := shardMsg{kind: msgClose, round: r.round, target: target, maxTS: r.maxTS}
+	for i := range r.slots {
+		r.sendLocked(&r.slots[i], m)
+	}
+	var wins []int
+	for w := range r.openPerWin {
+		if w < target {
+			wins = append(wins, w)
+		}
+	}
+	sort.Ints(wins)
+	for _, w := range wins {
+		delete(r.openPerWin, w)
+	}
+	var keys []bucketKey
+	for k := range r.seen {
+		if k.Window < target {
+			keys = append(keys, k)
+		}
+	}
+	sortBucketKeys(keys)
+	for _, k := range keys {
+		delete(r.seen, k)
+	}
+}
+
+// maybeSnapshotLocked requests a sub-checkpoint once the shard's journal has
+// grown past the configured bound, so redispatch replay work stays bounded.
+// Callers hold r.mu.
+func (r *Router) maybeSnapshotLocked(s *shardSlot) {
+	if s.pendingSnap != 0 || len(s.journal) < r.cfg.SubCheckpointEvery {
+		return
+	}
+	r.sendLocked(s, shardMsg{kind: msgSnap})
+	s.pendingSnap = s.sent
+}
+
+// adoptAckLocked folds the merger's latest sub-checkpoint ack into the slot:
+// the snapshot becomes the shard's restore point and the journal entries it
+// covers are dropped. Callers hold r.mu.
+func (r *Router) adoptAckLocked(s *shardSlot) {
+	r.snapMu.Lock()
+	ack := r.acks[s.id]
+	r.snapMu.Unlock()
+	if ack.pos <= s.snapPos {
+		return
+	}
+	s.snapPos = ack.pos
+	s.snapBuckets = ack.buckets
+	idx := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].pos > ack.pos })
+	s.journal = append(s.journal[:0:0], s.journal[idx:]...)
+	if s.pendingSnap != 0 && s.pendingSnap <= ack.pos {
+		s.pendingSnap = 0
+	}
+}
+
+// redispatchExpiredLocked is the failure detector: shards whose lease lapsed
+// are handed to fresh incarnations. Callers hold r.mu.
+func (r *Router) redispatchExpiredLocked() {
+	now := r.cfg.Clock.Now()
+	for _, shard := range r.leases.Expired(now) {
+		r.redispatchLocked(shard, now)
+	}
+}
+
+// redispatchLocked replaces a dead shard: the old incarnation is stopped
+// (and its stale renewals rejected by the bumped lease), and a replacement
+// restores the last sub-checkpoint then replays the journal since it. The
+// replay re-emits any rounds the dead incarnation already reported; the
+// merger deduplicates them by round number, which is sound because replay is
+// deterministic — a re-emitted round is byte-identical to the original.
+// Callers hold r.mu.
+func (r *Router) redispatchLocked(shard int, now time.Time) {
+	slot := &r.slots[shard]
+	inc, err := r.leases.Redispatch(shard, now)
+	if err != nil {
+		r.setErr(err)
+		return
+	}
+	close(slot.stop)
+	slot.stop = make(chan struct{})
+	// Capacity covers the whole replay, so these sends cannot block even if
+	// the replacement is itself killed mid-replay.
+	slot.in = make(chan shardMsg, len(slot.journal)+r.cfg.QueueLen)
+	slot.incarnation = inc
+	r.redispatches++
+	initial := make(map[bucketKey]*bucket, len(slot.snapBuckets))
+	for _, cb := range slot.snapBuckets {
+		initial[bucketKey{Window: cb.Window, Cell: cb.Cell}] = bucketFromCheckpoint(cb)
+	}
+	r.wg.Add(1)
+	go r.runShard(shard, inc, slot.in, slot.stop, initial)
+	for _, m := range slot.journal {
+		slot.in <- m
+	}
+}
+
+// runShard is one shard windower incarnation: a pure event-time accumulator
+// over its cell range. It absorbs routed observations into buckets, seals
+// and emits every bucket below the target on a close round, and answers
+// sub-checkpoint requests with a deep-copied bucket image. All global state
+// — watermark, partition, resolutions — lives in the router and merge
+// stage, which is what makes shard death recoverable by pure replay.
+func (r *Router) runShard(shard, incarnation int, in <-chan shardMsg, stop <-chan struct{}, buckets map[bucketKey]*bucket) {
+	defer r.wg.Done()
+	tick := time.NewTicker(r.cfg.LeaseTTL / 4)
+	defer tick.Stop()
+	xt := feature.Extractor{Dim: r.cfg.Dim, WorkFactor: r.cfg.WorkFactor}
+	var xbuf feature.ExtractBuf
+	step := 0
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			// Idle renewal: an empty queue must not read as death.
+			if !r.leases.Renew(shard, incarnation, r.cfg.Clock.Now()) {
+				return // superseded by a redispatch
+			}
+		case m := <-in:
+			step++
+			if r.cfg.Faults != nil {
+				f := r.cfg.Faults.ShardFault(shard, incarnation, step)
+				if f.Stall > 0 {
+					t := time.NewTimer(f.Stall)
+					select {
+					case <-t.C:
+					case <-stop:
+						t.Stop()
+						return
+					}
+				}
+				if f.Kill {
+					r.kills.Add(1)
+					return // silent death; the lease lapses
+				}
+			}
+			switch m.kind {
+			case msgObs:
+				k := bucketKey{Window: int(m.obs.TS / r.cfg.WindowMS), Cell: m.obs.Cell}
+				b := buckets[k]
+				if b == nil {
+					b = newBucket()
+					buckets[k] = b
+				}
+				b.absorb(m.obs)
+			case msgClose:
+				var keys []bucketKey
+				for k := range buckets {
+					if k.Window < m.target {
+						keys = append(keys, k)
+					}
+				}
+				sortBucketKeys(keys)
+				sealed := make([]sealedScenario, 0, len(keys))
+				for _, k := range keys {
+					esc, vsc := sealBucket(k, buckets[k])
+					sealed = append(sealed, sealedScenario{key: k, esc: esc, vsc: vsc, feats: extractSealed(xt, vsc, &xbuf)})
+					delete(buckets, k)
+				}
+				out := shardOut{shard: shard, kind: outRound, round: m.round, target: m.target, maxTS: m.maxTS, sealed: sealed}
+				if !r.emit(out, stop) {
+					return
+				}
+			case msgSnap:
+				var keys []bucketKey
+				for k := range buckets {
+					keys = append(keys, k)
+				}
+				sortBucketKeys(keys)
+				snap := make([]checkpointBucket, 0, len(keys))
+				for _, k := range keys {
+					snap = append(snap, bucketToCheckpoint(k, buckets[k]))
+				}
+				if !r.emit(shardOut{shard: shard, kind: outSnap, snapPos: m.pos, snapshot: snap}, stop) {
+					return
+				}
+			}
+			if step%renewEveryMsgs == 0 {
+				if !r.leases.Renew(shard, incarnation, r.cfg.Clock.Now()) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// extractSealed extracts a sealed V-Scenario's features on the shard
+// goroutine — the visual-processing cost that dominates window closure, paid
+// here in parallel across shards instead of serially in the merge stage
+// (which primes its filter cache with the result). The extractor is a pure
+// function of the patch bytes, so shard-side extraction is bit-identical to
+// the merge-side lazy path. On any failure it returns nil and the merge-side
+// filter re-extracts lazily, surfacing the identical error at Match time.
+func extractSealed(xt feature.Extractor, vsc *scenario.VScenario, buf *feature.ExtractBuf) *feature.Matrix {
+	if vsc == nil || len(vsc.Detections) == 0 {
+		return nil
+	}
+	m, err := feature.NewMatrix(xt.Dim, len(vsc.Detections))
+	if err != nil {
+		return nil
+	}
+	for i := range vsc.Detections {
+		if err := xt.ExtractIntoBuf(vsc.Detections[i].Patch, m.Row(i), buf); err != nil {
+			return nil
+		}
+	}
+	return m
+}
+
+// emit delivers one shard emission to the merge stage, abandoning it if the
+// incarnation is stopped first (the replacement re-emits it from replay).
+func (r *Router) emit(m shardOut, stop <-chan struct{}) bool {
+	select {
+	case r.out <- m:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// runMerger is the merge stage: it collects each round's batches from all
+// shards, concatenates and re-sorts them into global ascending (window,
+// cell) order — per-shard batches are already sorted, and shards partition
+// cells, so this reproduces exactly the close order the unsharded engine
+// uses — and folds them into the merged engine. Rounds fold strictly in
+// issue order; duplicate emissions from redispatch replays are dropped by
+// round number, and stale sub-checkpoints by position.
+func (r *Router) runMerger() {
+	defer close(r.mergerDone)
+	shards := r.cfg.Shards
+	type roundBatch struct {
+		have    int
+		batches [][]sealedScenario
+		target  int
+		maxTS   int64
+	}
+	nextRound := 1
+	pending := make(map[int]*roundBatch)
+	lastRound := make([]int, shards)
+	lastSnap := make([]int64, shards)
+	for m := range r.out {
+		switch m.kind {
+		case outSnap:
+			if m.snapPos <= lastSnap[m.shard] {
+				continue // stale re-emission from a superseded incarnation
+			}
+			lastSnap[m.shard] = m.snapPos
+			r.snapMu.Lock()
+			r.acks[m.shard] = snapAck{pos: m.snapPos, buckets: m.snapshot}
+			r.snapMu.Unlock()
+		case outRound:
+			if m.round <= lastRound[m.shard] {
+				continue // duplicate from a redispatch replay
+			}
+			if m.round != lastRound[m.shard]+1 {
+				r.setErr(fmt.Errorf("stream: shard %d jumped from round %d to %d", m.shard, lastRound[m.shard], m.round))
+				continue
+			}
+			lastRound[m.shard] = m.round
+			rb := pending[m.round]
+			if rb == nil {
+				rb = &roundBatch{batches: make([][]sealedScenario, shards)}
+				pending[m.round] = rb
+			}
+			rb.batches[m.shard] = m.sealed
+			rb.target, rb.maxTS = m.target, m.maxTS
+			rb.have++
+			for {
+				ready := pending[nextRound]
+				if ready == nil || ready.have < shards {
+					break
+				}
+				delete(pending, nextRound)
+				r.fold(ready.batches, ready.target, ready.maxTS)
+				r.foldMu.Lock()
+				r.foldedRound = nextRound
+				r.foldMu.Unlock()
+				nextRound++
+			}
+		}
+	}
+}
+
+// fold merges one complete round into the global engine.
+func (r *Router) fold(batches [][]sealedScenario, target int, maxTS int64) {
+	if r.errState() != nil {
+		return // poisoned: keep draining so shards never block, but stop folding
+	}
+	n := 0
+	for _, b := range batches {
+		n += len(b)
+	}
+	all := make([]sealedScenario, 0, n)
+	for _, b := range batches {
+		all = append(all, b...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].key.Window != all[j].key.Window {
+			return all[i].key.Window < all[j].key.Window
+		}
+		return all[i].key.Cell < all[j].key.Cell
+	})
+	seq, resolved, err := r.merged.applyRound(all, target, maxTS)
+	if err != nil {
+		r.setErr(err)
+		return
+	}
+	r.seqGauge.Store(int64(seq))
+	r.resolvedGauge.Store(int64(resolved))
+}
+
+// setErr records the first error; later operations return it.
+func (r *Router) setErr(err error) {
+	r.foldMu.Lock()
+	if r.firstErr == nil {
+		r.firstErr = err
+	}
+	r.foldMu.Unlock()
+}
+
+// errState returns the sticky first error, if any.
+func (r *Router) errState() error {
+	r.foldMu.Lock()
+	defer r.foldMu.Unlock()
+	return r.firstErr
+}
+
+// progress reads the merge stage's fold cursor.
+func (r *Router) progress() (round int, err error) {
+	r.foldMu.Lock()
+	defer r.foldMu.Unlock()
+	return r.foldedRound, r.firstErr
+}
+
+// awaitRound blocks until the merge stage has folded the given round,
+// running the failure detector while it waits so a dead shard cannot stall
+// the barrier: its redispatched replacement re-emits the missing batch.
+func (r *Router) awaitRound(round int) error {
+	for {
+		folded, err := r.progress()
+		if err != nil {
+			return err
+		}
+		if folded >= round {
+			return nil
+		}
+		r.mu.Lock()
+		r.redispatchExpiredLocked()
+		r.mu.Unlock()
+		time.Sleep(sendRetryDelay)
+	}
+}
+
+// Flush closes every open bucket regardless of the watermark — the
+// end-of-log signal — waits for the merge stage to fold the closure, and
+// returns once the final resolution sweep has run, mirroring Engine.Flush.
+func (r *Router) Flush() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrRouterClosed
+	}
+	if err := r.errState(); err != nil {
+		r.mu.Unlock()
+		return err
+	}
+	r.issueCloseLocked(r.flushTargetLocked())
+	round := r.round
+	r.mu.Unlock()
+	if err := r.awaitRound(round); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	r.publishGaugesLocked()
+	r.mu.Unlock()
+	return nil
+}
+
+// flushTargetLocked computes the flush close target: one past the highest
+// open window, or the current close point when nothing is open — the same
+// bound Engine.flushLocked uses. Callers hold r.mu.
+func (r *Router) flushTargetLocked() int {
+	maxWin := r.minOpen
+	var wins []int
+	for w := range r.openPerWin {
+		wins = append(wins, w)
+	}
+	sort.Ints(wins)
+	if n := len(wins); n > 0 && wins[n-1]+1 > maxWin {
+		maxWin = wins[n-1] + 1
+	}
+	return maxWin
+}
+
+// Finalize flushes the stream and runs the authoritative batch match over
+// the merged store — Engine.Finalize on the merge stage's engine, including
+// its divergence cross-check. The returned report's Fingerprint equals both
+// the unsharded stream replay's and the batch SS fingerprint.
+func (r *Router) Finalize(ctx context.Context) (*core.Report, error) {
+	if err := r.Flush(); err != nil {
+		return nil, err
+	}
+	return r.merged.Finalize(ctx)
+}
+
+// Close stops every shard windower and the merge stage and joins them. It
+// is idempotent; the router is unusable afterwards.
+func (r *Router) Close() error {
+	r.closeOnce.Do(func() {
+		r.mu.Lock()
+		r.closed = true
+		for i := range r.slots {
+			close(r.slots[i].stop)
+		}
+		r.mu.Unlock()
+		r.wg.Wait()
+		close(r.out)
+		<-r.mergerDone
+	})
+	return nil
+}
+
+// Subscribe returns the resolutions emitted so far plus a channel of future
+// ones, delegating to the merged engine. The returned cancel must be called
+// once.
+func (r *Router) Subscribe() (backlog []Resolution, ch <-chan Resolution, cancel func()) {
+	return r.merged.Subscribe()
+}
+
+// Resolutions returns a copy of every resolution emitted so far.
+func (r *Router) Resolutions() []Resolution {
+	return r.merged.Resolutions()
+}
+
+// Ingested returns how many observations Ingest has consumed (accepted or
+// dropped) — the resume offset a restored consumer skips to in the log.
+func (r *Router) Ingested() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.ingested
+}
+
+// LateDropped returns how many observations arrived after their window
+// closed and were dropped.
+func (r *Router) LateDropped() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lateDropped
+}
+
+// OpenWindows returns how many distinct windows currently have open buckets.
+func (r *Router) OpenWindows() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.openPerWin)
+}
+
+// Watermark returns the current event-time watermark and whether any event
+// has been observed yet.
+func (r *Router) Watermark() (int64, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.maxTS < 0 {
+		return 0, false
+	}
+	return r.maxTS - r.cfg.LatenessMS, true
+}
+
+// Stats snapshots the router's fault-handling counters.
+func (r *Router) Stats() RouterStats {
+	r.mu.Lock()
+	red := r.redispatches
+	r.mu.Unlock()
+	return RouterStats{
+		Shards:       r.cfg.Shards,
+		Redispatches: red,
+		Kills:        r.kills.Load(),
+		Leases:       r.leases.Stats(),
+	}
+}
+
+// publishGaugesLocked pushes the stream and per-shard gauges. Callers hold
+// r.mu.
+func (r *Router) publishGaugesLocked() {
+	if r.cfg.Metrics == nil {
+		return
+	}
+	lag := int64(0)
+	if r.maxTS >= 0 {
+		lag = r.cfg.Clock.Now().UnixMilli() - (r.maxTS - r.cfg.LatenessMS)
+	}
+	m := map[string]int64{
+		"stream_open_windows":        int64(len(r.openPerWin)),
+		"stream_watermark_lag_ms":    lag,
+		"stream_pending_eids":        int64(len(r.cfg.Targets)) - r.resolvedGauge.Load(),
+		"stream_resolutions_emitted": r.seqGauge.Load(),
+		"stream_late_dropped":        r.lateDropped,
+		"stream_shards":              int64(r.cfg.Shards),
+		"stream_shard_redispatches":  r.redispatches,
+	}
+	for i := range r.slots {
+		m[r.slots[i].gaugeName] = r.slots[i].routed
+	}
+	r.cfg.Metrics.SetMany(m)
+}
+
+// sortCheckpointBuckets orders bucket images ascending by (window, cell) —
+// the canonical sub-checkpoint order.
+func sortCheckpointBuckets(buckets []checkpointBucket) {
+	sort.Slice(buckets, func(i, j int) bool {
+		if buckets[i].Window != buckets[j].Window {
+			return buckets[i].Window < buckets[j].Window
+		}
+		return buckets[i].Cell < buckets[j].Cell
+	})
+}

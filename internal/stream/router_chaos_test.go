@@ -1,0 +1,232 @@
+package stream_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"evmatching/internal/chaos"
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/ids"
+	"evmatching/internal/mrtest"
+	"evmatching/internal/stream"
+)
+
+// stepClock is an auto-advancing deterministic clock: every Now() moves time
+// forward by a fixed step. The router's failure detector and the shards'
+// lease renewals both read it, so dead-shard detection makes progress at a
+// rate set by the test, not by the wall clock.
+type stepClock struct {
+	mu   sync.Mutex
+	now  time.Time
+	step time.Duration
+}
+
+func (c *stepClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = c.now.Add(c.step)
+	return c.now
+}
+
+// chaosWorkload builds the shared practical dataset, its observation log,
+// and the base engine config for the shard chaos schedules.
+func chaosWorkload(t *testing.T) (stream.Config, []stream.Observation, []ids.EID) {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 60
+	cfg.Density = 8
+	cfg.NumWindows = 16
+	cfg = cfg.Practical()
+	cfg.EIDMissingRate = 0.1
+	cfg.VIDMissingRate = 0.05
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	targets := ds.AllEIDs()[:12]
+	_, obs, err := stream.EventsFromDataset(ds, 1_000, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	ecfg := stream.Config{
+		Targets:    targets,
+		WindowMS:   1_000,
+		LatenessMS: 250,
+		Dim:        ds.Config.DescriptorDim(),
+		Seed:       7,
+		Mode:       core.ModeSerial,
+		Workers:    4,
+	}
+	return ecfg, obs, targets
+}
+
+// TestShardKillChaos is the shard-death battery: six seeded fault schedules
+// kill shard windowers mid-window (and stall others); every death lapses the
+// shard's lease, the router redispatches its cell range from the last
+// sub-checkpoint plus journal replay, and the merged fingerprint must still
+// be byte-identical to the fault-free unsharded replay. The goroutine leak
+// check at the top ensures every killed incarnation and its replacement is
+// joined by Close.
+func TestShardKillChaos(t *testing.T) {
+	mrtest.CheckGoroutines(t)
+	ecfg, obs, _ := chaosWorkload(t)
+
+	// Fault-free unsharded baseline.
+	e, err := stream.NewEngine(ecfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for i, o := range obs {
+		if _, err := e.Ingest(o); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	baseline, err := e.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("baseline Finalize: %v", err)
+	}
+	want := baseline.Fingerprint()
+
+	for seed := int64(1); seed <= 6; seed++ {
+		t.Run(fmt.Sprintf("schedule-%d", seed), func(t *testing.T) {
+			inj, err := chaos.NewShardInjector(seed, chaos.ShardConfig{
+				Kill:     0.002,
+				Stall:    0.0005,
+				StallFor: time.Millisecond,
+			})
+			if err != nil {
+				t.Fatalf("NewShardInjector: %v", err)
+			}
+			cfg := ecfg
+			cfg.Clock = &stepClock{now: time.UnixMilli(0), step: 200 * time.Microsecond}
+			r, err := stream.NewRouter(stream.RouterConfig{
+				Config:             cfg,
+				Shards:             4,
+				QueueLen:           64,
+				SubCheckpointEvery: 128,
+				LeaseTTL:           40 * time.Millisecond,
+				Faults:             inj,
+			})
+			if err != nil {
+				t.Fatalf("NewRouter: %v", err)
+			}
+			defer r.Close()
+			for i, o := range obs {
+				accepted, err := r.Ingest(o)
+				if err != nil {
+					t.Fatalf("Ingest %d: %v", i, err)
+				}
+				if !accepted {
+					t.Fatalf("Ingest %d: in-order observation dropped under faults", i)
+				}
+			}
+			rep, err := r.Finalize(context.Background())
+			if err != nil {
+				t.Fatalf("Finalize: %v", err)
+			}
+			if got := rep.Fingerprint(); got != want {
+				t.Fatalf("fingerprint diverged from fault-free unsharded replay under schedule %d:\n--- fault-free\n%s\n--- chaos\n%s", seed, want, got)
+			}
+			st := r.Stats()
+			if st.Kills == 0 {
+				t.Fatalf("schedule %d injected no shard kills; the schedule is vacuous", seed)
+			}
+			if st.Redispatches == 0 {
+				t.Fatalf("schedule %d: %d kills but no redispatches", seed, st.Kills)
+			}
+			if st.Leases.Redispatches != st.Redispatches {
+				t.Fatalf("router redispatches %d disagree with lease table %d", st.Redispatches, st.Leases.Redispatches)
+			}
+			t.Logf("schedule %d: %d kills, %d redispatches, %d stale renewals",
+				seed, st.Kills, st.Redispatches, st.Leases.StaleRenewals)
+		})
+	}
+}
+
+// TestShardKillDuringCheckpoint kills shards while a checkpoint barrier is
+// in flight: the barrier must complete through the redispatched
+// replacements, and the resulting image must restore and resume to the
+// fault-free fingerprint.
+func TestShardKillDuringCheckpoint(t *testing.T) {
+	mrtest.CheckGoroutines(t)
+	ecfg, obs, _ := chaosWorkload(t)
+	want := unshardedFingerprint(t, ecfg, obs)
+
+	inj, err := chaos.NewShardInjector(99, chaos.ShardConfig{Kill: 0.004})
+	if err != nil {
+		t.Fatalf("NewShardInjector: %v", err)
+	}
+	cfg := ecfg
+	cfg.Clock = &stepClock{now: time.UnixMilli(0), step: 200 * time.Microsecond}
+	rcfg := stream.RouterConfig{
+		Config:             cfg,
+		Shards:             3,
+		QueueLen:           64,
+		SubCheckpointEvery: 128,
+		LeaseTTL:           40 * time.Millisecond,
+		Faults:             inj,
+	}
+	r, err := stream.NewRouter(rcfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+	cut := len(obs) / 2
+	for i := 0; i < cut; i++ {
+		if _, err := r.Ingest(obs[i]); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	var image bytes.Buffer
+	if err := r.Checkpoint(&image); err != nil {
+		t.Fatalf("Checkpoint under faults: %v", err)
+	}
+	if st := r.Stats(); st.Kills == 0 {
+		t.Fatal("no kills before or during the checkpoint barrier; raise the fault rate")
+	}
+
+	// Restore fault-free and resume.
+	clean := rcfg
+	clean.Faults = nil
+	restored, err := stream.RestoreRouter(clean, &image)
+	if err != nil {
+		t.Fatalf("RestoreRouter: %v", err)
+	}
+	defer restored.Close()
+	for i := cut; i < len(obs); i++ {
+		if _, err := restored.Ingest(obs[i]); err != nil {
+			t.Fatalf("resumed Ingest %d: %v", i, err)
+		}
+	}
+	rep, err := restored.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	if got := rep.Fingerprint(); got != want {
+		t.Fatal("checkpoint written under shard kills restored to a diverged state")
+	}
+}
+
+// unshardedFingerprint replays the log through a plain engine.
+func unshardedFingerprint(t *testing.T, cfg stream.Config, obs []stream.Observation) string {
+	t.Helper()
+	e, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for i, o := range obs {
+		if _, err := e.Ingest(o); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	rep, err := e.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return rep.Fingerprint()
+}

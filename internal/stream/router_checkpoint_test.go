@@ -1,0 +1,227 @@
+package stream
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"evmatching/internal/core"
+)
+
+// routerCheckpointBytes serializes r and returns the raw v3 checkpoint.
+func routerCheckpointBytes(t *testing.T, r *Router) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.Checkpoint(&buf); err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	return buf.Bytes()
+}
+
+// TestRouterCheckpointByteIdentity extends the checkpoint determinism
+// property to the sharded format: at any cut point of the log, a 3-shard
+// router's checkpoint → restore → re-checkpoint is byte-identical, across
+// two generations. The barrier inside Checkpoint makes the image a
+// consistent cut, so the property holds even at mid-window cuts where every
+// shard holds open buckets.
+func TestRouterCheckpointByteIdentity(t *testing.T) {
+	ds := testDataset(t, false)
+	targets := ds.AllEIDs()[:8]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	rcfg := RouterConfig{Config: testConfig(ds, targets, core.ModeSerial), Shards: 3}
+
+	cuts := []int{0, len(obs) / 4, len(obs)/2 + 7, len(obs) - 1, len(obs)}
+	r, err := NewRouter(rcfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+	next := 0
+	for _, cut := range cuts {
+		t.Run(fmt.Sprintf("cut-%d", cut), func(t *testing.T) {
+			for ; next < cut; next++ {
+				if _, err := r.Ingest(obs[next]); err != nil {
+					t.Fatalf("Ingest %d: %v", next, err)
+				}
+			}
+			first := routerCheckpointBytes(t, r)
+			if second := routerCheckpointBytes(t, r); !bytes.Equal(first, second) {
+				t.Fatalf("two checkpoints of the same router differ (len %d vs %d)", len(first), len(second))
+			}
+			restored, err := RestoreRouter(rcfg, bytes.NewReader(first))
+			if err != nil {
+				t.Fatalf("RestoreRouter: %v", err)
+			}
+			defer restored.Close()
+			if again := routerCheckpointBytes(t, restored); !bytes.Equal(first, again) {
+				t.Fatalf("re-checkpoint after restore differs (len %d vs %d)", len(first), len(again))
+			}
+			second, err := RestoreRouter(rcfg, bytes.NewReader(first))
+			if err != nil {
+				t.Fatalf("second RestoreRouter: %v", err)
+			}
+			defer second.Close()
+			if again := routerCheckpointBytes(t, second); !bytes.Equal(first, again) {
+				t.Fatalf("second-generation checkpoint differs (len %d vs %d)", len(first), len(again))
+			}
+		})
+	}
+}
+
+// TestRouterCheckpointResume checks the functional half of the contract: a
+// router checkpointed mid-log and restored — under the same shard count or a
+// different one, since v3 restore redistributes buckets by ShardOf — resumes
+// the log and finalizes to the exact unsharded fingerprint.
+func TestRouterCheckpointResume(t *testing.T) {
+	ds := testDataset(t, true)
+	targets := ds.AllEIDs()[:12]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	want := replayFingerprint(t, cfg, obs)
+
+	cut := len(obs)/2 + 3
+	src, err := NewRouter(RouterConfig{Config: cfg, Shards: 3})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer src.Close()
+	for i := 0; i < cut; i++ {
+		if _, err := src.Ingest(obs[i]); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	image := routerCheckpointBytes(t, src)
+
+	for _, shards := range []int{3, 1, 5} {
+		t.Run(fmt.Sprintf("restore-into-%d-shards", shards), func(t *testing.T) {
+			r, err := RestoreRouter(RouterConfig{Config: cfg, Shards: shards}, bytes.NewReader(image))
+			if err != nil {
+				t.Fatalf("RestoreRouter: %v", err)
+			}
+			defer r.Close()
+			if got := r.Ingested(); got != int64(cut) {
+				t.Fatalf("Ingested = %d after restore, want %d", got, cut)
+			}
+			for i := cut; i < len(obs); i++ {
+				if _, err := r.Ingest(obs[i]); err != nil {
+					t.Fatalf("Ingest %d: %v", i, err)
+				}
+			}
+			rep, err := r.Finalize(context.Background())
+			if err != nil {
+				t.Fatalf("Finalize: %v", err)
+			}
+			if got := rep.Fingerprint(); got != want {
+				t.Fatalf("resumed %d-shard replay diverged from unsharded replay", shards)
+			}
+		})
+	}
+}
+
+// TestRouterRestoresV2Checkpoint is the upgrade path: a v2 single-engine
+// checkpoint restores into a router — the degenerate 1-shard case and a
+// redistributing 4-shard case — which resumes the log to the same
+// fingerprint. The reverse direction must fail loudly: Engine.Restore
+// rejects a v3 image by version.
+func TestRouterRestoresV2Checkpoint(t *testing.T) {
+	ds := testDataset(t, true)
+	targets := ds.AllEIDs()[:12]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	want := replayFingerprint(t, cfg, obs)
+
+	cut := len(obs)/3 + 11
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	for i := 0; i < cut; i++ {
+		if _, err := e.Ingest(obs[i]); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	v2 := checkpointBytes(t, e)
+
+	for _, shards := range []int{1, 4} {
+		t.Run(fmt.Sprintf("into-%d-shards", shards), func(t *testing.T) {
+			r, err := RestoreRouter(RouterConfig{Config: cfg, Shards: shards}, bytes.NewReader(v2))
+			if err != nil {
+				t.Fatalf("RestoreRouter(v2): %v", err)
+			}
+			defer r.Close()
+			if got := r.Ingested(); got != int64(cut) {
+				t.Fatalf("Ingested = %d after v2 restore, want %d", got, cut)
+			}
+			for i := cut; i < len(obs); i++ {
+				if _, err := r.Ingest(obs[i]); err != nil {
+					t.Fatalf("Ingest %d: %v", i, err)
+				}
+			}
+			rep, err := r.Finalize(context.Background())
+			if err != nil {
+				t.Fatalf("Finalize: %v", err)
+			}
+			if got := rep.Fingerprint(); got != want {
+				t.Fatalf("v2-upgraded %d-shard replay diverged from unsharded replay", shards)
+			}
+		})
+	}
+
+	t.Run("engine-rejects-v3", func(t *testing.T) {
+		r, err := NewRouter(RouterConfig{Config: cfg, Shards: 2})
+		if err != nil {
+			t.Fatalf("NewRouter: %v", err)
+		}
+		defer r.Close()
+		if _, err := r.Ingest(obs[0]); err != nil {
+			t.Fatalf("Ingest: %v", err)
+		}
+		v3 := routerCheckpointBytes(t, r)
+		if _, err := Restore(cfg, bytes.NewReader(v3)); !errors.Is(err, ErrBadCheckpoint) {
+			t.Fatalf("Engine.Restore(v3): err = %v, want ErrBadCheckpoint", err)
+		}
+	})
+}
+
+// TestRouterRestoreRejectsMismatchedConfig mirrors the engine guard: a
+// checkpoint only restores into a router windowing and matching identically.
+func TestRouterRestoreRejectsMismatchedConfig(t *testing.T) {
+	ds := testDataset(t, false)
+	targets := ds.AllEIDs()[:4]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	r, err := NewRouter(RouterConfig{Config: cfg, Shards: 2})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+	for i := 0; i < 200 && i < len(obs); i++ {
+		if _, err := r.Ingest(obs[i]); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	image := routerCheckpointBytes(t, r)
+
+	bad := cfg
+	bad.Seed = cfg.Seed + 1
+	if _, err := RestoreRouter(RouterConfig{Config: bad, Shards: 2}, bytes.NewReader(image)); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("mismatched seed: err = %v, want ErrBadCheckpoint", err)
+	}
+	if _, err := RestoreRouter(RouterConfig{Config: cfg, Shards: 2}, bytes.NewReader(image[:len(image)/2])); !errors.Is(err, ErrBadCheckpoint) {
+		t.Fatalf("truncated image: err = %v, want ErrBadCheckpoint", err)
+	}
+}

@@ -1,0 +1,376 @@
+package stream
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/geo"
+	"evmatching/internal/metrics"
+)
+
+// shardInvarianceShardCounts is the shard battery every invariance property
+// runs across: the degenerate single shard, small counts that leave some
+// shards with many cells, and a count likely to exceed the busiest cells.
+var shardInvarianceShardCounts = []int{1, 2, 3, 8}
+
+// shardDataset is the dedicated workload for the shard-invariance golden
+// pins — deliberately distinct from testDataset so the pins below guard new
+// fingerprints rather than re-pinning the unsharded suite's.
+func shardDataset(t *testing.T, practical bool) *dataset.Dataset {
+	t.Helper()
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 50
+	cfg.Density = 6
+	cfg.NumWindows = 12
+	cfg.Seed = 3
+	if practical {
+		cfg = cfg.Practical()
+		cfg.EIDMissingRate = 0.08
+		cfg.VIDMissingRate = 0.04
+	}
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	return ds
+}
+
+// routerFingerprint streams the observations through a fresh router with the
+// given shard count and finalizes, requiring every observation accepted.
+func routerFingerprint(t *testing.T, rcfg RouterConfig, obs []Observation) string {
+	t.Helper()
+	r, err := NewRouter(rcfg)
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+	for i, o := range obs {
+		accepted, err := r.Ingest(o)
+		if err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+		if !accepted {
+			t.Fatalf("Ingest %d: in-order observation dropped as late", i)
+		}
+	}
+	rep, err := r.Finalize(context.Background())
+	if err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return rep.Fingerprint()
+}
+
+// TestShardOfStable pins the cell → shard assignment. It is part of the
+// checkpoint contract: v3 restore redistributes buckets with ShardOf, so
+// changing the assignment silently invalidates existing checkpoints.
+func TestShardOfStable(t *testing.T) {
+	cases := []struct {
+		cell   geo.CellID
+		shards int
+		want   int
+	}{
+		{0, 1, 0}, {17, 1, 0},
+		{0, 4, 0}, {1, 4, 1}, {5, 4, 1}, {7, 4, 3},
+		{41, 8, 1}, {1000003, 7, 4},
+	}
+	for _, tc := range cases {
+		if got := ShardOf(tc.cell, tc.shards); got != tc.want {
+			t.Errorf("ShardOf(%d, %d) = %d, want %d", tc.cell, tc.shards, got, tc.want)
+		}
+	}
+}
+
+// TestShardInvarianceGolden is the tentpole invariant: for every shard count
+// the sharded replay's fingerprint is byte-identical to the unsharded stream
+// replay AND to the batch SS reference over the original dataset. The sha256
+// pins freeze all three paths at once on a dedicated workload.
+func TestShardInvarianceGolden(t *testing.T) {
+	cases := []struct {
+		name      string
+		practical bool
+		mode      core.Mode
+		want      string
+	}{
+		{"ideal-serial", false, core.ModeSerial,
+			"3e0a02707e629de5dad8e6a5a6f135bf698c7be0f8fc18583b2005894200fe71"},
+		{"practical-serial", true, core.ModeSerial,
+			"e03713546448faa41e04d139ef8304ead2c11fa67e97d0186e7ab09e512f5b2e"},
+		{"practical-parallel", true, core.ModeParallel,
+			"a093882f68d3e321006251d7302bca42e014966bc9348bdc8867fc3dac59b3ee"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			ds := shardDataset(t, tc.practical)
+			targets := ds.AllEIDs()[:16]
+			_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+			if err != nil {
+				t.Fatalf("EventsFromDataset: %v", err)
+			}
+			cfg := testConfig(ds, targets, tc.mode)
+			batch := batchFingerprint(t, ds, targets, tc.mode)
+			unsharded := replayFingerprint(t, cfg, obs)
+			if unsharded != batch {
+				t.Fatalf("unsharded replay diverged from batch:\n--- batch\n%s\n--- stream\n%s", batch, unsharded)
+			}
+			sum := sha256.Sum256([]byte(unsharded))
+			if got := hex.EncodeToString(sum[:]); got != tc.want {
+				t.Errorf("fingerprint hash = %s, want %s (match results changed)", got, tc.want)
+			}
+			for _, shards := range shardInvarianceShardCounts {
+				got := routerFingerprint(t, RouterConfig{Config: cfg, Shards: shards}, obs)
+				if got != unsharded {
+					t.Fatalf("%d-shard replay diverged from unsharded:\n--- unsharded\n%s\n--- sharded\n%s", shards, unsharded, got)
+				}
+			}
+		})
+	}
+}
+
+// TestShardPermutationInvariance extends the bounded-displacement ordering
+// property to the sharded path: any arrival permutation within the allowed
+// lateness yields the same fingerprint at every shard count, with nothing
+// dropped.
+func TestShardPermutationInvariance(t *testing.T) {
+	ds := testDataset(t, true)
+	targets := ds.AllEIDs()[:12]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	want := replayFingerprint(t, cfg, obs)
+	for _, shards := range []int{2, 3, 8} {
+		for seed := int64(1); seed <= 3; seed++ {
+			t.Run(fmt.Sprintf("shards-%d-shuffle-%d", shards, seed), func(t *testing.T) {
+				rng := rand.New(rand.NewSource(seed))
+				shuffled := boundedShuffle(obs, testLatenessMS, rng)
+				r, err := NewRouter(RouterConfig{Config: cfg, Shards: shards})
+				if err != nil {
+					t.Fatalf("NewRouter: %v", err)
+				}
+				defer r.Close()
+				for i, o := range shuffled {
+					accepted, err := r.Ingest(o)
+					if err != nil {
+						t.Fatalf("Ingest %d: %v", i, err)
+					}
+					if !accepted {
+						t.Fatalf("Ingest %d: observation within the lateness bound dropped (ts %d)", i, o.TS)
+					}
+				}
+				if got := r.LateDropped(); got != 0 {
+					t.Fatalf("LateDropped = %d under bounded displacement", got)
+				}
+				rep, err := r.Finalize(context.Background())
+				if err != nil {
+					t.Fatalf("Finalize: %v", err)
+				}
+				if got := rep.Fingerprint(); got != want {
+					t.Fatalf("sharded shuffled replay diverged from in-order unsharded replay")
+				}
+			})
+		}
+	}
+}
+
+// TestShardDuplicateInvariance pins at-least-once tolerance per shard:
+// delivering every observation twice changes nothing at any shard count,
+// because duplicates route to the same shard and bucket merging is
+// idempotent.
+func TestShardDuplicateInvariance(t *testing.T) {
+	ds := testDataset(t, true)
+	targets := ds.AllEIDs()[:12]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	want := replayFingerprint(t, cfg, obs)
+	doubled := make([]Observation, 0, 2*len(obs))
+	for _, o := range obs {
+		doubled = append(doubled, o, o)
+	}
+	for _, shards := range shardInvarianceShardCounts {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			got := routerFingerprint(t, RouterConfig{Config: cfg, Shards: shards}, doubled)
+			if got != want {
+				t.Fatalf("%d-shard duplicated replay diverged from single-delivery replay", shards)
+			}
+		})
+	}
+}
+
+// TestRouterLateDropParity pins that sharding does not change the accept /
+// late-drop decision: the router and the unsharded engine, fed the same
+// out-of-bound sequence, drop exactly the same observations.
+func TestRouterLateDropParity(t *testing.T) {
+	ds := testDataset(t, false)
+	targets := ds.AllEIDs()[:8]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	// Re-deliver an early observation periodically; once the watermark moves
+	// past its window these re-deliveries are late.
+	withLate := make([]Observation, 0, len(obs)+len(obs)/400)
+	for i, o := range obs {
+		withLate = append(withLate, o)
+		if i > 0 && i%400 == 0 {
+			withLate = append(withLate, obs[0])
+		}
+	}
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	e, err := NewEngine(cfg)
+	if err != nil {
+		t.Fatalf("NewEngine: %v", err)
+	}
+	var engineAccepts []bool
+	for i, o := range withLate {
+		acc, err := e.Ingest(o)
+		if err != nil {
+			t.Fatalf("engine Ingest %d: %v", i, err)
+		}
+		engineAccepts = append(engineAccepts, acc)
+	}
+	if e.LateDropped() == 0 {
+		t.Fatal("workload produced no late observations; the parity check is vacuous")
+	}
+	for _, shards := range []int{2, 8} {
+		t.Run(fmt.Sprintf("shards-%d", shards), func(t *testing.T) {
+			r, err := NewRouter(RouterConfig{Config: cfg, Shards: shards})
+			if err != nil {
+				t.Fatalf("NewRouter: %v", err)
+			}
+			defer r.Close()
+			for i, o := range withLate {
+				acc, err := r.Ingest(o)
+				if err != nil {
+					t.Fatalf("router Ingest %d: %v", i, err)
+				}
+				if acc != engineAccepts[i] {
+					t.Fatalf("Ingest %d: router accepted=%v, engine accepted=%v", i, acc, engineAccepts[i])
+				}
+			}
+			if got, want := r.LateDropped(), e.LateDropped(); got != want {
+				t.Fatalf("LateDropped = %d, engine dropped %d", got, want)
+			}
+			if got, want := r.Ingested(), e.Ingested(); got != want {
+				t.Fatalf("Ingested = %d, engine ingested %d", got, want)
+			}
+		})
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	ds := testDataset(t, false)
+	base := testConfig(ds, ds.AllEIDs()[:4], core.ModeSerial)
+	cases := []struct {
+		name string
+		mut  func(*RouterConfig)
+	}{
+		{"negative-shards", func(c *RouterConfig) { c.Shards = -2 }},
+		{"negative-queue", func(c *RouterConfig) { c.QueueLen = -1 }},
+		{"negative-subcheckpoint", func(c *RouterConfig) { c.SubCheckpointEvery = -5 }},
+		{"negative-lease-ttl", func(c *RouterConfig) { c.LeaseTTL = -1 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rcfg := RouterConfig{Config: base}
+			tc.mut(&rcfg)
+			if _, err := NewRouter(rcfg); err == nil {
+				t.Fatal("NewRouter accepted an invalid config")
+			}
+		})
+	}
+}
+
+func TestRouterClosed(t *testing.T) {
+	ds := testDataset(t, false)
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	r, err := NewRouter(RouterConfig{Config: testConfig(ds, ds.AllEIDs()[:4], core.ModeSerial), Shards: 3})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	if _, err := r.Ingest(obs[0]); err != nil {
+		t.Fatalf("Ingest: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := r.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if _, err := r.Ingest(obs[1]); err != ErrRouterClosed {
+		t.Fatalf("Ingest after Close: err = %v, want ErrRouterClosed", err)
+	}
+	if err := r.Flush(); err != ErrRouterClosed {
+		t.Fatalf("Flush after Close: err = %v, want ErrRouterClosed", err)
+	}
+	if err := r.Checkpoint(nil); err != ErrRouterClosed {
+		t.Fatalf("Checkpoint after Close: err = %v, want ErrRouterClosed", err)
+	}
+}
+
+// TestRouterGauges checks the router's gauge surface: the engine-compatible
+// stream_* gauges plus the shard count, redispatch counter, and per-shard
+// routed counters (which must sum to the accepted observations).
+func TestRouterGauges(t *testing.T) {
+	ds := testDataset(t, false)
+	targets := ds.AllEIDs()[:8]
+	_, obs, err := EventsFromDataset(ds, testWindowMS, 7)
+	if err != nil {
+		t.Fatalf("EventsFromDataset: %v", err)
+	}
+	reg := metrics.NewRegistry()
+	cfg := testConfig(ds, targets, core.ModeSerial)
+	cfg.Clock = &fakeClock{now: time.UnixMilli(obs[len(obs)-1].TS)}
+	cfg.Metrics = reg
+	const shards = 4
+	r, err := NewRouter(RouterConfig{Config: cfg, Shards: shards})
+	if err != nil {
+		t.Fatalf("NewRouter: %v", err)
+	}
+	defer r.Close()
+	accepted := int64(0)
+	for i, o := range obs {
+		acc, err := r.Ingest(o)
+		if err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+		if acc {
+			accepted++
+		}
+	}
+	if err := r.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	if got := reg.Get("stream_shards"); got != shards {
+		t.Errorf("stream_shards = %d, want %d", got, shards)
+	}
+	if got := reg.Get("stream_shard_redispatches"); got != 0 {
+		t.Errorf("stream_shard_redispatches = %d, want 0", got)
+	}
+	var routed int64
+	for s := 0; s < shards; s++ {
+		routed += reg.Get(fmt.Sprintf("stream_shard%d_ingested", s))
+	}
+	if routed != accepted {
+		t.Errorf("per-shard routed gauges sum to %d, want %d accepted", routed, accepted)
+	}
+	if got, want := reg.Get("stream_resolutions_emitted"), int64(len(r.Resolutions())); got != want {
+		t.Errorf("stream_resolutions_emitted = %d, want %d", got, want)
+	}
+	if got := reg.Get("stream_open_windows"); got != 0 {
+		t.Errorf("stream_open_windows = %d after Flush, want 0", got)
+	}
+}

@@ -151,6 +151,42 @@ type bucket struct {
 	detSeen map[string]bool
 }
 
+// newBucket creates an empty accumulation bucket.
+func newBucket() *bucket {
+	return &bucket{eids: make(map[ids.EID]scenario.Attr), detSeen: make(map[string]bool)}
+}
+
+// absorb folds one observation into the bucket — the order-independent merge
+// both the single engine and the router's shard windowers use.
+func (b *bucket) absorb(o Observation) {
+	switch o.Kind {
+	case KindE:
+		// Inclusive wins over vague regardless of arrival order.
+		if cur, ok := b.eids[o.EID]; !ok || (cur == scenario.AttrVague && o.Attr == scenario.AttrInclusive) {
+			b.eids[o.EID] = o.Attr
+		}
+	case KindV:
+		key := detMergeKey(o.VID, o.Person, o.Patch)
+		if !b.detSeen[key] {
+			b.detSeen[key] = true
+			b.dets = append(b.dets, scenario.Detection{VID: o.VID, Patch: *o.Patch, TruePerson: o.Person})
+		}
+	}
+}
+
+// sealBucket freezes one closed (window, cell) bucket into its EV-Scenario
+// pair. Detections come out sorted, so the sealed pair is independent of
+// arrival order; buckets without detections seal to a nil V side.
+func sealBucket(k bucketKey, b *bucket) (*scenario.EScenario, *scenario.VScenario) {
+	esc := &scenario.EScenario{Cell: k.Cell, Window: k.Window, EIDs: b.eids}
+	var vsc *scenario.VScenario
+	if len(b.dets) > 0 {
+		sortDetections(b.dets)
+		vsc = &scenario.VScenario{Cell: k.Cell, Window: k.Window, Detections: b.dets}
+	}
+	return esc, vsc
+}
+
 // Engine is the incremental matcher. It is safe for concurrent use.
 type Engine struct {
 	mu     sync.Mutex
@@ -234,22 +270,10 @@ func (e *Engine) Ingest(o Observation) (bool, error) {
 	}
 	b := e.buckets[bucketKey{Window: w, Cell: o.Cell}]
 	if b == nil {
-		b = &bucket{eids: make(map[ids.EID]scenario.Attr), detSeen: make(map[string]bool)}
+		b = newBucket()
 		e.buckets[bucketKey{Window: w, Cell: o.Cell}] = b
 	}
-	switch o.Kind {
-	case KindE:
-		// Inclusive wins over vague regardless of arrival order.
-		if cur, ok := b.eids[o.EID]; !ok || (cur == scenario.AttrVague && o.Attr == scenario.AttrInclusive) {
-			b.eids[o.EID] = o.Attr
-		}
-	case KindV:
-		key := detMergeKey(o.VID, o.Person, o.Patch)
-		if !b.detSeen[key] {
-			b.detSeen[key] = true
-			b.dets = append(b.dets, scenario.Detection{VID: o.VID, Patch: *o.Patch, TruePerson: o.Person})
-		}
-	}
+	b.absorb(o)
 	if o.TS > e.maxTS {
 		e.maxTS = o.TS
 		if err := e.advance(); err != nil {
@@ -315,14 +339,23 @@ func (e *Engine) closeBelow(limit int) error {
 // closeBucket seals one (window, cell) bucket into an EV-Scenario pair,
 // stores it, and refines the partition with it. Callers hold e.mu.
 func (e *Engine) closeBucket(k bucketKey, b *bucket) error {
-	esc := &scenario.EScenario{Cell: k.Cell, Window: k.Window, EIDs: b.eids}
-	var vsc *scenario.VScenario
-	if len(b.dets) > 0 {
-		sortDetections(b.dets)
-		vsc = &scenario.VScenario{Cell: k.Cell, Window: k.Window, Detections: b.dets}
-	}
-	if _, err := e.store.Add(esc, vsc); err != nil {
+	esc, vsc := sealBucket(k, b)
+	return e.applySealedLocked(k, esc, vsc, nil)
+}
+
+// applySealedLocked folds one sealed closure into the store and partition.
+// feats, when non-nil, is the V-Scenario's pre-extracted feature matrix (the
+// sharded path extracts at seal time); it primes the filter cache so the
+// serial merge never re-pays extraction. Callers hold e.mu.
+func (e *Engine) applySealedLocked(k bucketKey, esc *scenario.EScenario, vsc *scenario.VScenario, feats *feature.Matrix) error {
+	id, err := e.store.Add(esc, vsc)
+	if err != nil {
 		return fmt.Errorf("stream: close window %d cell %d: %w", k.Window, k.Cell, err)
+	}
+	if vsc != nil && feats != nil {
+		if err := e.filter.Prime(id, feats); err != nil {
+			return fmt.Errorf("stream: close window %d cell %d: %w", k.Window, k.Cell, err)
+		}
 	}
 	// SplitBy ignores EIDs outside the partition's index and is a no-op once
 	// every set is a singleton, so applying the full scenario unconditionally
@@ -330,6 +363,44 @@ func (e *Engine) closeBucket(k bucketKey, b *bucket) error {
 	// filtered, early-exiting scan (DESIGN.md §10).
 	e.part.SplitBy(esc)
 	return nil
+}
+
+// sealedScenario is one shard-sealed window closure in transit to the merge
+// stage: the key, the EV-Scenario pair sealBucket produced, and the
+// V-Scenario's feature matrix, extracted by the shard so the serial merge
+// stage only folds (nil when the shard's extraction failed — the merge-side
+// filter then re-extracts lazily and surfaces the identical error).
+type sealedScenario struct {
+	key   bucketKey
+	esc   *scenario.EScenario
+	vsc   *scenario.VScenario
+	feats *feature.Matrix
+}
+
+// applyRound is the sharded router's merge hook: fold one globally
+// (window, cell)-sorted batch of sealed closures into the engine, advance the
+// fold watermark, and sweep resolutions — exactly what advance does for the
+// single engine, which is why the merged state is bit-identical to an
+// unsharded replay. It returns the resolution sequence counter and the
+// resolved-target count for the router's gauges.
+func (e *Engine) applyRound(sealed []sealedScenario, target int, maxTS int64) (seq, resolved int, err error) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, s := range sealed {
+		if err := e.applySealedLocked(s.key, s.esc, s.vsc, s.feats); err != nil {
+			return e.seq, len(e.resolved), err
+		}
+	}
+	if maxTS > e.maxTS {
+		e.maxTS = maxTS
+	}
+	if target > e.minOpen {
+		e.minOpen = target
+	}
+	if err := e.sweepResolutions(); err != nil {
+		return e.seq, len(e.resolved), err
+	}
+	return e.seq, len(e.resolved), nil
 }
 
 // sortDetections orders detections by (VID, TruePerson, patch bytes). VID

@@ -211,29 +211,67 @@ func (f *Filter) features(id scenario.ID, buf *feature.ExtractBuf) *cacheEntry {
 				return
 			}
 		}
-		entry.m = m
-		entry.rows = make([]feature.Vector, m.Rows())
-		for i := range entry.rows {
-			entry.rows[i] = m.Row(i)
-		}
-		ords := make([]int32, len(v.Detections))
-		f.mu.Lock()
-		for i := range v.Detections {
-			vid := v.Detections[i].VID
-			ord, ok := f.vidOrd[vid]
-			if !ok {
-				ord = int32(len(f.vidByOrd))
-				f.vidOrd[vid] = ord
-				f.vidByOrd = append(f.vidByOrd, vid)
-			}
-			ords[i] = ord
-		}
-		f.mu.Unlock()
-		entry.ords = ords
-		f.scenariosProcessed.Add(1)
-		f.extractions.Add(int64(m.Rows()))
+		f.fill(entry, v, m)
 	})
 	return entry
+}
+
+// fill completes a cache entry from an extracted matrix: row views, interned
+// VID ordinals, and the work counters. Callers run inside entry.once.
+func (f *Filter) fill(entry *cacheEntry, v *scenario.VScenario, m *feature.Matrix) {
+	entry.m = m
+	entry.rows = make([]feature.Vector, m.Rows())
+	for i := range entry.rows {
+		entry.rows[i] = m.Row(i)
+	}
+	ords := make([]int32, len(v.Detections))
+	f.mu.Lock()
+	for i := range v.Detections {
+		vid := v.Detections[i].VID
+		ord, ok := f.vidOrd[vid]
+		if !ok {
+			ord = int32(len(f.vidByOrd))
+			f.vidOrd[vid] = ord
+			f.vidByOrd = append(f.vidByOrd, vid)
+		}
+		ords[i] = ord
+	}
+	f.mu.Unlock()
+	entry.ords = ords
+	f.scenariosProcessed.Add(1)
+	f.extractions.Add(int64(m.Rows()))
+}
+
+// Prime installs a pre-extracted feature matrix for the V-Scenario with the
+// given ID, so a later Match finds the scenario already processed. This is
+// the merge-side half of sharded streaming's parallel extraction: shard
+// windowers extract features when they seal a window, and the merge stage
+// primes the shared cache instead of re-paying the extraction serially. The
+// matrix must hold one row per detection, in detection order, produced by an
+// extractor configured identically to the Filter's — priming is then
+// bit-identical to lazy extraction. A scenario already extracted (or already
+// primed) keeps its existing entry and the offered matrix is dropped. The
+// extraction is counted in Stats exactly as a lazy one would be: the work was
+// paid, just on another goroutine.
+func (f *Filter) Prime(id scenario.ID, m *feature.Matrix) error {
+	v := f.store.V(id)
+	if v == nil || len(v.Detections) == 0 {
+		return fmt.Errorf("vfilter: prime scenario %d: no detections in store", id)
+	}
+	if m == nil || m.Rows() != len(v.Detections) || m.Dim() != f.cfg.Extractor.Dim {
+		return fmt.Errorf("vfilter: prime scenario %d: matrix shape mismatch", id)
+	}
+	f.mu.Lock()
+	entry := f.cache[id]
+	if entry == nil {
+		entry = &cacheEntry{}
+		f.cache[id] = entry
+	}
+	f.mu.Unlock()
+	entry.once.Do(func() {
+		f.fill(entry, v, m)
+	})
+	return nil
 }
 
 // scan pairs one scenario of the Match list with its feature matrix and the
