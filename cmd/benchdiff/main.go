@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	benchdiff [-threshold 20] [-iqr-mult 3] old.txt new.txt
+//	benchdiff [-threshold 20] [-iqr-mult 3] [-summary summary.md] old.txt new.txt
 //
 // Both files hold standard `go test -bench` output (run with -count N for a
 // stable median; -benchmem adds the allocs/op column, reported but not
@@ -19,6 +19,13 @@
 // row logs its effective allowance and which term chose it (pct or iqr).
 // Malformed input — an empty file, a truncated Benchmark line, a benchmark
 // with no ns/op samples — is an error (exit 2), never silently ignored.
+//
+// -summary appends the comparison as a GitHub-flavored markdown table to the
+// given file (pass "$GITHUB_STEP_SUMMARY" in CI): one row per benchmark with
+// its delta, its effective allowance, and — the part the plain table buries —
+// which gate term (pct or iqr) decided that allowance, so a reviewer can see
+// at a glance whether a pass rode on the percentage budget or on a wide old
+// spread.
 package main
 
 import (
@@ -42,11 +49,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	threshold := fs.Float64("threshold", 20, "maximum allowed time/op regression in percent")
 	iqrMult := fs.Float64("iqr-mult", 3, "noise allowance: also permit regressions up to this multiple of the old samples' IQR")
+	summary := fs.String("summary", "", "append a markdown summary table to this file (CI: pass \"$GITHUB_STEP_SUMMARY\")")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	if fs.NArg() != 2 {
-		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] old.txt new.txt")
+		fmt.Fprintln(stderr, "usage: benchdiff [-threshold pct] [-summary file] old.txt new.txt")
 		return 2
 	}
 	old, err := parseFile(fs.Arg(0))
@@ -67,12 +75,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sort.Strings(names)
 
 	regressions := 0
+	var rows []summaryRow
 	fmt.Fprintf(stdout, "%-32s %14s %14s %8s %14s %18s\n", "benchmark", "old ns/op", "new ns/op", "delta", "allowance", "allocs/op old→new")
 	for _, name := range names {
 		o := old[name]
 		n, ok := new_[name]
 		if !ok {
 			fmt.Fprintf(stdout, "%-32s %14s %14s %8s %14s (removed; not gated)\n", name, format(median(o.ns)), "-", "-", "-")
+			rows = append(rows, summaryRow{name: name, oldNs: format(median(o.ns)), newNs: "-", delta: "-", allowance: "-", result: "removed (not gated)"})
 			continue
 		}
 		oldNs, newNs := median(o.ns), median(n.ns)
@@ -88,9 +98,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 			allowed, chosen = iqrAllow, "iqr"
 		}
 		allowance := fmt.Sprintf("≤+%.1f%%(%s)", allowed/oldNs*100, chosen)
-		mark := ""
+		mark, result := "", "pass"
 		if newNs-oldNs > allowed {
 			mark = "  REGRESSION"
+			result = "REGRESSION"
 			regressions++
 		}
 		allocs := "-"
@@ -98,10 +109,31 @@ func run(args []string, stdout, stderr io.Writer) int {
 			allocs = fmt.Sprintf("%.0f→%.0f", median(o.allocs), median(n.allocs))
 		}
 		fmt.Fprintf(stdout, "%-32s %14s %14s %+7.1f%% %14s %18s%s\n", name, format(oldNs), format(newNs), delta, allowance, allocs, mark)
+		rows = append(rows, summaryRow{
+			name:      name,
+			oldNs:     format(oldNs),
+			newNs:     format(newNs),
+			delta:     fmt.Sprintf("%+.1f%%", delta),
+			allowance: fmt.Sprintf("≤+%.1f%%", allowed/oldNs*100),
+			gateTerm:  chosen,
+			result:    result,
+		})
 	}
+	var added []string
 	for name := range new_ {
 		if _, ok := old[name]; !ok {
-			fmt.Fprintf(stdout, "%-32s %14s %14s %8s %14s (new; not gated)\n", name, "-", format(median(new_[name].ns)), "-", "-")
+			added = append(added, name)
+		}
+	}
+	sort.Strings(added)
+	for _, name := range added {
+		fmt.Fprintf(stdout, "%-32s %14s %14s %8s %14s (new; not gated)\n", name, "-", format(median(new_[name].ns)), "-", "-")
+		rows = append(rows, summaryRow{name: name, oldNs: "-", newNs: format(median(new_[name].ns)), delta: "-", allowance: "-", result: "new (not gated)"})
+	}
+	if *summary != "" {
+		if err := appendSummary(*summary, rows, *threshold, *iqrMult, regressions); err != nil {
+			fmt.Fprintf(stderr, "benchdiff: %v\n", err)
+			return 2
 		}
 	}
 	if regressions > 0 {
@@ -109,6 +141,52 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// summaryRow is one benchmark's comparison, rendered into the markdown job
+// summary. gateTerm records which allowance term (pct or iqr) set the gate —
+// the audit trail the CI job summary exists to surface.
+type summaryRow struct {
+	name, oldNs, newNs, delta, allowance, gateTerm, result string
+}
+
+// appendSummary appends the markdown comparison table to path. Append, not
+// truncate: $GITHUB_STEP_SUMMARY accumulates sections from every step of a
+// job, and local callers can aggregate several comparisons the same way.
+func appendSummary(path string, rows []summaryRow, threshold, iqrMult float64, regressions int) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeSummary(f, rows, threshold, iqrMult, regressions); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// writeSummary renders the markdown table: per-benchmark medians, delta, the
+// effective allowance with the gate term that chose it, and the verdict.
+func writeSummary(w io.Writer, rows []summaryRow, threshold, iqrMult float64, regressions int) error {
+	verdict := "no time/op regressions"
+	if regressions > 0 {
+		verdict = fmt.Sprintf("**%d benchmark(s) regressed**", regressions)
+	}
+	if _, err := fmt.Fprintf(w, "### benchdiff: %s\n\nGate: median time/op growth ≤ max(%.0f%% · old, %.1f·IQR(old)); the *gate term* column names which bound applied.\n\n| benchmark | old ns/op | new ns/op | delta | allowance | gate term | result |\n|---|---:|---:|---:|---:|:-:|---|\n", verdict, threshold, iqrMult); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		term := r.gateTerm
+		if term == "" {
+			term = "-"
+		}
+		if _, err := fmt.Fprintf(w, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			r.name, r.oldNs, r.newNs, r.delta, r.allowance, term, r.result); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
 }
 
 // samples collects one benchmark's repeated measurements.

@@ -216,3 +216,71 @@ BenchmarkNoisy-8    1000    140000 ns/op
 		t.Fatalf("exit %d with IQR allowance disabled, want 1; stdout:\n%s", code, stdout.String())
 	}
 }
+
+// TestSummaryFile pins the -summary satellite: the markdown table must carry
+// one row per benchmark with the gate term (pct vs iqr) that chose its
+// allowance, mark removed/added benchmarks as ungated, and append — not
+// truncate — so repeated steps accumulate in $GITHUB_STEP_SUMMARY.
+func TestSummaryFile(t *testing.T) {
+	// BenchmarkSim's old samples (37,38,39) have a tight IQR, so its gate is
+	// the percentage term; BenchmarkFilterMatch has one sample (IQR 0), also
+	// pct. A wide-spread benchmark exercises the iqr term.
+	wideOld := oldOut + "BenchmarkWide-8    100    100000 ns/op\nBenchmarkWide-8    100    200000 ns/op\nBenchmarkWide-8    100    900000 ns/op\n"
+	wideNew := strings.ReplaceAll(wideOld, "BenchmarkGone", "BenchmarkFresh")
+	oldPath := writeTemp(t, "old.txt", wideOld)
+	newPath := writeTemp(t, "new.txt", wideNew)
+	sumPath := filepath.Join(t.TempDir(), "summary.md")
+	if err := os.WriteFile(sumPath, []byte("prior section\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr strings.Builder
+	if code := run([]string{"-threshold", "20", "-iqr-mult", "3", "-summary", sumPath, oldPath, newPath}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d; stderr: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(sumPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(raw)
+	if !strings.HasPrefix(md, "prior section\n") {
+		t.Error("-summary truncated the file instead of appending")
+	}
+	for _, want := range []string{
+		"### benchdiff: no time/op regressions",
+		"| benchmark |",
+		"| gate term |",
+		"| BenchmarkSim | 38.00 | 38.00 | +0.0% |",
+		"| pct | pass |",
+		"| iqr | pass |", // BenchmarkWide's 3·IQR dwarfs 20% of its median
+		"| BenchmarkGone |",
+		"removed (not gated)",
+		"| BenchmarkFresh |",
+		"new (not gated)",
+	} {
+		if !strings.Contains(md, want) {
+			t.Errorf("summary missing %q:\n%s", want, md)
+		}
+	}
+	// The iqr row must be BenchmarkWide's, and regressions flip the verdict.
+	for _, line := range strings.Split(md, "\n") {
+		if strings.Contains(line, "| iqr |") && !strings.Contains(line, "BenchmarkWide") {
+			t.Errorf("iqr gate term on unexpected row: %s", line)
+		}
+	}
+	regNew := strings.ReplaceAll(wideNew, "   120000 ns/op", "   190000 ns/op")
+	regPath := writeTemp(t, "reg.txt", regNew)
+	sum2 := filepath.Join(t.TempDir(), "s2.md")
+	if code := run([]string{"-threshold", "20", "-summary", sum2, oldPath, regPath}, &stdout, &stderr); code != 1 {
+		t.Fatalf("exit %d for regression, want 1", code)
+	}
+	raw2, err := os.ReadFile(sum2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw2), "**1 benchmark(s) regressed**") {
+		t.Errorf("regressed verdict missing:\n%s", raw2)
+	}
+	if !strings.Contains(string(raw2), "| REGRESSION |") {
+		t.Errorf("REGRESSION row missing:\n%s", raw2)
+	}
+}

@@ -8,9 +8,13 @@
 //
 // Usage:
 //
-//	evgen -out world.gob [-persons 1000] [-density 60] [-windows 64]
+//	evgen -out world.gob [-preset sparse-city|dense-core]
+//	      [-persons 1000] [-density 60] [-windows 64]
 //	      [-seed 1] [-layout grid|hex] [-practical] [-eid-miss 0] [-vid-miss 0]
 //	      [-events obs.jsonl] [-window-ms 1000]
+//
+// -preset starts from a named scale preset; explicit shape flags given
+// alongside it override the preset's values.
 package main
 
 import (
@@ -18,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"evmatching"
 	"evmatching/internal/stream"
@@ -36,6 +41,7 @@ func run(args []string) error {
 		out       = fs.String("out", "", "output dataset file")
 		events    = fs.String("events", "", "output JSONL observation log for stream replay")
 		windowMS  = fs.Int64("window-ms", 1000, "event-log window length in milliseconds")
+		preset    = fs.String("preset", "", "scale preset to start from: "+strings.Join(evmatching.ScalePresetNames(), " or "))
 		persons   = fs.Int("persons", 1000, "number of human objects")
 		density   = fs.Float64("density", 60, "average persons per cell")
 		windows   = fs.Int("windows", 64, "number of scenario time windows")
@@ -51,10 +57,20 @@ func run(args []string) error {
 	if *out == "" && *events == "" {
 		return errors.New("at least one of -out and -events is required")
 	}
-	cfg := evmatching.DefaultDatasetConfig()
-	cfg.NumPersons = *persons
-	cfg.Density = *density
-	cfg.NumWindows = *windows
+	cfg, err := baseConfig(*preset)
+	if err != nil {
+		return err
+	}
+	set := setFlags(fs)
+	if set["persons"] {
+		cfg.NumPersons = *persons
+	}
+	if set["density"] {
+		cfg.Density = *density
+	}
+	if set["windows"] {
+		cfg.NumWindows = *windows
+	}
 	cfg.Seed = *seed
 	switch *layout {
 	case "grid":
@@ -67,8 +83,12 @@ func run(args []string) error {
 	if *practical {
 		cfg = cfg.Practical()
 	}
-	cfg.EIDMissingRate = *eidMiss
-	cfg.VIDMissingRate = *vidMiss
+	if set["eid-miss"] {
+		cfg.EIDMissingRate = *eidMiss
+	}
+	if set["vid-miss"] {
+		cfg.VIDMissingRate = *vidMiss
+	}
 
 	ds, err := evmatching.Generate(cfg)
 	if err != nil {
@@ -89,17 +109,33 @@ func run(args []string) error {
 	return nil
 }
 
-// writeEvents flattens the dataset into the stream observation log.
-func writeEvents(ds *evmatching.Dataset, path string, windowMS, seed int64) error {
-	hdr, obs, err := stream.EventsFromDataset(ds, windowMS, seed)
-	if err != nil {
-		return err
+// baseConfig resolves the starting configuration: the named scale preset if
+// -preset was given, the paper defaults otherwise.
+func baseConfig(preset string) (evmatching.DatasetConfig, error) {
+	if preset == "" {
+		return evmatching.DefaultDatasetConfig(), nil
 	}
+	return evmatching.ScaleDatasetConfig(preset)
+}
+
+// setFlags reports which flags were given explicitly on the command line, so
+// shape flags override a preset only when the user actually typed them.
+func setFlags(fs *flag.FlagSet) map[string]bool {
+	set := make(map[string]bool)
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	return set
+}
+
+// writeEvents streams the dataset's observation log to path one window at a
+// time — at scale-preset sizes the flattened log would dwarf the dataset
+// itself, so it is never materialized.
+func writeEvents(ds *evmatching.Dataset, path string, windowMS, seed int64) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	if err := stream.WriteLog(f, hdr, obs); err != nil {
+	n, err := stream.WriteEventsLog(f, ds, windowMS, seed)
+	if err != nil {
 		f.Close()
 		return err
 	}
@@ -107,6 +143,6 @@ func writeEvents(ds *evmatching.Dataset, path string, windowMS, seed int64) erro
 		return err
 	}
 	fmt.Printf("wrote %s: %d observations over %d windows (window %d ms, dim %d)\n",
-		path, len(obs), ds.Config.NumWindows, hdr.WindowMS, hdr.Dim)
+		path, n, ds.Config.NumWindows, windowMS, ds.Config.DescriptorDim())
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"evmatching"
@@ -137,5 +138,52 @@ func TestRunValidation(t *testing.T) {
 	}
 	if err := run([]string{"-bogus"}); err == nil {
 		t.Error("want flag parse error")
+	}
+}
+
+// TestRunPresetRoundTrip pins the -preset satellite: a preset name selects
+// the published scale configuration, explicit shape flags override it, and
+// the result is the same world the library API generates — so benchmark and
+// CLI runs agree on what "sparse-city" means. The preset is shrunk via
+// -persons to stay test-sized.
+func TestRunPresetRoundTrip(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "w.gob")
+	err := run([]string{
+		"-out", out,
+		"-preset", "sparse-city",
+		"-persons", "60",
+		"-seed", "7",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	ds, err := evmatching.LoadDataset(out)
+	if err != nil {
+		t.Fatalf("LoadDataset: %v", err)
+	}
+	want, err := evmatching.ScaleDatasetConfig("sparse-city")
+	if err != nil {
+		t.Fatalf("ScaleDatasetConfig: %v", err)
+	}
+	want.NumPersons = 60
+	want.Seed = 7
+	if !reflect.DeepEqual(ds.Config, want) {
+		t.Errorf("config = %+v, want preset with overrides %+v", ds.Config, want)
+	}
+	if len(ds.Persons) != 60 {
+		t.Errorf("persons = %d, want the explicit -persons override", len(ds.Persons))
+	}
+}
+
+// TestRunPresetUnknown rejects a bogus preset name with the valid choices.
+func TestRunPresetUnknown(t *testing.T) {
+	err := run([]string{"-out", "x", "-preset", "megacity"})
+	if err == nil {
+		t.Fatal("want error for unknown preset")
+	}
+	for _, name := range evmatching.ScalePresetNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Errorf("error %q does not list preset %q", err, name)
+		}
 	}
 }

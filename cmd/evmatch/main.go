@@ -6,6 +6,7 @@
 //
 //	evmatch -data world.gob [-n 100 | -eids aa:bb:...,... | -all]
 //	        [-algorithm ss|edp] [-mode serial|parallel] [-workers 0] [-seed 1]
+//	        [-no-blocking]
 package main
 
 import (
@@ -45,6 +46,7 @@ func run(args []string) error {
 		seed     = fs.Int64("seed", 1, "matcher seed")
 		verbose  = fs.Bool("v", false, "print every matched pair")
 		jsonOut  = fs.Bool("json", false, "emit the full report as JSON instead of text")
+		noBlock  = fs.Bool("no-blocking", false, "disable the spatiotemporal blocking index (exhaustive window scans; A/B cross-check)")
 		explain  = fs.String("explain", "", "trace the matching decision for one EID and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -82,7 +84,7 @@ func run(args []string) error {
 		return errors.New("one of -n, -eids, or -all is required")
 	}
 
-	opts := evmatching.Options{Seed: *seed, Workers: *workers}
+	opts := evmatching.Options{Seed: *seed, Workers: *workers, DisableBlocking: *noBlock}
 	switch *algoName {
 	case "ss":
 		opts.Algorithm = evmatching.AlgorithmSS
@@ -125,6 +127,8 @@ func run(args []string) error {
 	fmt.Printf("selected scenarios=%d (%.2f per EID)  E=%v V=%v total=%v refine=%d\n",
 		rep.SelectedScenarios, rep.AvgScenariosPerEID(),
 		rep.ETime, rep.VTime, rep.TotalTime(), rep.RefineRounds)
+	fmt.Printf("blocking candidates=%d pruned=%d (%.1f%% pruned)\n",
+		rep.BlockCandidates, rep.BlockPruned, rep.BlockPruneRatio()*100)
 	return nil
 }
 
@@ -141,6 +145,9 @@ type jsonReport struct {
 	ETimeMillis       float64     `json:"eTimeMillis"`
 	VTimeMillis       float64     `json:"vTimeMillis"`
 	RefineRounds      int         `json:"refineRounds"`
+	BlockCandidates   int64       `json:"blockCandidates"`
+	BlockPruned       int64       `json:"blockPruned"`
+	BlockPruneRatio   float64     `json:"blockPruneRatio"`
 	Matches           []jsonMatch `json:"matches"`
 }
 
@@ -174,6 +181,9 @@ func emitJSON(w io.Writer, truth func(evmatching.EID) evmatching.VID, rep *evmat
 		ETimeMillis:       millis(rep.ETime),
 		VTimeMillis:       millis(rep.VTime),
 		RefineRounds:      rep.RefineRounds,
+		BlockCandidates:   rep.BlockCandidates,
+		BlockPruned:       rep.BlockPruned,
+		BlockPruneRatio:   rep.BlockPruneRatio(),
 		Matches:           make([]jsonMatch, 0, len(rep.Targets)),
 	}
 	for _, e := range rep.Targets {

@@ -149,6 +149,8 @@ func TestEmitJSONGolden(t *testing.T) {
 		ETime:             1500 * time.Microsecond,
 		VTime:             2250 * time.Microsecond,
 		RefineRounds:      1,
+		BlockCandidates:   12,
+		BlockPruned:       36,
 	}
 	truth := func(e evmatching.EID) evmatching.VID {
 		switch e {
@@ -173,6 +175,9 @@ func TestEmitJSONGolden(t *testing.T) {
   "eTimeMillis": 1.5,
   "vTimeMillis": 2.25,
   "refineRounds": 1,
+  "blockCandidates": 12,
+  "blockPruned": 36,
+  "blockPruneRatio": 0.75,
   "matches": [
     {
       "eid": "aa:aa",

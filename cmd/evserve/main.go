@@ -125,6 +125,18 @@ func publishClusterStats(reg *metrics.Registry, stats cluster.Stats, fallbacks i
 	reg.Set("cluster.fallbacks", fallbacks)
 }
 
+// publishBlockStats copies the batch matcher's blocking-index totals into the
+// registry served at /metricsz: how many scenario probes the split stage
+// actually ran and how many the coarse signatures pruned (DESIGN.md §13).
+// The ratio gauge is an integer percent — the registry carries int64 gauges.
+// A live stream engine publishes the same gauge names for its own incremental
+// splits; last writer wins, and both describe the same pruning machinery.
+func publishBlockStats(reg *metrics.Registry, rep *evmatching.Report) {
+	reg.Set("block_candidates_total", rep.BlockCandidates)
+	reg.Set("block_pruned_total", rep.BlockPruned)
+	reg.Set("block_prune_ratio", stream.BlockPruneRatioPercent(rep.BlockCandidates, rep.BlockPruned))
+}
+
 // run starts the server; when ready is non-nil, the bound address is sent on
 // it once the listener is up (used by tests).
 func run(args []string, ready chan<- string) error {
@@ -192,6 +204,7 @@ func run(args []string, ready chan<- string) error {
 	if clusterExec != nil {
 		publishClusterStats(reg, clusterExec.Stats(), clusterExec.Fallbacks())
 	}
+	publishBlockStats(reg, rep)
 
 	srvOpts := []server.Option{server.WithMetrics(reg.Snapshot)}
 	if *streamWindow > 0 {

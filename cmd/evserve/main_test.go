@@ -78,7 +78,8 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Errorf("health = %+v", health)
 	}
 
-	// Serial mode still serves /metricsz — just with no cluster counters.
+	// Serial mode still serves /metricsz — no cluster counters, but the
+	// batch matcher's blocking-prune gauges must be published.
 	mresp, err := http.Get(fmt.Sprintf("http://%s/metricsz", addr))
 	if err != nil {
 		t.Fatal(err)
@@ -86,6 +87,22 @@ func TestServeEndToEnd(t *testing.T) {
 	defer mresp.Body.Close()
 	if mresp.StatusCode != http.StatusOK {
 		t.Errorf("/metricsz status = %d", mresp.StatusCode)
+	}
+	var counters map[string]int64
+	if err := json.NewDecoder(mresp.Body).Decode(&counters); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"block_candidates_total", "block_pruned_total", "block_prune_ratio"} {
+		if _, ok := counters[name]; !ok {
+			t.Errorf("/metricsz missing %s: %v", name, counters)
+		}
+	}
+	if counters["block_candidates_total"] <= 0 {
+		t.Errorf("universal matching probed no scenarios: block_candidates_total = %d",
+			counters["block_candidates_total"])
+	}
+	if r := counters["block_prune_ratio"]; r < 0 || r > 100 {
+		t.Errorf("block_prune_ratio = %d, want a percent in [0,100]", r)
 	}
 }
 

@@ -102,6 +102,14 @@ const (
 // 1000 m × 1000 m cell grid, under the ideal setting.
 func DefaultDatasetConfig() DatasetConfig { return dataset.DefaultConfig() }
 
+// ScaleDatasetConfig returns a named scale preset — a world shape at the
+// sizes the blocking index (DESIGN.md §13) is built for. See
+// ScalePresetNames for the accepted names.
+func ScaleDatasetConfig(name string) (DatasetConfig, error) { return dataset.ScalePreset(name) }
+
+// ScalePresetNames lists the preset names ScaleDatasetConfig accepts.
+func ScalePresetNames() []string { return dataset.ScalePresetNames() }
+
 // Generate builds a synthetic EV world. Generation is deterministic in the
 // configuration, including its Seed.
 func Generate(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }

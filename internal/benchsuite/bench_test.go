@@ -51,3 +51,19 @@ func BenchmarkStreamReplayShards(b *testing.B) {
 		b.Run(fmt.Sprintf("shards-%d", shards), streamReplayShardsBench(shards))
 	}
 }
+
+// BenchmarkMatchSSBlocked is the asymptote gate for the spatiotemporal
+// blocking index (DESIGN.md §13): warm SS matches over the cached scale
+// worlds, blocked versus exhaustive, with the matcher (and thus the index
+// build) outside the timer. On the sparse-city 100k world the blocked
+// split_ms metric must sit far below the exhaustive one — the committed
+// baseline records ≥5× — while the saturated dense world bounds the
+// bookkeeping overhead: blocked may regress exhaustive by at most ~10%
+// there. TestScaleSmoke asserts both ratios with slacker thresholds; this
+// benchmark feeds benchdiff and BENCH_baseline.json with the numbers.
+func BenchmarkMatchSSBlocked(b *testing.B) {
+	b.Run("sparse-100k", matchSSScaleBench(sparseWorld, scaleSparseTargets, false))
+	b.Run("sparse-100k-exhaustive", matchSSScaleBench(sparseWorld, scaleSparseTargets, true))
+	b.Run("dense", matchSSScaleBench(denseWorld, 0, false))
+	b.Run("dense-exhaustive", matchSSScaleBench(denseWorld, 0, true))
+}

@@ -17,6 +17,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 	"testing"
 
 	"evmatching/internal/core"
@@ -83,6 +84,105 @@ func matchBenchN(opts core.Options, numTargets int) func(b *testing.B) {
 			b.ReportMetric(float64(rep.SelectedScenarios), "selected")
 			b.ReportMetric(rep.Accuracy(ds.TruthVID)*100, "acc%")
 		}
+	}
+}
+
+// scaleSparseTargets is the target-sample size the sparse-world blocking
+// benchmarks and the scale smoke test share.
+const scaleSparseTargets = 32
+
+// Scale worlds for the blocking benchmarks, generated once per process and
+// shared between the registry entries, the go-test benchmarks, and the scale
+// smoke test: the sparse-city 100k preset alone takes several seconds to
+// generate, and every consumer wants the identical world anyway.
+var (
+	sparseOnce sync.Once
+	sparseDS   *dataset.Dataset
+	sparseErr  error
+
+	denseOnce sync.Once
+	denseDS   *dataset.Dataset
+	denseErr  error
+)
+
+// sparseWorld returns the shared sparse-city 100k-EID world — the regime the
+// blocking index targets, where a target co-occurs with a vanishing fraction
+// of the population.
+func sparseWorld() (*dataset.Dataset, error) {
+	sparseOnce.Do(func() {
+		cfg, err := dataset.ScalePreset(dataset.PresetSparseCity)
+		if err != nil {
+			sparseErr = err
+			return
+		}
+		sparseDS, sparseErr = dataset.Generate(cfg)
+	})
+	return sparseDS, sparseErr
+}
+
+// denseWorld returns the shared dense worst case: crowded cells and a
+// universal target set, so the live signature saturates and pruning almost
+// never fires — the configuration where blocking must cost nearly nothing.
+// (The dense-core 1M preset itself needs ~a GB; this is its CI-sized proxy
+// with the same saturation property.)
+func denseWorld() (*dataset.Dataset, error) {
+	denseOnce.Do(func() {
+		cfg := dataset.DefaultConfig()
+		cfg.NumPersons = 2000
+		cfg.Density = 100
+		cfg.NumWindows = 32
+		cfg.FeatureDim = 16
+		denseDS, denseErr = dataset.Generate(cfg)
+	})
+	return denseDS, denseErr
+}
+
+// matchSSScaleBench times warm SS matches over a cached scale world. Unlike
+// matchBenchN, the matcher is constructed outside the timed loop and warmed
+// with one untimed Match: the blocking index is built lazily on first use and
+// cached on the matcher, and the resident-server shape (build once, match
+// many) is exactly the deployment the index exists for. numTargets ≤ 0 means
+// universal matching. The mean E-stage time is reported as the "split_ms"
+// metric — the stage the blocking index accelerates — next to the usual
+// whole-match time/op.
+func matchSSScaleBench(world func() (*dataset.Dataset, error), numTargets int, disable bool) func(b *testing.B) {
+	return func(b *testing.B) {
+		ds, err := world()
+		if err != nil {
+			b.Fatal(err)
+		}
+		targets := ds.AllEIDs()
+		if numTargets > 0 {
+			targets = ds.SampleEIDs(numTargets, rand.New(rand.NewSource(5)))
+		}
+		m, err := core.New(ds, core.Options{
+			Algorithm:       core.AlgorithmSS,
+			Mode:            core.ModeSerial,
+			WorkFactor:      1,
+			DisableBlocking: disable,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm, err := m.Match(context.Background(), targets)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		var splitNS int64
+		for i := 0; i < b.N; i++ {
+			rep, err := m.Match(context.Background(), targets)
+			if err != nil {
+				b.Fatal(err)
+			}
+			splitNS += rep.ETime.Nanoseconds()
+			if rep.Fingerprint() != warm.Fingerprint() {
+				b.Fatal("fingerprint drifted between warm and timed matches")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(splitNS)/float64(b.N)/1e6, "split_ms")
 	}
 }
 
@@ -206,6 +306,10 @@ func benchmarks() []benchmark {
 		{"MatchSSSerial", matchBench(core.AlgorithmSS, core.ModeSerial)},
 		{"MatchSSParallel", matchBench(core.AlgorithmSS, core.ModeParallel)},
 		{"MatchEDPSerial", matchBench(core.AlgorithmEDP, core.ModeSerial)},
+		{"MatchSSBlockedSparse", matchSSScaleBench(sparseWorld, scaleSparseTargets, false)},
+		{"MatchSSBlockedSparseExhaustive", matchSSScaleBench(sparseWorld, scaleSparseTargets, true)},
+		{"MatchSSBlockedDense", matchSSScaleBench(denseWorld, 0, false)},
+		{"MatchSSBlockedDenseExhaustive", matchSSScaleBench(denseWorld, 0, true)},
 		{"StreamReplay", streamReplayBench()},
 		{"StreamReplayShards1", streamReplayShardsBench(1)},
 		{"StreamReplayShards4", streamReplayShardsBench(4)},

@@ -1,0 +1,92 @@
+package benchsuite
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+	"time"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+)
+
+// scaleMatch builds a matcher over a scale world, warms it with one match —
+// the first match builds the blocking index and pays cold caches — and
+// returns the second, warm report.
+func scaleMatch(t *testing.T, ds *dataset.Dataset, numTargets int, disable bool) *core.Report {
+	t.Helper()
+	targets := ds.AllEIDs()
+	if numTargets > 0 {
+		targets = ds.SampleEIDs(numTargets, rand.New(rand.NewSource(5)))
+	}
+	m, err := core.New(ds, core.Options{
+		Algorithm:       core.AlgorithmSS,
+		Mode:            core.ModeSerial,
+		WorkFactor:      1,
+		DisableBlocking: disable,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Match(context.Background(), targets); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Match(context.Background(), targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+// TestScaleSmoke is the CI scale gate: the sparse-city 100k preset runs end
+// to end — generation, blocking-index build, blocked and exhaustive matches —
+// and the asymptote claim of DESIGN.md §13 is asserted directly: the blocked
+// E stage must beat the exhaustive one by a wide margin on the sparse world
+// (the committed baseline records ≥5×; the test demands ≥2.5× to absorb CI
+// noise) while staying bit-identical, and the saturated dense world bounds
+// the pruning bookkeeping (≤1.35× the exhaustive E stage here, ≤10% in the
+// calmer committed baseline). It runs in -short mode by design — the
+// scale-smoke CI job selects it with -run under a wall-clock budget.
+func TestScaleSmoke(t *testing.T) {
+	t.Run("sparse-100k", func(t *testing.T) {
+		ds, err := sparseWorld()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := len(ds.AllEIDs()); n < 50_000 {
+			t.Fatalf("sparse preset produced only %d EIDs; not a scale world", n)
+		}
+		start := time.Now()
+		blocked := scaleMatch(t, ds, scaleSparseTargets, false)
+		exhaustive := scaleMatch(t, ds, scaleSparseTargets, true)
+		t.Logf("sparse-100k: blocked E=%v exhaustive E=%v (matches took %v)",
+			blocked.ETime, exhaustive.ETime, time.Since(start))
+
+		if got, want := blocked.Fingerprint(), exhaustive.Fingerprint(); got != want {
+			t.Fatalf("blocked fingerprint %s != exhaustive %s", got, want)
+		}
+		if blocked.BlockPruned == 0 {
+			t.Error("sparse world pruned nothing; blocking index inert")
+		}
+		if ratio := float64(exhaustive.ETime) / float64(blocked.ETime); ratio < 2.5 {
+			t.Errorf("sparse split-stage speedup %.1fx, want >= 2.5x (baseline records >= 5x)", ratio)
+		}
+	})
+
+	t.Run("dense-bounded", func(t *testing.T) {
+		ds, err := denseWorld()
+		if err != nil {
+			t.Fatal(err)
+		}
+		blocked := scaleMatch(t, ds, 0, false)
+		exhaustive := scaleMatch(t, ds, 0, true)
+		t.Logf("dense: blocked E=%v exhaustive E=%v", blocked.ETime, exhaustive.ETime)
+
+		if got, want := blocked.Fingerprint(), exhaustive.Fingerprint(); got != want {
+			t.Fatalf("blocked fingerprint %s != exhaustive %s", got, want)
+		}
+		if ratio := float64(blocked.ETime) / float64(exhaustive.ETime); ratio > 1.35 {
+			t.Errorf("dense-world blocking overhead %.2fx exhaustive, want <= 1.35x", ratio)
+		}
+	})
+}

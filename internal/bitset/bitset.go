@@ -111,6 +111,18 @@ func AndNotInto(dst, a, b Set) {
 	}
 }
 
+// Intersects reports whether a ∩ b is non-empty without materializing it —
+// the emptiness probe the blocking index runs per window before touching any
+// scenario.
+func Intersects(a, b Set) bool {
+	for i := range a {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // ForEach calls fn for every set bit in ascending order.
 func (s Set) ForEach(fn func(i int)) {
 	for wi, w := range s {

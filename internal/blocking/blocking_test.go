@@ -1,0 +1,335 @@
+package blocking
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"evmatching/internal/bitset"
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+// eid makes the n-th test EID.
+func eid(n int) ids.EID { return ids.EID(fmt.Sprintf("e%02d", n)) }
+
+// addScenario registers one E-Scenario with the given (cell, window) and
+// EID→attr set. Helpers panic on store errors: test stores are well-formed.
+func addScenario(t *testing.T, st *scenario.Store, cell geo.CellID, w int, eids map[ids.EID]scenario.Attr) scenario.ID {
+	t.Helper()
+	id, err := st.Add(&scenario.EScenario{Cell: cell, Window: w, EIDs: eids}, nil)
+	if err != nil {
+		t.Fatalf("Add: %v", err)
+	}
+	return id
+}
+
+// randStore builds a seeded random store: EIDs wander over cells, a few
+// windows, mixed inclusive/vague attrs, occasional empty and duplicate-shape
+// scenarios.
+func randStore(t *testing.T, rng *rand.Rand, numEIDs, numCells, numWindows, numScen int) *scenario.Store {
+	t.Helper()
+	st := scenario.NewStore(nil)
+	for i := 0; i < numScen; i++ {
+		eids := make(map[ids.EID]scenario.Attr)
+		for n := rng.Intn(4); n > 0; n-- {
+			attr := scenario.AttrInclusive
+			if rng.Intn(3) == 0 {
+				attr = scenario.AttrVague
+			}
+			eids[eid(rng.Intn(numEIDs))] = attr
+		}
+		addScenario(t, st, geo.CellID(rng.Intn(numCells)), rng.Intn(numWindows), eids)
+	}
+	return st
+}
+
+func TestGeometryDefaults(t *testing.T) {
+	ix := Build(scenario.NewStore(nil), Geometry{})
+	g := ix.Geometry()
+	if g.CellStride != 1 || g.WindowStride != 1 {
+		t.Errorf("zero geometry clamps to strides (1,1), got (%d,%d)", g.CellStride, g.WindowStride)
+	}
+	if g.Slots != 64 {
+		t.Errorf("zero geometry slots = %d, want the 64 floor", g.Slots)
+	}
+	if g = Build(nil, Geometry{Slots: 100}).Geometry(); g.Slots != 128 {
+		t.Errorf("slots 100 rounds to %d, want 128", g.Slots)
+	}
+	if g = DefaultGeometry().withDefaults(); g != DefaultGeometry() {
+		t.Errorf("default geometry is not a fixed point of withDefaults: %+v", g)
+	}
+}
+
+// TestSlotDeterministic pins that the slot hash is a pure function of
+// (geometry, cell, window) — the checkpoint rebuild rule depends on two
+// builds over equal stores producing equal indexes — and that hostile
+// negative coordinates hash in range without panicking.
+func TestSlotDeterministic(t *testing.T) {
+	g := DefaultGeometry().withDefaults()
+	for _, c := range []geo.CellID{-1 << 40, -7, -1, 0, 1, 12543, 1 << 40} {
+		for _, w := range []int{-100, -1, 0, 3, 4, 1 << 30} {
+			s := g.slot(c, w)
+			if s != g.slot(c, w) {
+				t.Fatalf("slot(%d,%d) not deterministic", c, w)
+			}
+			if int(s) >= g.Slots {
+				t.Fatalf("slot(%d,%d) = %d out of range [0,%d)", c, w, s, g.Slots)
+			}
+		}
+	}
+	// Windows inside one stride share the block; strides must not leak.
+	if g.slot(5, 0) != g.slot(5, 3) {
+		t.Error("windows 0 and 3 should share the stride-4 block")
+	}
+}
+
+// TestCandidatesSound checks the pruning guarantee against brute force over
+// randomized stores: every scenario containing any live EID (inclusive or
+// vague — signatures cover all appearances) must survive as a candidate, in
+// AtWindow order, and the returned total must match the window size.
+func TestCandidatesSound(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		st := randStore(t, rng, 12, 40, 6, 80)
+		ix := Build(st, Geometry{CellStride: 2, WindowStride: 2, Slots: 64})
+		liveSet := make(map[ids.EID]bool)
+		var live []ids.EID
+		for n := 2 + rng.Intn(3); n > 0; n-- {
+			e := eid(rng.Intn(12))
+			live = append(live, e)
+			liveSet[e] = true
+		}
+		l := ix.NewLive(append(live, live[0])) // duplicate target must be harmless
+		if len(liveSet) < 2 {
+			continue // collapsed to a singleton: empty signature by design
+		}
+		for _, w := range st.Windows() {
+			cands, total := ix.Candidates(w, l.Sig(), nil)
+			if total != len(st.AtWindow(w)) {
+				t.Fatalf("trial %d window %d: total %d, want %d", trial, w, total, len(st.AtWindow(w)))
+			}
+			inCands := make(map[scenario.ID]bool, len(cands))
+			pos := -1
+			order := st.AtWindow(w)
+			for _, id := range cands {
+				inCands[id] = true
+				found := false
+				for j := pos + 1; j < len(order); j++ {
+					if order[j] == id {
+						pos, found = j, true
+						break
+					}
+				}
+				if !found {
+					t.Fatalf("trial %d window %d: candidates not an AtWindow-order subsequence", trial, w)
+				}
+			}
+			for _, id := range order {
+				esc := st.E(id)
+				for e := range liveSet {
+					if esc.Contains(e) && !inCands[id] {
+						t.Fatalf("trial %d window %d: scenario %d contains live EID %s but was pruned", trial, w, id, e)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCandidatesEmptySig pins the fast paths: an unknown window contributes
+// nothing, and an empty signature prunes the whole window via the union
+// check while still reporting the full total for accounting.
+func TestCandidatesEmptySig(t *testing.T) {
+	st := scenario.NewStore(nil)
+	addScenario(t, st, 1, 0, map[ids.EID]scenario.Attr{eid(1): scenario.AttrInclusive})
+	addScenario(t, st, 2, 0, map[ids.EID]scenario.Attr{eid(2): scenario.AttrInclusive})
+	ix := Build(st, DefaultGeometry())
+	if cands, total := ix.Candidates(99, bitset.New(64), nil); len(cands) != 0 || total != 0 {
+		t.Errorf("unknown window: got %d candidates, total %d", len(cands), total)
+	}
+	if cands, total := ix.Candidates(0, bitset.New(ix.Geometry().Slots), nil); len(cands) != 0 || total != 2 {
+		t.Errorf("empty sig: got %d candidates, total %d; want 0 and 2", len(cands), total)
+	}
+}
+
+// TestInclusiveAt checks the padding postings against a direct store scan.
+func TestInclusiveAt(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	st := randStore(t, rng, 8, 20, 5, 60)
+	ix := Build(st, DefaultGeometry())
+	for n := 0; n < 10; n++ {
+		e := eid(n)
+		for w := -1; w < 7; w++ {
+			var want []scenario.ID
+			for _, id := range st.AtWindow(w) {
+				if st.E(id).Inclusive(e) {
+					want = append(want, id)
+				}
+			}
+			got := ix.InclusiveAt(e, w)
+			if len(got) != len(want) {
+				t.Fatalf("InclusiveAt(%s,%d) = %v, want %v", e, w, got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("InclusiveAt(%s,%d) = %v, want %v", e, w, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestLiveRefcounting drives the live set through resolutions: shared slots
+// must survive until the last holder resolves, and the signature must end
+// empty. Double-resolves and unknown EIDs are no-ops.
+func TestLiveRefcounting(t *testing.T) {
+	st := scenario.NewStore(nil)
+	// EIDs 1 and 2 share cell 5 window 0; EID 2 alone in cell 9 window 4.
+	addScenario(t, st, 5, 0, map[ids.EID]scenario.Attr{eid(1): scenario.AttrInclusive, eid(2): scenario.AttrInclusive})
+	addScenario(t, st, 9, 4, map[ids.EID]scenario.Attr{eid(2): scenario.AttrVague})
+	ix := Build(st, DefaultGeometry())
+	g := ix.Geometry()
+	shared, lone := g.slot(5, 0), g.slot(9, 4)
+
+	l := ix.NewLive([]ids.EID{eid(1), eid(2), eid(99)}) // eid(99) never observed: no blocks
+	if l.NumLive() != 3 {
+		t.Fatalf("NumLive = %d, want 3", l.NumLive())
+	}
+	if !l.Sig().Has(int(shared)) || !l.Sig().Has(int(lone)) {
+		t.Fatal("initial signature missing observed blocks")
+	}
+	l.Resolve(eid(2))
+	if !l.Sig().Has(int(shared)) {
+		t.Error("shared slot dropped while EID 1 still live")
+	}
+	if shared != lone && l.Sig().Has(int(lone)) {
+		t.Error("EID 2's lone slot survived its resolution")
+	}
+	l.Resolve(eid(2)) // repeat: no-op
+	l.Resolve(eid(7)) // unknown: no-op
+	l.Resolve(eid(1))
+	l.Resolve(eid(99))
+	if l.NumLive() != 0 || l.Sig().Count() != 0 {
+		t.Errorf("after all resolutions: %d live, %d sig bits", l.NumLive(), l.Sig().Count())
+	}
+
+	if single := ix.NewLive([]ids.EID{eid(1)}); single.NumLive() != 0 || single.Sig().Count() != 0 {
+		t.Error("singleton target list must start resolved with an empty signature")
+	}
+}
+
+// TestLiveTargetsPrunes covers the streaming-side exact probe.
+func TestLiveTargetsPrunes(t *testing.T) {
+	lt := NewLiveTargets([]ids.EID{eid(3), eid(4)})
+	esc := func(m map[ids.EID]scenario.Attr) *scenario.EScenario {
+		return &scenario.EScenario{EIDs: m}
+	}
+	if lt.Prunes(esc(map[ids.EID]scenario.Attr{eid(3): scenario.AttrInclusive, eid(9): scenario.AttrInclusive})) {
+		t.Error("scenario with a live inclusive target must not prune")
+	}
+	if !lt.Prunes(esc(map[ids.EID]scenario.Attr{eid(3): scenario.AttrVague})) {
+		t.Error("vague-only appearance of a live target must prune")
+	}
+	if !lt.Prunes(esc(map[ids.EID]scenario.Attr{eid(8): scenario.AttrInclusive})) {
+		t.Error("scenario without live targets must prune")
+	}
+	if !lt.Prunes(esc(nil)) {
+		t.Error("empty scenario must prune")
+	}
+	lt.Resolve(eid(3))
+	if !lt.Prunes(esc(map[ids.EID]scenario.Attr{eid(3): scenario.AttrInclusive})) {
+		t.Error("resolved target must no longer block pruning")
+	}
+	if lt.NumLive() != 1 {
+		t.Errorf("NumLive = %d, want 1", lt.NumLive())
+	}
+	var nilLT *LiveTargets
+	if !nilLT.Prunes(esc(map[ids.EID]scenario.Attr{eid(4): scenario.AttrInclusive})) {
+		t.Error("nil LiveTargets must prune everything")
+	}
+	if single := NewLiveTargets([]ids.EID{eid(5)}); !single.Prunes(esc(map[ids.EID]scenario.Attr{eid(5): scenario.AttrInclusive})) {
+		t.Error("singleton target list is born resolved and must prune everything")
+	}
+}
+
+// TestBuildDeterministic pins index equality across rebuilds of the same
+// store — the property the checkpoint-restore rebuild rule rests on.
+func TestBuildDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	st := randStore(t, rng, 10, 30, 5, 70)
+	a, b := Build(st, DefaultGeometry()), Build(st, DefaultGeometry())
+	if a.NumEIDs() != b.NumEIDs() {
+		t.Fatalf("NumEIDs %d vs %d", a.NumEIDs(), b.NumEIDs())
+	}
+	targets := []ids.EID{eid(0), eid(1), eid(2)}
+	for _, w := range st.Windows() {
+		ca, ta := a.Candidates(w, a.NewLive(targets).Sig(), nil)
+		cb, tb := b.Candidates(w, b.NewLive(targets).Sig(), nil)
+		if ta != tb || len(ca) != len(cb) {
+			t.Fatalf("window %d: rebuild diverged (%d/%d vs %d/%d)", w, len(ca), ta, len(cb), tb)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("window %d: candidate %d differs", w, i)
+			}
+		}
+	}
+}
+
+// FuzzIndexHostile feeds adversarial scenario shapes — empty EID sets,
+// duplicate cells, negative and huge coordinates, unknown probe EIDs —
+// through Build, Candidates, InclusiveAt, and the live trackers, asserting
+// no panics and the candidate-superset invariant.
+func FuzzIndexHostile(f *testing.F) {
+	f.Add(int64(1), int64(-5), 3, uint8(2), uint8(0))
+	f.Add(int64(-1<<40), int64(0), 0, uint8(0), uint8(3))
+	f.Add(int64(7), int64(1<<30), -2, uint8(5), uint8(1))
+	f.Fuzz(func(t *testing.T, cell1, cell2 int64, window int, eidByte, probeByte uint8) {
+		st := scenario.NewStore(nil)
+		e1, probe := eid(int(eidByte)), eid(int(probeByte))
+		mustAdd := func(c geo.CellID, w int, m map[ids.EID]scenario.Attr) {
+			if _, err := st.Add(&scenario.EScenario{Cell: c, Window: w, EIDs: m}, nil); err != nil {
+				t.Fatalf("Add: %v", err)
+			}
+		}
+		mustAdd(geo.CellID(cell1), window, map[ids.EID]scenario.Attr{e1: scenario.AttrInclusive})
+		mustAdd(geo.CellID(cell2), window, nil) // empty EID set
+		mustAdd(geo.CellID(cell1), window+1, map[ids.EID]scenario.Attr{
+			e1: scenario.AttrVague, probe: scenario.AttrInclusive,
+		})
+		mustAdd(geo.CellID(cell1), window, map[ids.EID]scenario.Attr{e1: scenario.AttrInclusive}) // duplicate shape
+
+		ix := Build(st, Geometry{CellStride: 3, WindowStride: 2, Slots: 64})
+		l := ix.NewLive([]ids.EID{e1, probe, e1})
+		for _, w := range []int{window, window + 1, window + 999} {
+			cands, total := ix.Candidates(w, l.Sig(), nil)
+			if len(cands) > total {
+				t.Fatalf("window %d: %d candidates exceed total %d", w, len(cands), total)
+			}
+			seen := make(map[scenario.ID]bool, len(cands))
+			for _, id := range cands {
+				seen[id] = true
+			}
+			for _, id := range st.AtWindow(w) {
+				if esc := st.E(id); (esc.Contains(e1) || esc.Contains(probe)) && !seen[id] {
+					t.Fatalf("window %d: scenario %d with a live EID was pruned", w, id)
+				}
+			}
+			ix.InclusiveAt(probe, w)
+			ix.InclusiveAt(eid(255), w)
+		}
+		l.Resolve(e1)
+		l.Resolve(probe)
+		l.Resolve(eid(254))
+		if l.Sig().Count() != 0 {
+			t.Fatal("signature not empty after resolving all targets")
+		}
+		lt := NewLiveTargets([]ids.EID{e1, probe})
+		for id := scenario.ID(0); int(id) < st.Len(); id++ {
+			lt.Prunes(st.E(id))
+		}
+		lt.Prunes(nil)
+	})
+}

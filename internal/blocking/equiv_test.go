@@ -1,0 +1,114 @@
+// The equivalence property suite: the blocked split path must be
+// bit-identical to the exhaustive one. It lives in blocking_test (external
+// test package) because it drives internal/core, which itself imports
+// internal/blocking.
+package blocking_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"evmatching/internal/core"
+	"evmatching/internal/dataset"
+	"evmatching/internal/ids"
+)
+
+// equivWorlds is how many randomized worlds the property sweeps. The issue
+// floor is 50; -short trims the tail for the race tier's time budget.
+const equivWorlds = 50
+
+// TestBlockedSplitEquivalence is the soundness oracle for DESIGN.md §13:
+// across ≥50 seeded random worlds — sweeping density, window count, target
+// sizes, serial and parallel modes, shuffled and in-order scans — the
+// blocked matcher must record the identical effective-scenario sequence and
+// produce the identical report fingerprint as the exhaustive matcher. Any
+// false prune (a skipped scenario that would have split) diverges the
+// SplitScenarios sequence and fails here.
+func TestBlockedSplitEquivalence(t *testing.T) {
+	n := equivWorlds
+	if testing.Short() {
+		n = 12
+	}
+	rng := rand.New(rand.NewSource(99))
+	prunedTotal := int64(0)
+	for trial := 0; trial < n; trial++ {
+		cfg := dataset.DefaultConfig()
+		cfg.Seed = int64(1000 + trial)
+		cfg.NumPersons = 30 + rng.Intn(60)
+		cfg.Density = 4 + rng.Float64()*16
+		cfg.NumWindows = 4 + rng.Intn(8)
+		cfg.FeatureDim = 8
+		cfg.VIDMissingRate = 0.3 * rng.Float64()
+		ds, err := dataset.Generate(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: Generate: %v", trial, err)
+		}
+		all := ds.AllEIDs()
+		if len(all) < 2 {
+			continue
+		}
+		targets := make([]ids.EID, 0, 2+rng.Intn(6))
+		for len(targets) < cap(targets) {
+			targets = append(targets, all[rng.Intn(len(all))])
+		}
+		opts := core.Options{
+			Mode:       core.ModeSerial,
+			ScanOrder:  core.ScanShuffled,
+			Seed:       int64(1 + trial),
+			WorkFactor: 1,
+		}
+		if trial%2 == 1 {
+			opts.Mode = core.ModeParallel
+		}
+		if trial%3 == 1 {
+			opts.ScanOrder = core.ScanInOrder
+		}
+
+		blocked, err := matchWith(ds, opts, targets, false)
+		if err != nil {
+			t.Fatalf("trial %d: blocked match: %v", trial, err)
+		}
+		exhaustive, err := matchWith(ds, opts, targets, true)
+		if err != nil {
+			t.Fatalf("trial %d: exhaustive match: %v", trial, err)
+		}
+
+		if got, want := blocked.Fingerprint(), exhaustive.Fingerprint(); got != want {
+			t.Errorf("trial %d (mode %v, scan %v, %d targets): fingerprint %s != exhaustive %s",
+				trial, opts.Mode, opts.ScanOrder, len(targets), got, want)
+		}
+		if len(blocked.SplitScenarios) != len(exhaustive.SplitScenarios) {
+			t.Fatalf("trial %d: %d effective scenarios blocked vs %d exhaustive",
+				trial, len(blocked.SplitScenarios), len(exhaustive.SplitScenarios))
+		}
+		for i := range blocked.SplitScenarios {
+			if blocked.SplitScenarios[i] != exhaustive.SplitScenarios[i] {
+				t.Fatalf("trial %d: effective scenario %d is %d blocked vs %d exhaustive",
+					trial, i, blocked.SplitScenarios[i], exhaustive.SplitScenarios[i])
+			}
+		}
+		if exhaustive.BlockCandidates != 0 || exhaustive.BlockPruned != 0 {
+			t.Errorf("trial %d: exhaustive run reported blocking counters %d/%d",
+				trial, exhaustive.BlockCandidates, exhaustive.BlockPruned)
+		}
+		if blocked.BlockCandidates+blocked.BlockPruned > 0 && blocked.BlockPruneRatio() < 0 {
+			t.Errorf("trial %d: negative prune ratio", trial)
+		}
+		prunedTotal += blocked.BlockPruned
+	}
+	// The sweep as a whole must actually exercise pruning, or the property
+	// proves nothing.
+	if prunedTotal == 0 {
+		t.Error("no scenario was ever pruned across the sweep; blocking path not exercised")
+	}
+}
+
+func matchWith(ds *dataset.Dataset, opts core.Options, targets []ids.EID, disable bool) (*core.Report, error) {
+	opts.DisableBlocking = disable
+	m, err := core.New(ds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return m.Match(context.Background(), targets)
+}

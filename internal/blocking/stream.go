@@ -1,0 +1,66 @@
+package blocking
+
+import (
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+)
+
+// LiveTargets is the streaming splitter's pruning state: the finest possible
+// blocking signature — the exact set of still-undistinguished target EIDs.
+// A store-wide coarse index cannot exist online (scenarios arrive as windows
+// seal), but the soundness argument needs no index at all: a sealed scenario
+// can only split a partition leaf if a live target appears in it inclusively,
+// so the membership probe below decides no-op scenarios exactly. Restore
+// rebuilds this state deterministically by replaying the checkpointed
+// scenarios through the same probe — the rebuild rule of DESIGN.md §13, with
+// no new checkpoint fields.
+type LiveTargets struct {
+	live map[ids.EID]bool
+}
+
+// NewLiveTargets builds the tracker for a fresh partition over targets. As
+// with Index.NewLive, a lone target is born resolved and everything prunes.
+func NewLiveTargets(targets []ids.EID) *LiveTargets {
+	lt := &LiveTargets{live: make(map[ids.EID]bool, len(targets))}
+	if len(targets) < 2 {
+		return lt
+	}
+	for _, e := range targets {
+		lt.live[e] = true
+	}
+	return lt
+}
+
+// Resolve removes e from the live set. Wire to partition.OnResolve.
+func (lt *LiveTargets) Resolve(e ids.EID) { delete(lt.live, e) }
+
+// NumLive returns how many targets are still undistinguished.
+func (lt *LiveTargets) NumLive() int { return len(lt.live) }
+
+// Prunes reports whether s provably cannot change the partition: no live
+// target appears in it inclusively. SplitBy's effectiveness test requires an
+// inclusive member of a leaf with ≥2 inclusive EIDs, every such member is
+// live, and leaf membership is a subset of the targets — so a true result is
+// an exact no-op, skippable without recording. The probe iterates whichever
+// side is smaller; nil trackers and nil scenarios trivially prune.
+func (lt *LiveTargets) Prunes(s *scenario.EScenario) bool {
+	if lt == nil || s == nil || len(lt.live) == 0 {
+		return true
+	}
+	if len(lt.live) <= len(s.EIDs) {
+		//evlint:ignore maprange pure existence probe; any order finds the same answer
+		for e := range lt.live {
+			if s.Inclusive(e) {
+				return false
+			}
+		}
+		return true
+	}
+	//evlint:ignore maprange pure existence probe; any order finds the same answer
+	for e, a := range s.EIDs {
+		if a == scenario.AttrInclusive && lt.live[e] {
+			return false
+		}
+	}
+	return true
+}

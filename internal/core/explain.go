@@ -18,7 +18,7 @@ func (m *Matcher) Explain(ctx context.Context, e ids.EID, w io.Writer) error {
 	if e == ids.None {
 		return ErrNoTargets
 	}
-	p, lists, err := m.splitStage(ctx, []ids.EID{e}, 0)
+	p, lists, err := m.splitStage(ctx, []ids.EID{e}, 0, nil)
 	if err != nil {
 		return err
 	}

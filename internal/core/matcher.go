@@ -5,7 +5,9 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
+	"sync"
 
+	"evmatching/internal/blocking"
 	"evmatching/internal/dataset"
 	"evmatching/internal/feature"
 	"evmatching/internal/ids"
@@ -24,6 +26,27 @@ var ErrNoTargets = errors.New("core: no target EIDs")
 type Matcher struct {
 	ds   *dataset.Dataset
 	opts Options
+
+	// blockIdx is the lazily built blocking index over ds.Store (DESIGN.md
+	// §13), shared across Match calls. It is keyed to the store length at
+	// build time: stores are append-only, so a length match means the index
+	// is current and a mismatch triggers a deterministic rebuild — the same
+	// rule the streaming checkpoint restore follows.
+	blockMu  sync.Mutex
+	blockIdx *blocking.Index
+	blockLen int
+}
+
+// blockIndex returns the current blocking index, building or rebuilding it
+// when the store has grown since the last build.
+func (m *Matcher) blockIndex() *blocking.Index {
+	m.blockMu.Lock()
+	defer m.blockMu.Unlock()
+	if m.blockIdx == nil || m.blockLen != m.ds.Store.Len() {
+		m.blockIdx = blocking.Build(m.ds.Store, blocking.DefaultGeometry())
+		m.blockLen = m.ds.Store.Len()
+	}
+	return m.blockIdx
 }
 
 // New creates a Matcher over the dataset.

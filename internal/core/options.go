@@ -130,6 +130,13 @@ type Options struct {
 	// per-EID padding) when the candidate intersection refuses to become a
 	// singleton. Defaults to 14.
 	EDPMaxScenarios int
+	// DisableBlocking turns off the spatiotemporal blocking index in front
+	// of the E stage (DESIGN.md §13) and restores the exhaustive
+	// scenario-by-scenario scan. Blocking is on by default: its pruned path
+	// is bit-identical to the exhaustive one (the equivalence property tests
+	// pin this), so the switch exists for benchmarking the asymptote and as
+	// an escape hatch, not for correctness.
+	DisableBlocking bool
 	// MinPerEIDList pads each EID's selected scenario list up to this
 	// length with further scenarios containing the EID. The split-tree path
 	// alone distinguishes the EID among the matching targets, but the VID

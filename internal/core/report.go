@@ -33,6 +33,13 @@ type Report struct {
 	VStats vfilter.Stats
 	// RefineRounds is how many extra refine iterations ran (0 = none).
 	RefineRounds int
+	// BlockCandidates and BlockPruned count the store scenarios the blocking
+	// index admitted to (respectively excluded from) split probing, summed
+	// across refine rounds. Like ETime/VTime they measure effort, not
+	// results — the pruned path is bit-identical to the exhaustive one — so
+	// Fingerprint excludes them. Both stay zero under DisableBlocking.
+	BlockCandidates int64
+	BlockPruned     int64
 	// SplitScenarios lists the effective scenarios recorded by the round-0
 	// set split, in application order. It is derived bookkeeping rather than
 	// a match result, so Fingerprint excludes it; stream.Engine.Finalize
@@ -80,9 +87,10 @@ func (r *Report) AvgScenariosPerEID() float64 {
 // Fingerprint renders every result-affecting field of the report in a
 // canonical textual form: targets in sorted order, each with its match
 // outcome, scenario-list length, and per-scenario votes, followed by the
-// aggregate counters. Timing and work-cost fields (ETime, VTime, VStats) are
-// excluded: they measure effort, not results, and legitimately vary when the
-// cluster re-executes tasks after faults. Two runs over the same dataset and
+// aggregate counters. Timing and work-cost fields (ETime, VTime, VStats,
+// BlockCandidates, BlockPruned) are excluded: they measure effort, not
+// results, and legitimately vary when the cluster re-executes tasks after
+// faults or when blocking is toggled. Two runs over the same dataset and
 // options must produce byte-identical fingerprints — the determinism
 // guarantee evlint's maprange rule protects and the chaos sim asserts under
 // fault injection (see DESIGN.md).
@@ -103,6 +111,17 @@ func (r *Report) Fingerprint() string {
 	}
 	fmt.Fprintf(&sb, "selected=%d refines=%d\n", r.SelectedScenarios, r.RefineRounds)
 	return sb.String()
+}
+
+// BlockPruneRatio returns the fraction of index-covered scenarios the
+// blocking signatures pruned before probing, in [0,1]. Zero when blocking
+// was disabled or the store was empty.
+func (r *Report) BlockPruneRatio() float64 {
+	total := r.BlockCandidates + r.BlockPruned
+	if total == 0 {
+		return 0
+	}
+	return float64(r.BlockPruned) / float64(total)
 }
 
 // Matched returns how many targets received a non-empty VID.

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"evmatching/internal/blocking"
 	"evmatching/internal/ids"
 	"evmatching/internal/mrjobs"
 	"evmatching/internal/partition"
@@ -29,7 +30,7 @@ func (m *Matcher) matchSS(ctx context.Context, targets []ids.EID, filter *vfilte
 
 	for round := 0; ; round++ {
 		eStart := time.Now()
-		p, lists, err := m.splitStage(ctx, pending, round)
+		p, lists, err := m.splitStage(ctx, pending, round, rep)
 		rep.ETime += time.Since(eStart)
 		if err != nil {
 			return nil, err
@@ -81,8 +82,19 @@ func (m *Matcher) matchSS(ctx context.Context, targets []ids.EID, filter *vfilte
 
 // splitStage runs EID set splitting over the store and derives each target's
 // selected scenario list. Rounds use distinct scenario orders so refining
-// sees fresh evidence.
-func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) (*partition.Partition, map[ids.EID][]scenario.ID, error) {
+// sees fresh evidence. rep, when non-nil, accumulates the blocking-pruning
+// counters; the split result itself never depends on them.
+//
+// With blocking enabled (the default), each window's scenarios are first
+// filtered through the blocking index against the live-target signature:
+// scenarios whose coarse block no live target shares are provable no-ops
+// (they cannot intersect any leaf holding ≥2 inclusive EIDs) and are skipped
+// without being probed. The admitted candidates are a window-order
+// subsequence of the exhaustive scan containing every effective scenario, so
+// the partition evolves through the identical state sequence, records the
+// identical scenarios, and hits Done at the identical point — bit-identity
+// with the exhaustive path, which the equivalence property tests pin.
+func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int, rep *Report) (*partition.Partition, map[ids.EID][]scenario.ID, error) {
 	tset := targetSet(targets)
 	p, err := partition.New(targets)
 	if err != nil {
@@ -96,6 +108,17 @@ func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) 
 		windows = m.ds.Store.ShuffledWindows(rng)
 	}
 
+	var (
+		idx     *blocking.Index
+		live    *blocking.Live
+		candBuf []scenario.ID
+	)
+	if !m.opts.DisableBlocking {
+		idx = m.blockIndex()
+		live = idx.NewLive(targets)
+		p.OnResolve(live.Resolve)
+	}
+
 	for _, w := range windows {
 		if p.Done() {
 			break
@@ -104,9 +127,26 @@ func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) 
 			return nil, nil, fmt.Errorf("core: split stage: %w", err)
 		}
 		var winScenarios []*scenario.EScenario
-		for _, id := range m.ds.Store.AtWindow(w) {
-			if fs := filterScenario(m.ds.Store.E(id), tset); fs != nil {
-				winScenarios = append(winScenarios, fs)
+		if live != nil {
+			// The live signature is read at window start; splits within the
+			// window shrink it for the next window. Mid-window staleness only
+			// admits extra no-op candidates — never drops an effective one.
+			cands, total := idx.Candidates(w, live.Sig(), candBuf[:0])
+			candBuf = cands
+			if rep != nil {
+				rep.BlockCandidates += int64(len(cands))
+				rep.BlockPruned += int64(total - len(cands))
+			}
+			for _, id := range cands {
+				if fs := filterScenario(m.ds.Store.E(id), tset); fs != nil {
+					winScenarios = append(winScenarios, fs)
+				}
+			}
+		} else {
+			for _, id := range m.ds.Store.AtWindow(w) {
+				if fs := filterScenario(m.ds.Store.E(id), tset); fs != nil {
+					winScenarios = append(winScenarios, fs)
+				}
 			}
 		}
 		if len(winScenarios) == 0 {
@@ -160,9 +200,16 @@ func (m *Matcher) splitStage(ctx context.Context, targets []ids.EID, round int) 
 	return p, lists, nil
 }
 
-// padToUnique pads e's list with the matcher's configured lengths.
+// padToUnique pads e's list with the matcher's configured lengths. With
+// blocking enabled the walk jumps per window to e's inclusive postings in
+// the index instead of scanning every scenario of the window — the same
+// scenarios in the same order, found without the scan.
 func (m *Matcher) padToUnique(e ids.EID, list []scenario.ID, windows []int) []scenario.ID {
-	return PadToUnique(m.ds.Store, e, list, windows, m.opts.MinPerEIDList, m.opts.EDPMaxScenarios)
+	var ix *blocking.Index
+	if !m.opts.DisableBlocking {
+		ix = m.blockIndex()
+	}
+	return padToUnique(m.ds.Store, ix, e, list, windows, m.opts.MinPerEIDList, m.opts.EDPMaxScenarios)
 }
 
 // PadToUnique extends an EID's scenario list until the intersection of the
@@ -172,6 +219,14 @@ func (m *Matcher) padToUnique(e ids.EID, list []scenario.ID, windows []int) []sc
 // becomes unique. It is shared between the batch split stage and the
 // incremental streaming V stage, which pads over the windows closed so far.
 func PadToUnique(store *scenario.Store, e ids.EID, list []scenario.ID, windows []int, minLen, maxLen int) []scenario.ID {
+	return padToUnique(store, nil, e, list, windows, minLen, maxLen)
+}
+
+// padToUnique is PadToUnique with an optional blocking index accelerating
+// the per-window "first unlisted scenario containing e inclusively" probe.
+// Index postings preserve AtWindow order, so both paths pick identical
+// scenarios.
+func padToUnique(store *scenario.Store, ix *blocking.Index, e ids.EID, list []scenario.ID, windows []int, minLen, maxLen int) []scenario.ID {
 	out := append([]scenario.ID(nil), list...)
 	in := make(map[scenario.ID]bool, len(out))
 	for _, id := range out {
@@ -211,6 +266,18 @@ func PadToUnique(store *scenario.Store, e ids.EID, list []scenario.ID, windows [
 	for _, w := range windows {
 		if len(out) >= maxLen || (len(out) >= minLen && len(cands) <= 1) {
 			break
+		}
+		if ix != nil {
+			for _, id := range ix.InclusiveAt(e, w) {
+				if in[id] {
+					continue
+				}
+				out = append(out, id)
+				in[id] = true
+				narrow(store.E(id))
+				break // one scenario per window contains e inclusively
+			}
+			continue
 		}
 		for _, id := range store.AtWindow(w) {
 			s := store.E(id)

@@ -11,6 +11,7 @@ import (
 // mapRangePackages are the result-affecting packages where map iteration
 // order can leak into match output, report bytes, or paper figures.
 var mapRangePackages = []string{
+	"internal/blocking",
 	"internal/core",
 	"internal/vfilter",
 	"internal/scenario",

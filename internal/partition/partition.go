@@ -92,7 +92,18 @@ type Partition struct {
 	// cloned into child nodes only when a split is actually effective.
 	sInc, sVag, sAny bitset.Set
 	tInc, tOut, tVag bitset.Set
+	// onResolve, when set, is called with each EID the moment its inclusive
+	// home leaf shrinks to a singleton — the hook the blocking layer uses to
+	// retire resolved targets from its live signature. Leaves only ever
+	// shrink, so a resolved EID is resolved forever and the callback fires
+	// exactly once per EID.
+	onResolve func(ids.EID)
 }
+
+// OnResolve registers fn to be called as each target EID becomes resolved
+// (its home leaf's inclusive count reaches 1). Pass nil to unregister. EIDs
+// already resolved at registration time are not replayed.
+func (p *Partition) OnResolve(fn func(ids.EID)) { p.onResolve = fn }
 
 // New creates the initial one-set partition over the target EIDs, all
 // inclusive (paper: "Initially, all EIDs are in one set").
@@ -211,6 +222,16 @@ func (p *Partition) SplitBy(s *scenario.EScenario) bool {
 		nextLeaves = append(nextLeaves, left, right)
 		left.inc.ForEach(func(i int) { p.home[p.idx.eids[i]] = left })
 		right.inc.ForEach(func(i int) { p.home[p.idx.eids[i]] = right })
+		if p.onResolve != nil {
+			// The parent held ≥2 inclusive EIDs, so a singleton child is
+			// newly resolved.
+			if left.inc.Count() == 1 {
+				left.inc.ForEach(func(i int) { p.onResolve(p.idx.eids[i]) })
+			}
+			if right.inc.Count() == 1 {
+				right.inc.ForEach(func(i int) { p.onResolve(p.idx.eids[i]) })
+			}
+		}
 		changed = true
 	}
 	if changed {

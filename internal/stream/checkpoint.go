@@ -246,7 +246,11 @@ func (e *Engine) restoreScenarios(cp *checkpointFile) error {
 		if int(id) != i {
 			return fmt.Errorf("%w: scenario %d re-added as %d", ErrBadCheckpoint, i, id)
 		}
-		e.part.SplitBy(esc)
+		// The same pruning path the live engine used: scenarios were closed
+		// (and thus applied) in store-ID order, so the replay walks the
+		// identical live-set evolution and rebuilds the partition, the
+		// blocking state, and the prune counters deterministically.
+		e.splitSealedLocked(esc)
 	}
 	return nil
 }

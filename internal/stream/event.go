@@ -261,24 +261,48 @@ func ReadLog(r io.Reader) (Header, []Observation, error) {
 // flattening is deterministic in (ds, windowMS, seed). Replaying the result
 // through an Engine with matching window length rebuilds the dataset's store
 // exactly (DESIGN.md §10).
+//
+// The whole log is materialized in memory; at scale-preset sizes prefer
+// WriteEventsLog, which emits the byte-identical log window by window.
 func EventsFromDataset(ds *dataset.Dataset, windowMS int64, seed int64) (Header, []Observation, error) {
+	var obs []Observation
+	hdr, err := eachWindowEvents(ds, windowMS, seed, func(batch []Observation) error {
+		obs = append(obs, batch...)
+		return nil
+	})
+	if err != nil {
+		return Header{}, nil, err
+	}
+	return hdr, obs, nil
+}
+
+// eachWindowEvents drives the flattening shared by EventsFromDataset and
+// WriteEventsLog: per ascending window, the observations are drawn in store
+// order (one seeded rng consumed across all windows) and stable-sorted by
+// timestamp, then handed to emit. Window timestamp ranges
+// [w·windowMS, (w+1)·windowMS) are disjoint and windows ascend, so the
+// concatenation of the per-window sorts IS the globally stable-sorted log —
+// which is why the streaming writer needs memory for only one window.
+// The batch slice is reused across calls; emit must not retain it.
+func eachWindowEvents(ds *dataset.Dataset, windowMS int64, seed int64, emit func([]Observation) error) (Header, error) {
 	if ds == nil {
-		return Header{}, nil, errors.New("stream: nil dataset")
+		return Header{}, errors.New("stream: nil dataset")
 	}
 	if windowMS <= 0 {
-		return Header{}, nil, fmt.Errorf("%w: windowMs %d", ErrBadLog, windowMS)
+		return Header{}, fmt.Errorf("%w: windowMs %d", ErrBadLog, windowMS)
 	}
 	rng := rand.New(rand.NewSource(seed))
-	var obs []Observation
+	var batch []Observation
 	for _, w := range ds.Store.Windows() {
 		if w < 0 {
-			return Header{}, nil, fmt.Errorf("%w: negative window %d", ErrBadLog, w)
+			return Header{}, fmt.Errorf("%w: negative window %d", ErrBadLog, w)
 		}
 		base := int64(w) * windowMS
+		batch = batch[:0]
 		for _, id := range ds.Store.AtWindow(w) {
 			esc := ds.Store.E(id)
 			for _, e := range esc.SortedEIDs() {
-				obs = append(obs, Observation{
+				batch = append(batch, Observation{
 					TS:   base + rng.Int63n(windowMS),
 					Kind: KindE,
 					Cell: esc.Cell,
@@ -292,7 +316,7 @@ func EventsFromDataset(ds *dataset.Dataset, windowMS int64, seed int64) (Header,
 			}
 			for _, det := range vsc.Detections {
 				p := det.Patch
-				obs = append(obs, Observation{
+				batch = append(batch, Observation{
 					TS:     base + rng.Int63n(windowMS),
 					Kind:   KindV,
 					Cell:   vsc.Cell,
@@ -302,7 +326,46 @@ func EventsFromDataset(ds *dataset.Dataset, windowMS int64, seed int64) (Header,
 				})
 			}
 		}
+		sort.SliceStable(batch, func(i, j int) bool { return batch[i].TS < batch[j].TS })
+		if err := emit(batch); err != nil {
+			return Header{}, err
+		}
 	}
-	sort.SliceStable(obs, func(i, j int) bool { return obs[i].TS < obs[j].TS })
-	return Header{Version: LogVersion, WindowMS: windowMS, Dim: ds.Config.DescriptorDim()}, obs, nil
+	return Header{Version: LogVersion, WindowMS: windowMS, Dim: ds.Config.DescriptorDim()}, nil
+}
+
+// WriteEventsLog streams the dataset's observation log to w without ever
+// materializing more than one window of observations — the scale-preset path
+// for `evgen -events`, byte-identical to WriteLog over EventsFromDataset
+// (the equivalence test pins this). It returns the number of observations
+// written.
+func WriteEventsLog(w io.Writer, ds *dataset.Dataset, windowMS int64, seed int64) (int, error) {
+	hdr := Header{Version: LogVersion, WindowMS: windowMS, Dim: 0}
+	if ds != nil {
+		hdr.Dim = ds.Config.DescriptorDim()
+	}
+	if err := hdr.Validate(); err != nil {
+		return 0, err
+	}
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(headerLine{Kind: "header", Header: hdr}); err != nil {
+		return 0, fmt.Errorf("stream: write header: %w", err)
+	}
+	total := 0
+	if _, err := eachWindowEvents(ds, windowMS, seed, func(batch []Observation) error {
+		for i := range batch {
+			if err := batch[i].Validate(); err != nil {
+				return fmt.Errorf("stream: observation %d: %w", total+i, err)
+			}
+			if err := enc.Encode(batch[i]); err != nil {
+				return fmt.Errorf("stream: write observation %d: %w", total+i, err)
+			}
+		}
+		total += len(batch)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	return total, bw.Flush()
 }

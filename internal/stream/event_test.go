@@ -142,3 +142,46 @@ func TestLogReaderErrors(t *testing.T) {
 		t.Errorf("end of log: %v, want io.EOF", err)
 	}
 }
+
+// TestWriteEventsLogByteIdentical pins the constant-memory writer against
+// the materialized path: WriteEventsLog must produce byte-for-byte the log
+// WriteLog(EventsFromDataset(...)) does. The equivalence rests on per-window
+// timestamp ranges being disjoint — a per-window stable sort concatenated in
+// window order IS the global stable sort — so any drift here means the
+// streaming writer changed the replay semantics, not just the encoding.
+func TestWriteEventsLogByteIdentical(t *testing.T) {
+	ds := testDataset(t, true)
+	for _, seed := range []int64{0, 7, 42} {
+		hdr, obs, err := EventsFromDataset(ds, testWindowMS, seed)
+		if err != nil {
+			t.Fatalf("EventsFromDataset: %v", err)
+		}
+		var want bytes.Buffer
+		if err := WriteLog(&want, hdr, obs); err != nil {
+			t.Fatalf("WriteLog: %v", err)
+		}
+		var got bytes.Buffer
+		n, err := WriteEventsLog(&got, ds, testWindowMS, seed)
+		if err != nil {
+			t.Fatalf("WriteEventsLog: %v", err)
+		}
+		if n != len(obs) {
+			t.Errorf("seed %d: WriteEventsLog reported %d observations, want %d", seed, n, len(obs))
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("seed %d: streaming log differs from materialized log (%d vs %d bytes)",
+				seed, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestWriteEventsLogRejectsBadInput covers the writer's validation edges.
+func TestWriteEventsLogRejectsBadInput(t *testing.T) {
+	if _, err := WriteEventsLog(io.Discard, nil, 1000, 1); err == nil {
+		t.Error("want error for nil dataset")
+	}
+	ds := testDataset(t, false)
+	if _, err := WriteEventsLog(io.Discard, ds, 0, 1); !errors.Is(err, ErrBadLog) {
+		t.Errorf("window 0: err = %v, want ErrBadLog", err)
+	}
+}

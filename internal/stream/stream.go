@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 
+	"evmatching/internal/blocking"
 	"evmatching/internal/core"
 	"evmatching/internal/dataset"
 	"evmatching/internal/feature"
@@ -199,6 +200,16 @@ type Engine struct {
 	maxTS   int64 // highest observed timestamp; -1 before the first event
 	minOpen int   // lowest window not yet closed
 
+	// live tracks the still-undistinguished targets — the streaming form of
+	// the blocking signature (DESIGN.md §13). Sealed scenarios with no
+	// inclusive live target are exact split no-ops and skip SplitBy;
+	// blockCandidates/blockPruned count both outcomes. Restore rebuilds all
+	// three deterministically by replaying the checkpointed scenarios
+	// through the same probe, so no checkpoint field carries them.
+	live            *blocking.LiveTargets
+	blockCandidates int64
+	blockPruned     int64
+
 	ingested    int64
 	lateDropped int64
 
@@ -241,6 +252,9 @@ func (e *Engine) resetMatchState() error {
 		return err
 	}
 	e.part = p
+	e.live = blocking.NewLiveTargets(e.cfg.Targets)
+	e.part.OnResolve(e.live.Resolve)
+	e.blockCandidates, e.blockPruned = 0, 0
 	f, err := vfilter.New(e.store, vfilter.Config{
 		Extractor:      feature.Extractor{Dim: e.cfg.Dim, WorkFactor: e.cfg.WorkFactor},
 		AcceptMajority: e.cfg.AcceptMajority,
@@ -357,12 +371,27 @@ func (e *Engine) applySealedLocked(k bucketKey, esc *scenario.EScenario, vsc *sc
 			return fmt.Errorf("stream: close window %d cell %d: %w", k.Window, k.Cell, err)
 		}
 	}
-	// SplitBy ignores EIDs outside the partition's index and is a no-op once
-	// every set is a singleton, so applying the full scenario unconditionally
-	// records the same effective-scenario list as the batch split stage's
-	// filtered, early-exiting scan (DESIGN.md §10).
-	e.part.SplitBy(esc)
+	e.splitSealedLocked(esc)
 	return nil
+}
+
+// splitSealedLocked refines the partition with one sealed scenario through
+// the blocking probe. SplitBy ignores EIDs outside the partition's index and
+// is a no-op once every set is a singleton, so applying the full scenario
+// records the same effective-scenario list as the batch split stage's
+// filtered, early-exiting scan (DESIGN.md §10); a scenario the live-target
+// probe prunes is exactly such a no-op — it could neither change a leaf nor
+// be recorded — so skipping it preserves that equivalence bit for bit.
+// Checkpoint restore replays through this same path, which deterministically
+// rebuilds the live set and both counters without any checkpoint field.
+// Callers hold e.mu.
+func (e *Engine) splitSealedLocked(esc *scenario.EScenario) {
+	if e.live.Prunes(esc) {
+		e.blockPruned++
+		return
+	}
+	e.blockCandidates++
+	e.part.SplitBy(esc)
 }
 
 // sealedScenario is one shard-sealed window closure in transit to the merge
@@ -648,7 +677,29 @@ func (e *Engine) publishGauges() {
 		"stream_pending_eids":        int64(len(e.cfg.Targets) - len(e.resolved)),
 		"stream_resolutions_emitted": int64(e.seq),
 		"stream_late_dropped":        e.lateDropped,
+		"block_candidates_total":     e.blockCandidates,
+		"block_pruned_total":         e.blockPruned,
+		"block_prune_ratio":          BlockPruneRatioPercent(e.blockCandidates, e.blockPruned),
 	})
+}
+
+// BlockStats returns how many sealed scenarios the blocking probe admitted
+// to (candidates) and excluded from (pruned) split refinement so far.
+func (e *Engine) BlockStats() (candidates, pruned int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.blockCandidates, e.blockPruned
+}
+
+// BlockPruneRatioPercent renders a candidates/pruned pair as the integer
+// percentage of scenarios pruned, 0–100 — the gauge registry is int64, so
+// the ratio is published in percent (documented on /metricsz consumers).
+func BlockPruneRatioPercent(candidates, pruned int64) int64 {
+	total := candidates + pruned
+	if total == 0 {
+		return 0
+	}
+	return pruned * 100 / total
 }
 
 // sortBucketKeys orders keys ascending by (window, cell) — the close order,

@@ -261,4 +261,23 @@ func TestStreamGauges(t *testing.T) {
 	if got := reg.Get("stream_open_windows"); got != 0 {
 		t.Errorf("stream_open_windows = %d after flush, want 0", got)
 	}
+
+	// The blocking-prune gauges must mirror the engine's split accounting:
+	// after a full flush every sealed scenario was either probed or pruned.
+	cands, pruned := e.BlockStats()
+	if cands+pruned == 0 {
+		t.Fatal("no sealed scenario was ever classified by the pruning probe")
+	}
+	if got := reg.Get("block_candidates_total"); got != cands {
+		t.Errorf("block_candidates_total = %d, want %d", got, cands)
+	}
+	if got := reg.Get("block_pruned_total"); got != pruned {
+		t.Errorf("block_pruned_total = %d, want %d", got, pruned)
+	}
+	if got, want := reg.Get("block_prune_ratio"), BlockPruneRatioPercent(cands, pruned); got != want {
+		t.Errorf("block_prune_ratio = %d, want %d", got, want)
+	}
+	if r := reg.Get("block_prune_ratio"); r < 0 || r > 100 {
+		t.Errorf("block_prune_ratio = %d out of [0,100]", r)
+	}
 }
