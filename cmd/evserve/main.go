@@ -6,13 +6,20 @@
 //
 //	evserve -data world.gob [-addr 127.0.0.1:8080] [-mode serial|parallel|cluster] [-workers 3]
 //	        [-stream-window 0] [-stream-lateness 250] [-stream-shards 0]
+//	        [-stream-checkpoint state.ckpt] [-stream-checkpoint-every 30s]
+//	        [-mem-budget 0] [-spill-dir ""]
 //
 // Endpoints: /healthz, /match?eid=, /reverse?vid=, /trajectory?eid=,
 // /whowasat?cell=&window=, /metricsz.
 //
 // With -stream-window > 0 a live stream engine runs alongside the batch
 // index, adding POST /ingest (JSONL observations) and GET /stream (SSE
-// resolutions); its gauges join /metricsz. With -stream-shards N > 0 the
+// resolutions); its gauges join /metricsz. With -stream-checkpoint the
+// stream state is restored from the named file on startup (when present)
+// and rewritten durably on the -stream-checkpoint-every interval, so a
+// restarted server resumes instead of starting cold. With -mem-budget N
+// both the batch shuffle and the sealed stream windows spill past N bytes
+// of resident state (DESIGN.md §14); the spill_* gauges join /metricsz. With -stream-shards N > 0 the
 // ingest path runs through the sharded router instead: observations partition
 // by cell across N concurrent windowers, and /metricsz additionally carries
 // the per-shard stream_shard<N>_ingested gauges plus stream_shards and
@@ -41,6 +48,7 @@ import (
 	"evmatching/internal/mapreduce"
 	"evmatching/internal/metrics"
 	"evmatching/internal/server"
+	"evmatching/internal/spill"
 	"evmatching/internal/stream"
 )
 
@@ -137,6 +145,59 @@ func publishBlockStats(reg *metrics.Registry, rep *evmatching.Report) {
 	reg.Set("block_prune_ratio", stream.BlockPruneRatioPercent(rep.BlockCandidates, rep.BlockPruned))
 }
 
+// publishSpillStats copies the batch run's out-of-core totals into the
+// registry served at /metricsz. A live stream engine republishes the same
+// gauge names with its own running totals (which include any budgeted
+// finalize); all-zero when -mem-budget is unset or never exceeded.
+func publishSpillStats(reg *metrics.Registry, s spill.Snapshot) {
+	reg.SetMany(map[string]int64{
+		"spill_bytes_spilled": s.BytesSpilled,
+		"spill_runs_written":  s.RunsWritten,
+		"spill_runs_merged":   s.RunsMerged,
+		"spill_reloads":       s.Reloads,
+		"spill_evictions":     s.Evictions,
+	})
+}
+
+// startStream builds the live-ingestion processor, resuming from the
+// checkpoint file when one exists (both the v2 single-engine and v3 sharded
+// formats restore into either topology).
+func startStream(cfg stream.Config, shards int, ckptPath string) (stream.Processor, error) {
+	if ckptPath != "" {
+		cf, err := os.Open(ckptPath)
+		switch {
+		case err == nil:
+			defer cf.Close()
+			if shards > 0 {
+				return stream.RestoreRouter(stream.RouterConfig{Config: cfg, Shards: shards}, cf)
+			}
+			return stream.Restore(cfg, cf)
+		case errors.Is(err, os.ErrNotExist):
+			// First run: nothing to resume.
+		default:
+			return nil, err
+		}
+	}
+	if shards > 0 {
+		return stream.NewRouter(stream.RouterConfig{Config: cfg, Shards: shards})
+	}
+	return stream.NewEngine(cfg)
+}
+
+// checkpointLoop rewrites the stream checkpoint on every tick, durably and
+// atomically — the same fsync-before-and-after-rename sequence evstream and
+// the spill run writer use — so a crashed or restarted server resumes from
+// the last completed write instead of replaying from cold.
+func checkpointLoop(proc stream.Processor, path string, every time.Duration) {
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for range t.C {
+		if err := spill.WriteFileAtomic(spill.OS{}, path, proc.Checkpoint); err != nil {
+			fmt.Fprintln(os.Stderr, "evserve: stream checkpoint:", err)
+		}
+	}
+}
+
 // run starts the server; when ready is non-nil, the bound address is sent on
 // it once the listener is up (used by tests).
 func run(args []string, ready chan<- string) error {
@@ -149,6 +210,10 @@ func run(args []string, ready chan<- string) error {
 		streamWindow   = fs.Int64("stream-window", 0, "enable live ingestion with this event-time window in ms (0 = off)")
 		streamLateness = fs.Int64("stream-lateness", 250, "allowed lateness for live ingestion in ms")
 		streamShards   = fs.Int("stream-shards", 0, "cell-range ingest shards for live ingestion (0 = unsharded single engine)")
+		streamCkpt     = fs.String("stream-checkpoint", "", "stream checkpoint file: restored on startup when present, rewritten periodically")
+		streamCkptIvl  = fs.Duration("stream-checkpoint-every", 30*time.Second, "interval between stream checkpoint writes (0 = only restore)")
+		memBudget      = fs.Int64("mem-budget", 0, "bytes of in-memory shuffle and sealed-window state; past it, state spills to disk (0 = unlimited)")
+		spillDir       = fs.String("spill-dir", "", "directory for spill files (default: OS temp dir)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -161,7 +226,7 @@ func run(args []string, ready chan<- string) error {
 		return err
 	}
 	reg := metrics.NewRegistry()
-	opts := evmatching.Options{}
+	opts := evmatching.Options{MemBudget: *memBudget, SpillDir: *spillDir}
 	var clusterExec *cluster.Executor
 	switch *modeName {
 	case "serial":
@@ -205,6 +270,7 @@ func run(args []string, ready chan<- string) error {
 		publishClusterStats(reg, clusterExec.Stats(), clusterExec.Fallbacks())
 	}
 	publishBlockStats(reg, rep)
+	publishSpillStats(reg, rep.Spill)
 
 	srvOpts := []server.Option{server.WithMetrics(reg.Snapshot)}
 	if *streamWindow > 0 {
@@ -213,23 +279,23 @@ func run(args []string, ready chan<- string) error {
 			WindowMS:   *streamWindow,
 			LatenessMS: *streamLateness,
 			Dim:        ds.Config.DescriptorDim(),
+			MemBudget:  *memBudget,
+			SpillDir:   *spillDir,
 			Metrics:    reg,
 		}
-		var proc stream.Processor
-		if *streamShards > 0 {
-			router, err := stream.NewRouter(stream.RouterConfig{Config: scfg, Shards: *streamShards})
-			if err != nil {
-				return err
-			}
+		proc, err := startStream(scfg, *streamShards, *streamCkpt)
+		if err != nil {
+			return err
+		}
+		if router, ok := proc.(*stream.Router); ok {
 			defer router.Close()
-			proc = router
 			fmt.Printf("live ingestion sharded across %d cell-range windowers\n", *streamShards)
-		} else {
-			eng, err := stream.NewEngine(scfg)
-			if err != nil {
-				return err
-			}
-			proc = eng
+		}
+		if n := proc.Ingested(); n > 0 {
+			fmt.Printf("resumed stream state from %s at observation %d\n", *streamCkpt, n)
+		}
+		if *streamCkpt != "" && *streamCkptIvl > 0 {
+			go checkpointLoop(proc, *streamCkpt, *streamCkptIvl)
 		}
 		srvOpts = append(srvOpts, server.WithStream(proc))
 		fmt.Printf("live ingestion enabled: window %d ms, lateness %d ms, %d targets\n",

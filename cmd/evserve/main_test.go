@@ -6,10 +6,14 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
 	"evmatching"
+	"evmatching/internal/scenario"
+	"evmatching/internal/spill"
+	"evmatching/internal/stream"
 )
 
 func writeDataset(t *testing.T) string {
@@ -128,6 +132,72 @@ func TestServeStreamMode(t *testing.T) {
 	}
 	if body.Accepted != 0 || body.Dropped != 0 {
 		t.Errorf("empty ingest body = %+v", body)
+	}
+}
+
+// TestServeStreamCheckpointRestore pins the -stream-checkpoint startup
+// path: a checkpoint written by a prior engine (watermark already past
+// window 0) restores into the server, so an observation for window 0 is
+// late-dropped — a fresh engine would have accepted it.
+func TestServeStreamCheckpointRestore(t *testing.T) {
+	data := writeDataset(t)
+	ds, err := evmatching.LoadDataset(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := stream.Config{
+		Targets:    ds.AllEIDs(),
+		WindowMS:   1000,
+		LatenessMS: 250,
+		Dim:        ds.Config.DescriptorDim(),
+	}
+	eng, err := stream.NewEngine(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, obs, err := stream.EventsFromDataset(ds, 1000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs[:len(obs)/2] {
+		if _, err := eng.Ingest(o); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	if wm, ok := eng.Watermark(); !ok || wm < 1000 {
+		t.Fatalf("fixture watermark %d has not passed window 0", wm)
+	}
+	ckpt := filepath.Join(t.TempDir(), "state.ckpt")
+	if err := spill.WriteFileAtomic(spill.OS{}, ckpt, eng.Checkpoint); err != nil {
+		t.Fatalf("write checkpoint: %v", err)
+	}
+
+	addr := serveArgs(t, []string{
+		"-data", data, "-addr", "127.0.0.1:0",
+		"-stream-window", "1000", "-stream-lateness", "250",
+		"-stream-checkpoint", ckpt,
+	})
+	line, err := json.Marshal(stream.Observation{
+		TS: 0, Kind: stream.KindE, Cell: obs[0].Cell, EID: cfg.Targets[0], Attr: scenario.AttrInclusive,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fmt.Sprintf("http://%s/ingest", addr), "application/x-ndjson",
+		strings.NewReader(string(line)+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Accepted int `json:"accepted"`
+		Dropped  int `json:"dropped"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	if body.Accepted != 0 || body.Dropped != 1 {
+		t.Errorf("window-0 observation after restore = %+v, want late-dropped (fresh state would accept it)", body)
 	}
 }
 

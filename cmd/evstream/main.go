@@ -11,7 +11,7 @@
 //	evstream -log obs.jsonl [-targets aa:bb:...,...] [-lateness-ms 250]
 //	         [-speed 0] [-seed 1] [-mode serial|parallel] [-workers 0]
 //	         [-shards 0] [-checkpoint state.ckpt] [-checkpoint-every 2000]
-//	         [-max-events 0] [-finalize] [-v]
+//	         [-max-events 0] [-finalize] [-mem-budget 0] [-spill-dir ""] [-v]
 //
 // With -shards N > 0 the replay runs through the sharded router: N
 // concurrent per-cell-range windowers behind a cell-partitioning router,
@@ -38,6 +38,7 @@ import (
 
 	"evmatching/internal/core"
 	"evmatching/internal/ids"
+	"evmatching/internal/spill"
 	"evmatching/internal/stream"
 )
 
@@ -63,6 +64,8 @@ func run(args []string, out io.Writer) error {
 		ckptEvery  = fs.Int64("checkpoint-every", 2000, "observations between checkpoint writes")
 		maxEvents  = fs.Int64("max-events", 0, "stop after this log position (0 = whole log)")
 		finalize   = fs.Bool("finalize", true, "flush and run the batch-equivalent final match")
+		memBudget  = fs.Int64("mem-budget", 0, "bytes of sealed-window and shuffle state kept in memory; past it, state spills to disk (0 = unlimited)")
+		spillDir   = fs.String("spill-dir", "", "directory for spill files (default: OS temp dir)")
 		verbose    = fs.Bool("v", false, "print every resolution as it is emitted")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -119,6 +122,8 @@ func run(args []string, out io.Writer) error {
 		Seed:       *seed,
 		Mode:       mode,
 		Workers:    *workers,
+		MemBudget:  *memBudget,
+		SpillDir:   *spillDir,
 	}
 
 	// Resume from the checkpoint when one exists; otherwise start fresh. With
@@ -224,6 +229,10 @@ func run(args []string, out io.Writer) error {
 		e.Ingested(), len(obs), e.LateDropped(), len(e.Resolutions()))
 	fmt.Fprintf(out, "finalized %d targets, matched %d, fingerprint sha256=%s\n",
 		len(rep.Targets), rep.Matched(), hex.EncodeToString(sum[:]))
+	if s := e.SpillStats(); s.Spilled() {
+		fmt.Fprintf(out, "spill: %d bytes spilled, %d evictions, %d reloads, %d runs written, %d runs merged\n",
+			s.BytesSpilled, s.Evictions, s.Reloads, s.RunsWritten, s.RunsMerged)
+	}
 	return nil
 }
 
@@ -248,22 +257,13 @@ func drainResolutions(ch <-chan stream.Resolution, w io.Writer) {
 	}
 }
 
-// writeCheckpoint writes the processor state atomically: a crash mid-write
-// leaves the previous checkpoint intact.
+// writeCheckpoint writes the processor state durably and atomically: the
+// temp file is fsynced before the rename and the parent directory after,
+// so a crash at any moment — including right after the rename — leaves
+// either the previous or the new checkpoint complete on disk. (The earlier
+// close-then-rename sequence lost the file entirely on a post-rename crash
+// before the directory entry reached disk; spill's crash drill pins the
+// difference.)
 func writeCheckpoint(e stream.Processor, path string) error {
-	tmp := path + ".tmp"
-	f, err := os.Create(tmp)
-	if err != nil {
-		return err
-	}
-	if err := e.Checkpoint(f); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return err
-	}
-	return os.Rename(tmp, path)
+	return spill.WriteFileAtomic(spill.OS{}, path, e.Checkpoint)
 }

@@ -213,6 +213,66 @@ func TestRunShardedCrashResume(t *testing.T) {
 
 // TestRunDefaultTargets covers the pre-scan path: with no -targets the CLI
 // matches every EID sighted in the log.
+// TestRunSpillBudgetMatchesBatch is the CLI face of the out-of-core
+// invariant: a replay squeezed under a tiny -mem-budget evicts sealed
+// windows to disk (the spill summary line proves it) yet prints the same
+// fingerprint hash as the batch reference — and as the unbudgeted replay.
+func TestRunSpillBudgetMatchesBatch(t *testing.T) {
+	dir := t.TempDir()
+	ds, logPath := writeTestLog(t, dir)
+	flag, targets := targetsFlag(ds, 12)
+	var buf bytes.Buffer
+	err := run([]string{
+		"-log", logPath, "-targets", flag, "-seed", "7",
+		"-mem-budget", "4096", "-spill-dir", dir,
+	}, &buf)
+	if err != nil {
+		t.Fatalf("run: %v\n%s", err, buf.String())
+	}
+	if got, want := extractHash(t, buf.String()), batchHash(t, ds, targets, 7); got != want {
+		t.Errorf("budgeted replay hash %s, want batch hash %s\n%s", got, want, buf.String())
+	}
+	if !strings.Contains(buf.String(), "spill:") {
+		t.Errorf("budget forced no spill activity:\n%s", buf.String())
+	}
+}
+
+// TestRunSpillCrashResume combines both durability layers: checkpoints
+// written over evicted state, a resume from one, all under a budget — the
+// resumed, budgeted replay still lands on the batch hash.
+func TestRunSpillCrashResume(t *testing.T) {
+	dir := t.TempDir()
+	ds, logPath := writeTestLog(t, dir)
+	flag, targets := targetsFlag(ds, 12)
+	ckpt := filepath.Join(dir, "state.ckpt")
+
+	var first bytes.Buffer
+	err := run([]string{
+		"-log", logPath, "-targets", flag, "-seed", "7",
+		"-mem-budget", "4096", "-spill-dir", dir,
+		"-checkpoint", ckpt, "-checkpoint-every", "500",
+		"-max-events", "1500", "-finalize=false",
+	}, &first)
+	if err != nil {
+		t.Fatalf("first run: %v\n%s", err, first.String())
+	}
+	var second bytes.Buffer
+	err = run([]string{
+		"-log", logPath, "-targets", flag, "-seed", "7",
+		"-mem-budget", "4096", "-spill-dir", dir,
+		"-checkpoint", ckpt, "-checkpoint-every", "500",
+	}, &second)
+	if err != nil {
+		t.Fatalf("second run: %v\n%s", err, second.String())
+	}
+	if !strings.Contains(second.String(), "resumed from") {
+		t.Fatalf("second run did not resume:\n%s", second.String())
+	}
+	if got, want := extractHash(t, second.String()), batchHash(t, ds, targets, 7); got != want {
+		t.Errorf("resumed budgeted replay hash %s, want batch hash %s", got, want)
+	}
+}
+
 func TestRunDefaultTargets(t *testing.T) {
 	dir := t.TempDir()
 	ds, logPath := writeTestLog(t, dir)

@@ -29,6 +29,14 @@ func BenchmarkMatchSSSerial(b *testing.B) {
 	}, 40)(b)
 }
 
+// BenchmarkMatchSSSpill is BenchmarkMatchSSParallel under a 4 KiB shuffle
+// budget: every reducer bucket spills to sorted runs and k-way merges back
+// at reduce time. Its delta against MatchSSParallel is the price of the
+// external-merge path; the spill_kb metric proves the run went out of core.
+func BenchmarkMatchSSSpill(b *testing.B) {
+	matchSSSpillBench()(b)
+}
+
 // BenchmarkStreamReplay watches the streaming path end to end: replaying a
 // pre-flattened observation log through a fresh engine and finalizing. It
 // lives here rather than in internal/stream because bench-smoke also runs on

@@ -83,8 +83,26 @@ func matchBenchN(opts core.Options, numTargets int) func(b *testing.B) {
 			}
 			b.ReportMetric(float64(rep.SelectedScenarios), "selected")
 			b.ReportMetric(rep.Accuracy(ds.TruthVID)*100, "acc%")
+			if rep.Spill.Spilled() {
+				b.ReportMetric(float64(rep.Spill.BytesSpilled)/1024, "spill_kb")
+			}
 		}
 	}
+}
+
+// matchSSSpillBench is the out-of-core overhead benchmark: the exact
+// MatchSSParallel workload (same dataset, targets, worker pin) squeezed
+// under a shuffle budget small enough that every E/V-stage reducer bucket
+// spills to sorted runs and k-way merges back (DESIGN.md §14). Comparing
+// its time/op against MatchSSParallel prices the external-merge path; the
+// spill_kb metric proves the run actually went out of core.
+func matchSSSpillBench() func(b *testing.B) {
+	return matchBenchN(core.Options{
+		Algorithm: core.AlgorithmSS,
+		Mode:      core.ModeParallel,
+		Workers:   4,
+		MemBudget: 4 << 10,
+	}, 80)
 }
 
 // scaleSparseTargets is the target-sample size the sparse-world blocking
@@ -305,6 +323,7 @@ func benchmarks() []benchmark {
 	return []benchmark{
 		{"MatchSSSerial", matchBench(core.AlgorithmSS, core.ModeSerial)},
 		{"MatchSSParallel", matchBench(core.AlgorithmSS, core.ModeParallel)},
+		{"MatchSSSpill", matchSSSpillBench()},
 		{"MatchEDPSerial", matchBench(core.AlgorithmEDP, core.ModeSerial)},
 		{"MatchSSBlockedSparse", matchSSScaleBench(sparseWorld, scaleSparseTargets, false)},
 		{"MatchSSBlockedSparseExhaustive", matchSSScaleBench(sparseWorld, scaleSparseTargets, true)},

@@ -8,6 +8,8 @@ import (
 
 	"evmatching/internal/core"
 	"evmatching/internal/dataset"
+	"evmatching/internal/spill"
+	"evmatching/internal/stream"
 )
 
 // scaleMatch builds a matcher over a scale world, warms it with one match —
@@ -87,6 +89,137 @@ func TestScaleSmoke(t *testing.T) {
 		}
 		if ratio := float64(blocked.ETime) / float64(exhaustive.ETime); ratio > 1.35 {
 			t.Errorf("dense-world blocking overhead %.2fx exhaustive, want <= 1.35x", ratio)
+		}
+	})
+}
+
+// TestScaleSmokeSpill is the out-of-core CI gate (DESIGN.md §14): on both
+// scale worlds, the parallel batch match and the stream replay run under a
+// memory budget far below the working set — shuffle buckets spill to sorted
+// runs, sealed windows evict to the blob log — and still land on exactly the
+// in-memory fingerprint. Spilling must be *observable* (nonzero counters),
+// or a silently inert budget would pass the equality check vacuously.
+func TestScaleSmokeSpill(t *testing.T) {
+	worlds := []struct {
+		name       string
+		world      func() (*dataset.Dataset, error)
+		numTargets int
+		budget     int64
+	}{
+		// The blocked sparse E stage prunes its shuffle down to a few KB, so
+		// its budget must be tighter than the dense world's to force runs —
+		// both are still vanishingly small next to the worlds' working sets.
+		{"sparse-100k", sparseWorld, scaleSparseTargets, 1 << 10},
+		{"dense", denseWorld, 0, 64 << 10},
+	}
+
+	t.Run("batch", func(t *testing.T) {
+		for _, tc := range worlds {
+			t.Run(tc.name, func(t *testing.T) {
+				ds, err := tc.world()
+				if err != nil {
+					t.Fatal(err)
+				}
+				targets := ds.AllEIDs()
+				if tc.numTargets > 0 {
+					targets = ds.SampleEIDs(tc.numTargets, rand.New(rand.NewSource(5)))
+				}
+				match := func(budget int64) *core.Report {
+					t.Helper()
+					opts := core.Options{
+						Algorithm: core.AlgorithmSS,
+						Mode:      core.ModeParallel,
+						Workers:   4,
+						MemBudget: budget,
+					}
+					if budget > 0 {
+						opts.SpillDir = t.TempDir()
+					}
+					m, err := core.New(ds, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep, err := m.Match(context.Background(), targets)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep
+				}
+				inMem := match(0)
+				spilled := match(tc.budget)
+				if got, want := spilled.Fingerprint(), inMem.Fingerprint(); got != want {
+					t.Fatalf("budgeted fingerprint %s != in-memory %s", got, want)
+				}
+				if spilled.Spill.RunsWritten == 0 || spilled.Spill.BytesSpilled == 0 {
+					t.Errorf("budget forced no shuffle spill: %+v", spilled.Spill)
+				}
+				if spilled.Spill.RunsMerged < spilled.Spill.RunsWritten {
+					t.Errorf("wrote %d runs but merged only %d", spilled.Spill.RunsWritten, spilled.Spill.RunsMerged)
+				}
+				t.Logf("%s batch: %+v", tc.name, spilled.Spill)
+			})
+		}
+	})
+
+	t.Run("stream", func(t *testing.T) {
+		for _, tc := range worlds {
+			t.Run(tc.name, func(t *testing.T) {
+				ds, err := tc.world()
+				if err != nil {
+					t.Fatal(err)
+				}
+				_, obs, err := stream.EventsFromDataset(ds, 1_000, 5)
+				if err != nil {
+					t.Fatal(err)
+				}
+				scfg := stream.Config{
+					Targets:    ds.SampleEIDs(scaleSparseTargets, rand.New(rand.NewSource(5))),
+					WindowMS:   1_000,
+					LatenessMS: 250,
+					Dim:        ds.Config.DescriptorDim(),
+					Seed:       5,
+				}
+				replay := func(budget int64) (string, spill.Snapshot) {
+					t.Helper()
+					cfg := scfg
+					cfg.MemBudget = budget
+					if budget > 0 {
+						cfg.SpillDir = t.TempDir()
+					}
+					e, err := stream.NewEngine(cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for i, o := range obs {
+						if _, err := e.Ingest(o); err != nil {
+							t.Fatalf("Ingest %d: %v", i, err)
+						}
+					}
+					rep, err := e.Finalize(context.Background())
+					if err != nil {
+						t.Fatal(err)
+					}
+					return rep.Fingerprint(), e.SpillStats()
+				}
+				// The resident working set is the sealed V payloads: pixel
+				// patches plus the fixed per-detection overhead the engine
+				// itself charges. Budget a quarter of it.
+				var working int64
+				for _, o := range obs {
+					if o.Patch != nil {
+						working += int64(len(o.Patch.Pix)) + 64
+					}
+				}
+				inMem, _ := replay(0)
+				spilledFP, snap := replay(working / 4)
+				if spilledFP != inMem {
+					t.Fatalf("budgeted replay fingerprint %s != in-memory %s", spilledFP, inMem)
+				}
+				if snap.Evictions == 0 || snap.BytesSpilled == 0 || snap.Reloads == 0 {
+					t.Errorf("budget %d (working set %d) forced no spill activity: %+v", working/4, working, snap)
+				}
+				t.Logf("%s stream: working set %d, %+v", tc.name, working, snap)
+			})
 		}
 	})
 }

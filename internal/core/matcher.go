@@ -12,6 +12,7 @@ import (
 	"evmatching/internal/feature"
 	"evmatching/internal/ids"
 	"evmatching/internal/scenario"
+	"evmatching/internal/spill"
 	"evmatching/internal/vfilter"
 )
 
@@ -58,6 +59,11 @@ func New(ds *dataset.Dataset, opts Options) (*Matcher, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
+	// A budgeted run always gets a stats sink so Report.Spill can prove
+	// (or disprove) that the budget actually forced out-of-core work.
+	if opts.MemBudget > 0 && opts.SpillStats == nil {
+		opts.SpillStats = &spill.Stats{}
+	}
 	return &Matcher{ds: ds, opts: opts}, nil
 }
 
@@ -79,14 +85,26 @@ func (m *Matcher) Match(ctx context.Context, targets []ids.EID) (*Report, error)
 	if err != nil {
 		return nil, err
 	}
+	var rep *Report
 	switch m.opts.Algorithm {
 	case AlgorithmSS:
-		return m.matchSS(ctx, targets, filter)
+		rep, err = m.matchSS(ctx, targets, filter)
 	case AlgorithmEDP:
-		return m.matchEDP(ctx, targets)
+		rep, err = m.matchEDP(ctx, targets)
 	default:
 		return nil, fmt.Errorf("%w: algorithm %v", ErrBadOptions, m.opts.Algorithm)
 	}
+	if err != nil {
+		return nil, err
+	}
+	// Safety net for paged stores: if any legacy V accessor failed to
+	// reload an evicted payload mid-run, the scenario read as "no
+	// detections" and the report could be silently wrong — fail instead.
+	if perr := m.ds.Store.PageErr(); perr != nil {
+		return nil, fmt.Errorf("core: match ran over incompletely paged state: %w", perr)
+	}
+	rep.Spill = m.opts.SpillStats.Snapshot()
+	return rep, nil
 }
 
 // MatchAll performs universal matching: every EID in the dataset is labeled

@@ -13,6 +13,7 @@ import (
 	"runtime"
 
 	"evmatching/internal/mapreduce"
+	"evmatching/internal/spill"
 )
 
 // Algorithm selects the matching algorithm.
@@ -137,6 +138,18 @@ type Options struct {
 	// pin this), so the switch exists for benchmarking the asymptote and as
 	// an escape hatch, not for correctness.
 	DisableBlocking bool
+	// MemBudget caps the bytes of in-memory shuffle state in the parallel
+	// executor; past it, per-reducer buckets spill to sorted temp-file runs
+	// and k-way merge at reduce time (DESIGN.md §14). 0 disables spilling.
+	// The spilled path is bit-identical to the in-memory one. Ignored when
+	// Executor is set explicitly.
+	MemBudget int64
+	// SpillDir is where spill runs are written; empty means the OS temp
+	// directory.
+	SpillDir string
+	// SpillStats, when non-nil, accumulates spill counters across the run's
+	// jobs (the caller owns the instance; evserve surfaces it on /metricsz).
+	SpillStats *spill.Stats
 	// MinPerEIDList pads each EID's selected scenario list up to this
 	// length with further scenarios containing the EID. The split-tree path
 	// alone distinguishes the EID among the matching targets, but the VID
@@ -210,6 +223,9 @@ func (o Options) validate() error {
 	if o.MinPerEIDList < 1 {
 		return fmt.Errorf("%w: min per-EID list %d", ErrBadOptions, o.MinPerEIDList)
 	}
+	if o.MemBudget < 0 {
+		return fmt.Errorf("%w: mem budget %d", ErrBadOptions, o.MemBudget)
+	}
 	return nil
 }
 
@@ -219,7 +235,12 @@ func (o Options) executor() mapreduce.Executor {
 		return o.Executor
 	}
 	if o.Mode == ModeParallel {
-		return mapreduce.ParallelExecutor{Workers: o.Workers}
+		return mapreduce.ParallelExecutor{
+			Workers:   o.Workers,
+			MemBudget: o.MemBudget,
+			SpillDir:  o.SpillDir,
+			Stats:     o.SpillStats,
+		}
 	}
 	return mapreduce.SerialExecutor{}
 }

@@ -7,6 +7,7 @@ import (
 
 	"evmatching/internal/ids"
 	"evmatching/internal/scenario"
+	"evmatching/internal/spill"
 	"evmatching/internal/vfilter"
 )
 
@@ -45,6 +46,11 @@ type Report struct {
 	// a match result, so Fingerprint excludes it; stream.Engine.Finalize
 	// cross-checks its incremental split against it.
 	SplitScenarios []scenario.ID
+	// Spill snapshots the out-of-core activity of the run (DESIGN.md §14).
+	// Like the timing fields it measures effort, not results — the spilled
+	// path is bit-identical to the in-memory one — so Fingerprint excludes
+	// it. All-zero when MemBudget is unset or never exceeded.
+	Spill spill.Snapshot
 }
 
 // TotalTime returns the combined stage time (the paper's E+V time).

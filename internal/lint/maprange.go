@@ -17,6 +17,7 @@ var mapRangePackages = []string{
 	"internal/scenario",
 	"internal/partition",
 	"internal/stream",
+	"internal/spill",
 }
 
 // MapRangeAnalyzer flags `range` over map-typed values in result-affecting

@@ -15,6 +15,7 @@ import (
 var wallclockPackages = []string{
 	"internal/stream",
 	"internal/chaos",
+	"internal/spill",
 }
 
 // wallclockFuncs are the time-package entry points that read the process

@@ -29,6 +29,20 @@ func TestParallelExecutorConformance(t *testing.T) {
 	}
 }
 
+// The budgeted external-merge shuffle must satisfy the same executor
+// contract bit for bit, even at a one-byte budget (spill on every record).
+func TestSpilledParallelExecutorConformance(t *testing.T) {
+	for _, budget := range []int64{1, 512} {
+		t.Run(fmt.Sprintf("budget=%d", budget), func(t *testing.T) {
+			mrtest.Conformance(t, mapreduce.ParallelExecutor{
+				Workers:   3,
+				MemBudget: budget,
+				SpillDir:  t.TempDir(),
+			})
+		})
+	}
+}
+
 // startClusterExecutor boots a coordinator with in-process workers over real
 // localhost RPC and returns the adapted executor. This test package sits
 // outside the import cycle, so it can exercise the distributed executor

@@ -125,6 +125,10 @@ const (
 	CounterCombineOut = "combine.out"
 	CounterReduceKeys = "reduce.keys"
 	CounterReduceOut  = "reduce.out"
+	// Spill counters (the budgeted external-merge path only).
+	CounterSpillRuns   = "spill.runs.written"
+	CounterSpillBytes  = "spill.bytes"
+	CounterSpillMerged = "spill.runs.merged"
 )
 
 // sortKVs orders pairs by key then value, the canonical output order. The

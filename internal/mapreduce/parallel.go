@@ -5,14 +5,28 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+
+	"evmatching/internal/spill"
 )
 
 // ParallelExecutor runs jobs over a pool of goroutine workers with a
 // hash-partitioned in-memory shuffle, the in-process equivalent of the
-// paper's Spark deployment.
+// paper's Spark deployment. With MemBudget set, oversized shuffles spill
+// to sorted temp-file runs and k-way merge at reduce time (DESIGN.md §14),
+// producing byte-identical output to the in-memory path.
 type ParallelExecutor struct {
 	// Workers is the mapper/reducer pool size; 0 means GOMAXPROCS.
 	Workers int
+	// MemBudget caps the bytes of buffered shuffle state across all
+	// mappers; 0 disables spilling. Each mapper gets an equal share and
+	// flushes its partition buckets as sorted runs when it exceeds it.
+	MemBudget int64
+	// SpillDir is where run files go; empty means the OS temp directory.
+	SpillDir string
+	// Stats, when non-nil, accumulates spill counters across jobs.
+	Stats *spill.Stats
+	// FS overrides the filesystem for tests; nil means the real one.
+	FS spill.FS
 }
 
 var _ Executor = ParallelExecutor{}
@@ -39,6 +53,12 @@ func (p ParallelExecutor) Run(ctx context.Context, job *Job) (*Result, error) {
 	// final sequence regardless of how records were bucketed.
 	if job.Reduce == nil && job.Combine == nil {
 		return p.runMapOnly(ctx, job, workers, counters)
+	}
+
+	// Budgeted shuffles take the external-merge path: same map/partition
+	// logic, but buckets flush to sorted run files under memory pressure.
+	if p.MemBudget > 0 {
+		return p.runSpilled(ctx, job, workers, numReducers, counters)
 	}
 
 	// Map phase: each worker maps a contiguous chunk of the input into

@@ -1,0 +1,303 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"path/filepath"
+	"sync"
+
+	"evmatching/internal/spill"
+)
+
+// kvOverhead approximates per-record bookkeeping bytes beyond the raw key
+// and value payloads (string headers, slice growth slack).
+const kvOverhead = 32
+
+// kvCost is the byte charge for buffering one pair in the shuffle.
+func kvCost(kv KeyValue) int64 { return int64(len(kv.Key)+len(kv.Value)) + kvOverhead }
+
+// spillWorker is one mapper's shuffle state on the budgeted path: the
+// in-memory tail per partition plus the runs already flushed to disk. Each
+// worker owns its state exclusively until the map phase joins, so flushes
+// need no locking.
+type spillWorker struct {
+	buckets [][]KeyValue // [reducer] in-memory tail, unsorted
+	runs    [][]string   // [reducer] flushed run file paths, in flush order
+	bytes   int64        // charged cost of everything in buckets
+	seq     int          // run file sequence number
+	err     error        // sticky flush failure; emit becomes a no-op after
+}
+
+// runSpilled is the external-merge variant of the partitioned shuffle:
+// identical map and partition logic, but each mapper flushes its buckets as
+// sorted run files whenever its share of MemBudget is exceeded, and each
+// reducer k-way merges its runs with the in-memory tails. Because runs and
+// tails are sorted by (key, value) — a total order up to exact duplicates —
+// the merged stream equals sortKVs over the concatenation, so the output
+// (and every fingerprint downstream) is byte-identical to the in-memory
+// path.
+func (p ParallelExecutor) runSpilled(ctx context.Context, job *Job, workers, numReducers int, counters *Counters) (*Result, error) {
+	fsys := p.FS
+	if fsys == nil {
+		fsys = spill.OS{}
+	}
+	dir, err := fsys.MkdirTemp(p.SpillDir, "evspill-*")
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: job %q: create spill dir: %w", job.Name, err)
+	}
+	defer fsys.RemoveAll(dir)
+
+	// Each mapper polices an equal share of the budget; the floor of one
+	// byte keeps a degenerate budget functional (spill on every record)
+	// rather than dividing to zero.
+	share := p.MemBudget / int64(workers)
+	if share <= 0 {
+		share = 1
+	}
+
+	states := make([]*spillWorker, workers)
+	mapErr := make([]error, workers)
+	var wg sync.WaitGroup
+	chunk := (len(job.Input) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		if lo >= len(job.Input) {
+			break
+		}
+		hi := lo + chunk
+		if hi > len(job.Input) {
+			hi = len(job.Input)
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			st := &spillWorker{
+				buckets: make([][]KeyValue, numReducers),
+				runs:    make([][]string, numReducers),
+			}
+			var emitted int64
+			emit := func(kv KeyValue) {
+				if st.err != nil {
+					return
+				}
+				r := Partition(kv.Key, numReducers)
+				st.buckets[r] = append(st.buckets[r], kv)
+				st.bytes += kvCost(kv)
+				emitted++
+				if st.bytes > share {
+					st.err = p.flushWorker(fsys, dir, w, st, job.Combine, counters)
+				}
+			}
+			for i := lo; i < hi; i++ {
+				if err := ctx.Err(); err != nil {
+					mapErr[w] = err
+					return
+				}
+				if err := job.Map(job.Input[i], emit); err != nil {
+					mapErr[w] = fmt.Errorf("map record %d: %w", i, err)
+					return
+				}
+				if st.err != nil {
+					mapErr[w] = st.err
+					return
+				}
+			}
+			counters.Add(CounterMapOut, emitted)
+			// Pre-fold the in-memory tail like the unspilled path would;
+			// flushed runs were combined at flush time. Splitting one
+			// combine into several is equivalent to splitting across
+			// workers, which the combiner contract already requires.
+			if job.Combine != nil {
+				var afterCombine int64
+				for r := range st.buckets {
+					combined, err := combineBucket(st.buckets[r], job.Combine)
+					if err != nil {
+						mapErr[w] = err
+						return
+					}
+					st.buckets[r] = combined
+					afterCombine += int64(len(combined))
+				}
+				counters.Add(CounterCombineOut, afterCombine)
+			}
+			states[w] = st
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	counters.Add(CounterMapIn, int64(len(job.Input)))
+	for w, err := range mapErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q worker %d: %w", job.Name, w, err)
+		}
+	}
+
+	// Reduce phase: one goroutine per partition, each merging its run files
+	// with the in-memory tails.
+	reduceOut := make([][]KeyValue, numReducers)
+	reduceErr := make([]error, numReducers)
+	for r := 0; r < numReducers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			if err := ctx.Err(); err != nil {
+				reduceErr[r] = err
+				return
+			}
+			out, err := p.reduceSpilled(fsys, job, states, r, counters)
+			if err != nil {
+				reduceErr[r] = err
+				return
+			}
+			reduceOut[r] = out
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range reduceErr {
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: job %q reducer %d: %w", job.Name, r, err)
+		}
+	}
+	var out []KeyValue
+	for r := 0; r < numReducers; r++ {
+		out = append(out, reduceOut[r]...)
+	}
+	sortKVs(out)
+	return &Result{Output: out, Counters: counters}, nil
+}
+
+// flushWorker writes every non-empty bucket of st as one sorted
+// (combiner-folded) run file and resets the in-memory state.
+func (p ParallelExecutor) flushWorker(fsys spill.FS, dir string, w int, st *spillWorker, combine ReduceFunc, counters *Counters) error {
+	for r := range st.buckets {
+		b := st.buckets[r]
+		if len(b) == 0 {
+			continue
+		}
+		if combine != nil {
+			combined, err := combineBucket(b, combine)
+			if err != nil {
+				return err
+			}
+			b = combined
+		}
+		// A combiner may emit values out of order within a key; the run
+		// format requires full (key, value) order for the merge invariant.
+		sortKVs(b)
+		recs := make([]spill.Record, len(b))
+		for i, kv := range b {
+			recs[i] = spill.Record{Key: kv.Key, Value: kv.Value}
+		}
+		path := filepath.Join(dir, fmt.Sprintf("w%03d-r%03d-%05d.run", w, r, st.seq))
+		st.seq++
+		size, err := spill.WriteRun(fsys, path, recs)
+		if err != nil {
+			return fmt.Errorf("spill flush worker %d partition %d: %w", w, r, err)
+		}
+		st.runs[r] = append(st.runs[r], path)
+		st.buckets[r] = nil
+		counters.Add(CounterSpillRuns, 1)
+		counters.Add(CounterSpillBytes, size)
+		p.Stats.AddRunsWritten(1)
+		p.Stats.AddBytesSpilled(size)
+	}
+	st.bytes = 0
+	return nil
+}
+
+// reduceSpilled produces partition r's reduce output by merging the
+// partition's run files with the workers' in-memory tails.
+func (p ParallelExecutor) reduceSpilled(fsys spill.FS, job *Job, states []*spillWorker, r int, counters *Counters) ([]KeyValue, error) {
+	var tail []KeyValue
+	var runPaths []string
+	for _, st := range states {
+		if st == nil {
+			continue
+		}
+		tail = append(tail, st.buckets[r]...)
+		runPaths = append(runPaths, st.runs[r]...)
+	}
+	sortKVs(tail)
+
+	// Nothing spilled for this partition: run the exact in-memory reduce.
+	if len(runPaths) == 0 {
+		if job.Reduce == nil {
+			return tail, nil
+		}
+		return reduceGroups(groupByKey(tail), job.Reduce, counters, CounterReduceOut)
+	}
+
+	sources := make([]spill.Source, 0, len(runPaths)+1)
+	var readers []*spill.RunReader
+	defer func() {
+		for _, rr := range readers {
+			rr.Close()
+		}
+	}()
+	for _, path := range runPaths {
+		rr, err := spill.OpenRun(fsys, path)
+		if err != nil {
+			return nil, fmt.Errorf("partition %d: %w", r, err)
+		}
+		readers = append(readers, rr)
+		sources = append(sources, rr)
+	}
+	recs := make([]spill.Record, len(tail))
+	for i, kv := range tail {
+		recs[i] = spill.Record{Key: kv.Key, Value: kv.Value}
+	}
+	sources = append(sources, spill.NewSliceSource(recs))
+	counters.Add(CounterSpillMerged, int64(len(runPaths)))
+	p.Stats.AddRunsMerged(int64(len(runPaths)))
+
+	if job.Reduce == nil {
+		var out []KeyValue
+		if err := spill.MergeRuns(sources, func(rec spill.Record) error {
+			out = append(out, KeyValue{Key: rec.Key, Value: rec.Value})
+			return nil
+		}); err != nil {
+			return nil, fmt.Errorf("partition %d merge: %w", r, err)
+		}
+		return out, nil
+	}
+
+	// Streaming group-reduce: values accumulate per key and flush to the
+	// reducer on each key change. Every group gets a fresh values slice —
+	// reducers may retain what they are handed.
+	var out []KeyValue
+	emit := func(kv KeyValue) { out = append(out, kv) }
+	var curKey string
+	var curVals []string
+	var groups int64
+	pending := false
+	reduceFlush := func() error {
+		if !pending {
+			return nil
+		}
+		groups++
+		if err := job.Reduce(curKey, curVals, emit); err != nil {
+			return fmt.Errorf("reduce key %q: %w", curKey, err)
+		}
+		curVals = nil
+		pending = false
+		return nil
+	}
+	if err := spill.MergeRuns(sources, func(rec spill.Record) error {
+		if pending && rec.Key != curKey {
+			if err := reduceFlush(); err != nil {
+				return err
+			}
+		}
+		curKey = rec.Key
+		curVals = append(curVals, rec.Value)
+		pending = true
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("partition %d merge: %w", r, err)
+	}
+	if err := reduceFlush(); err != nil {
+		return nil, fmt.Errorf("partition %d: %w", r, err)
+	}
+	counters.Add(CounterReduceKeys, groups)
+	counters.Add(CounterReduceOut, int64(len(out)))
+	return out, nil
+}

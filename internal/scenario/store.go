@@ -22,6 +22,21 @@ type Store struct {
 
 	mu        sync.Mutex   // guards winSorted
 	winSorted map[int][]ID // cache of AtWindow's cell-sorted ID lists
+
+	// Out-of-core state (DESIGN.md §14). When a pager is installed, sealed
+	// V-Scenario payloads may be evicted: vsc[id] drops to nil, evicted[id]
+	// flips, and reads page the payload back in transiently. Evictions are
+	// serialized by the owning engine; reads may be concurrent.
+	pager   VPager
+	evicted []bool // parallel to vsc; true when the payload lives on disk
+
+	pageMu  sync.Mutex
+	pageErr error // sticky: first reload failure seen on the legacy V path
+}
+
+// VPager reloads an evicted V-Scenario payload from secondary storage.
+type VPager interface {
+	LoadV(id ID) (*VScenario, error)
 }
 
 // NewStore creates an empty store over the given layout.
@@ -70,12 +85,74 @@ func (st *Store) E(id ID) *EScenario {
 }
 
 // V returns the V-Scenario with the given ID, or nil if out of range or no
-// detections were captured for that scenario.
+// detections were captured for that scenario. Evicted payloads are paged
+// back in transiently (the store stays within budget); a reload failure is
+// recorded in PageErr — callers that can propagate errors should prefer
+// VChecked, and the matcher checks PageErr before trusting a report, so a
+// failed page-in can never surface as a silently different fingerprint.
 func (st *Store) V(id ID) *VScenario {
-	if int(id) < 0 || int(id) >= len(st.vsc) {
+	v, err := st.VChecked(id)
+	if err != nil {
+		st.pageMu.Lock()
+		if st.pageErr == nil {
+			st.pageErr = err
+		}
+		st.pageMu.Unlock()
 		return nil
 	}
-	return st.vsc[id]
+	return v
+}
+
+// VChecked is V with an explicit error: an evicted payload that cannot be
+// reloaded returns a wrapped error instead of masquerading as "no
+// detections".
+func (st *Store) VChecked(id ID) (*VScenario, error) {
+	if int(id) < 0 || int(id) >= len(st.vsc) {
+		return nil, nil
+	}
+	if st.evictedAt(id) {
+		v, err := st.pager.LoadV(id)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: page in V %d: %w", id, err)
+		}
+		return v, nil
+	}
+	return st.vsc[id], nil
+}
+
+// evictedAt reports whether id's payload has been paged out.
+func (st *Store) evictedAt(id ID) bool {
+	return int(id) < len(st.evicted) && st.evicted[id]
+}
+
+// SetVPager installs the reload path for evicted V-Scenario payloads.
+// It must be set before the first EvictV.
+func (st *Store) SetVPager(p VPager) { st.pager = p }
+
+// EvictV drops the in-memory payload of id, which the installed pager must
+// already be able to reload. The caller serializes evictions against reads.
+func (st *Store) EvictV(id ID) error {
+	if st.pager == nil {
+		return fmt.Errorf("scenario: evict V %d: no pager installed", id)
+	}
+	if int(id) < 0 || int(id) >= len(st.vsc) || st.vsc[id] == nil {
+		return fmt.Errorf("scenario: evict V %d: no resident payload", id)
+	}
+	for len(st.evicted) < len(st.vsc) {
+		st.evicted = append(st.evicted, false)
+	}
+	st.vsc[id] = nil
+	st.evicted[id] = true
+	return nil
+}
+
+// PageErr returns the first reload failure seen by the legacy V accessor,
+// or nil. It is sticky: once a page-in has failed, every downstream result
+// is suspect and the engine must fail the run.
+func (st *Store) PageErr() error {
+	st.pageMu.Lock()
+	defer st.pageMu.Unlock()
+	return st.pageErr
 }
 
 // Windows returns the sorted list of time windows that have scenarios.

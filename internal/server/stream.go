@@ -121,7 +121,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 	for _, res := range backlog {
-		writeSSE(w, res)
+		if err := writeSSE(w, res); err != nil {
+			return // client gone; nothing useful left to send
+		}
 	}
 	fl.Flush()
 	for {
@@ -132,17 +134,24 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 			if !open {
 				return
 			}
-			writeSSE(w, res)
+			if err := writeSSE(w, res); err != nil {
+				return
+			}
 			fl.Flush()
 		}
 	}
 }
 
-// writeSSE emits one resolution event frame.
-func writeSSE(w http.ResponseWriter, r stream.Resolution) {
+// writeSSE emits one resolution event frame. A write error means the client
+// disconnected (or the connection broke) mid-frame; the caller must stop the
+// stream rather than keep burning the subscription on a dead pipe.
+func writeSSE(w http.ResponseWriter, r stream.Resolution) error {
 	data, err := json.Marshal(toResolutionBody(r))
 	if err != nil {
-		return
+		return fmt.Errorf("server: encode resolution %d: %w", r.Seq, err)
 	}
-	fmt.Fprintf(w, "event: resolution\ndata: %s\n\n", data)
+	if _, err := fmt.Fprintf(w, "event: resolution\ndata: %s\n\n", data); err != nil {
+		return fmt.Errorf("server: write resolution %d: %w", r.Seq, err)
+	}
+	return nil
 }

@@ -4,10 +4,12 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"net/http/httptest"
 	"strings"
 	"testing"
+	"time"
 
 	"evmatching/internal/core"
 	"evmatching/internal/dataset"
@@ -168,6 +170,98 @@ func testIngestAndStream(t *testing.T, shards int) {
 		if r.Seq != want[i].Seq || r.EID != want[i].EID || r.VID != want[i].VID {
 			t.Errorf("frame %d = %+v, want seq=%d eid=%s vid=%s", i, r, want[i].Seq, want[i].EID, want[i].VID)
 		}
+	}
+}
+
+// brokenPipeWriter is an http.ResponseWriter+Flusher whose Write starts
+// failing after okWrites successes — a client that disconnected mid-stream.
+type brokenPipeWriter struct {
+	hdr      http.Header
+	writes   int
+	okWrites int
+}
+
+func (w *brokenPipeWriter) Header() http.Header { return w.hdr }
+func (w *brokenPipeWriter) WriteHeader(int)     {}
+func (w *brokenPipeWriter) Flush()              {}
+func (w *brokenPipeWriter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.writes > w.okWrites {
+		return 0, errors.New("broken pipe")
+	}
+	return len(p), nil
+}
+
+// TestStreamStopsOnClientWriteError pins that a write failure ends the SSE
+// handler immediately: one successful frame, one failed attempt, return —
+// not a blind march through the whole backlog (or worse, a handler parked
+// forever on the live channel of a dead connection).
+func TestStreamStopsOnClientWriteError(t *testing.T) {
+	checkLeaks(t)
+	cfg := dataset.DefaultConfig()
+	cfg.NumPersons = 40
+	cfg.Density = 8
+	cfg.NumWindows = 8
+	ds, err := dataset.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := core.New(ds, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.MatchAll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, err := fusion.BuildIndex(ds, rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, obs, err := stream.EventsFromDataset(ds, 1_000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := stream.NewEngine(stream.Config{
+		Targets:    ds.AllEIDs()[:6],
+		WindowMS:   1_000,
+		LatenessMS: 250,
+		Dim:        ds.Config.DescriptorDim(),
+		Seed:       7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range obs {
+		if _, err := eng.Ingest(o); err != nil {
+			t.Fatalf("Ingest %d: %v", i, err)
+		}
+	}
+	if err := eng.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Resolutions()) < 2 {
+		t.Fatalf("fixture emitted %d resolutions, need >= 2 for the backlog", len(eng.Resolutions()))
+	}
+	srv, err := New(ds, idx, WithStream(eng))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := &brokenPipeWriter{hdr: make(http.Header), okWrites: 1}
+	req := httptest.NewRequest(http.MethodGet, "/stream", nil)
+	done := make(chan struct{})
+	go func() {
+		srv.ServeHTTP(w, req)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("handler still running after the client write failed")
+	}
+	if w.writes != 2 {
+		t.Errorf("handler made %d writes, want 2 (one frame delivered, one failed attempt, then stop)", w.writes)
 	}
 }
 

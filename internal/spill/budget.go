@@ -1,0 +1,64 @@
+package spill
+
+import "sync/atomic"
+
+// Budget tracks bytes of in-memory state against a configured ceiling.
+// A nil or zero-limit Budget is "unlimited": every method is safe to call
+// and Over always reports false, so call sites need no gating branches.
+//
+// The accounting is intentionally approximate — callers charge the bytes
+// that dominate their working set (shuffle key/value payloads, detection
+// patch pixels) rather than exact heap footprints. The invariant that
+// matters is monotone pressure: when charged bytes exceed the limit the
+// holder spills until they no longer do.
+type Budget struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// NewBudget returns a Budget with the given byte ceiling. limit <= 0
+// means unlimited.
+func NewBudget(limit int64) *Budget {
+	if limit <= 0 {
+		return nil
+	}
+	return &Budget{limit: limit}
+}
+
+// Enabled reports whether this budget imposes a ceiling.
+func (b *Budget) Enabled() bool { return b != nil && b.limit > 0 }
+
+// Add charges n bytes against the budget.
+func (b *Budget) Add(n int64) {
+	if b.Enabled() {
+		b.used.Add(n)
+	}
+}
+
+// Sub releases n bytes (after a spill or eviction).
+func (b *Budget) Sub(n int64) {
+	if b.Enabled() {
+		b.used.Add(-n)
+	}
+}
+
+// Over reports whether charged bytes exceed the ceiling.
+func (b *Budget) Over() bool {
+	return b.Enabled() && b.used.Load() > b.limit
+}
+
+// Used returns the currently charged byte count.
+func (b *Budget) Used() int64 {
+	if !b.Enabled() {
+		return 0
+	}
+	return b.used.Load()
+}
+
+// Limit returns the configured ceiling (0 when unlimited).
+func (b *Budget) Limit() int64 {
+	if !b.Enabled() {
+		return 0
+	}
+	return b.limit
+}

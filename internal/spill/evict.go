@@ -1,0 +1,38 @@
+package spill
+
+// FIFO is the eviction-policy layer for sealed-window state: scenarios are
+// evicted oldest-sealed-first, which matches access order — a sealed
+// (cell, window) scenario is only touched again at merge/split or finalize
+// time, and those passes sweep in seal order too. Deliberately not an LRU:
+// recency tracking would add per-access bookkeeping on the hot match path
+// for no better hit rate on this access pattern.
+//
+// Not safe for concurrent use; the owning engine serializes access under
+// its own lock.
+type FIFO struct {
+	ids  []int64
+	head int
+}
+
+// Push appends an id to the eviction queue.
+func (q *FIFO) Push(id int64) { q.ids = append(q.ids, id) }
+
+// Pop removes and returns the oldest id. The second result is false when
+// the queue is empty.
+func (q *FIFO) Pop() (int64, bool) {
+	if q.head >= len(q.ids) {
+		return 0, false
+	}
+	id := q.ids[q.head]
+	q.head++
+	// Reclaim the drained prefix once it dominates the backing array, so
+	// a long-lived queue does not grow without bound.
+	if q.head > 64 && q.head*2 >= len(q.ids) {
+		q.ids = append(q.ids[:0], q.ids[q.head:]...)
+		q.head = 0
+	}
+	return id, true
+}
+
+// Len returns the number of queued ids.
+func (q *FIFO) Len() int { return len(q.ids) - q.head }

@@ -1,0 +1,45 @@
+package spill
+
+import (
+	"io"
+	"os"
+)
+
+// File is the subset of *os.File the spill tier needs. Sync is the point:
+// the durability bug this package exists to fix was a rename without one.
+type File interface {
+	io.Reader
+	io.Writer
+	io.ReaderAt
+	io.Closer
+	Sync() error
+	Name() string
+}
+
+// FS abstracts the filesystem so tests can inject short writes, ENOSPC,
+// sync failures, and crash-at-any-point schedules. The zero-value OS
+// implementation is the real filesystem.
+type FS interface {
+	Create(name string) (File, error)
+	Open(name string) (File, error)
+	// CreateTemp follows os.CreateTemp semantics: pattern's last "*" is
+	// replaced with a random string, and the file is opened O_RDWR.
+	CreateTemp(dir, pattern string) (File, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	MkdirTemp(dir, pattern string) (string, error)
+	RemoveAll(path string) error
+}
+
+// OS is the production FS backed by package os.
+type OS struct{}
+
+func (OS) Create(name string) (File, error)             { return os.Create(name) }
+func (OS) Open(name string) (File, error)               { return os.Open(name) }
+func (OS) CreateTemp(dir, pattern string) (File, error) { return os.CreateTemp(dir, pattern) }
+func (OS) Rename(oldpath, newpath string) error         { return os.Rename(oldpath, newpath) }
+func (OS) Remove(name string) error                     { return os.Remove(name) }
+func (OS) MkdirTemp(dir, pattern string) (string, error) {
+	return os.MkdirTemp(dir, pattern)
+}
+func (OS) RemoveAll(path string) error { return os.RemoveAll(path) }

@@ -1,0 +1,97 @@
+package spill
+
+import (
+	"container/heap"
+	"fmt"
+	"io"
+)
+
+// Source yields records in (Key, Value) order and returns io.EOF when
+// exhausted. RunReader is a Source; SliceSource adapts an in-memory tail.
+type Source interface {
+	Next() (Record, error)
+}
+
+// SliceSource serves an already-sorted in-memory slice as a Source, so the
+// unspilled tail of a bucket merges uniformly with its on-disk runs.
+type SliceSource struct {
+	recs []Record
+	pos  int
+}
+
+// NewSliceSource wraps recs, which the caller has sorted by (Key, Value).
+func NewSliceSource(recs []Record) *SliceSource { return &SliceSource{recs: recs} }
+
+func (s *SliceSource) Next() (Record, error) {
+	if s.pos >= len(s.recs) {
+		return Record{}, io.EOF
+	}
+	rec := s.recs[s.pos]
+	s.pos++
+	return rec, nil
+}
+
+// mergeItem is one heap entry: the head record of source src.
+type mergeItem struct {
+	rec Record
+	src int
+}
+
+// mergeHeap orders heads by (Key, Value, source index). Keys and values
+// form a total order over records, so any tie-break yields byte-identical
+// output; the source index makes the merge stable anyway.
+type mergeHeap []mergeItem
+
+func (h mergeHeap) Len() int { return len(h) }
+func (h mergeHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.rec.Key != b.rec.Key {
+		return a.rec.Key < b.rec.Key
+	}
+	if a.rec.Value != b.rec.Value {
+		return a.rec.Value < b.rec.Value
+	}
+	return a.src < b.src
+}
+func (h mergeHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x any)   { *h = append(*h, x.(mergeItem)) }
+func (h *mergeHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+// MergeRuns k-way merges sorted sources into a single (Key, Value)-ordered
+// stream, calling emit for each record. Because every source is sorted and
+// the order is total, the merged stream is exactly what sorting the
+// concatenation of all sources would produce — the invariant that keeps
+// spilled shuffles fingerprint-identical to in-memory ones.
+//
+// The first error from a source or from emit aborts the merge.
+func MergeRuns(sources []Source, emit func(Record) error) error {
+	h := make(mergeHeap, 0, len(sources))
+	for i, src := range sources {
+		rec, err := src.Next()
+		if err == io.EOF {
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("spill: merge source %d: %w", i, err)
+		}
+		h = append(h, mergeItem{rec: rec, src: i})
+	}
+	heap.Init(&h)
+	for h.Len() > 0 {
+		it := h[0]
+		if err := emit(it.rec); err != nil {
+			return fmt.Errorf("spill: merge emit: %w", err)
+		}
+		rec, err := sources[it.src].Next()
+		if err == io.EOF {
+			heap.Pop(&h)
+			continue
+		}
+		if err != nil {
+			return fmt.Errorf("spill: merge source %d: %w", it.src, err)
+		}
+		h[0].rec = rec
+		heap.Fix(&h, 0)
+	}
+	return nil
+}

@@ -1,0 +1,127 @@
+package spill
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Record is one shuffle key/value pair as persisted in a run file.
+type Record struct {
+	Key   string
+	Value string
+}
+
+// maxRecordLen caps a single key or value read back from a run file.
+// Anything larger means the file is corrupt (or not a run file at all);
+// failing fast beats attempting a multi-gigabyte allocation.
+const maxRecordLen = 1 << 30
+
+// WriteRun persists recs — which the caller has already sorted — as a run
+// file at path, using the durable atomic write path so a crash never leaves
+// a partial run visible under the final name. It returns the encoded size
+// in bytes.
+//
+// Run format: for each record, uvarint(len(key)) ++ key ++
+// uvarint(len(value)) ++ value. No header or trailer — a clean EOF at a
+// record boundary ends the run, and an EOF inside a record is corruption.
+func WriteRun(fsys FS, path string, recs []Record) (int64, error) {
+	var size int64
+	err := WriteFileAtomic(fsys, path, func(w io.Writer) error {
+		var lenBuf [binary.MaxVarintLen64]byte
+		for _, rec := range recs {
+			n := binary.PutUvarint(lenBuf[:], uint64(len(rec.Key)))
+			if _, err := w.Write(lenBuf[:n]); err != nil {
+				return fmt.Errorf("run record key len: %w", err)
+			}
+			size += int64(n)
+			if _, err := io.WriteString(w, rec.Key); err != nil {
+				return fmt.Errorf("run record key: %w", err)
+			}
+			size += int64(len(rec.Key))
+			n = binary.PutUvarint(lenBuf[:], uint64(len(rec.Value)))
+			if _, err := w.Write(lenBuf[:n]); err != nil {
+				return fmt.Errorf("run record value len: %w", err)
+			}
+			size += int64(n)
+			if _, err := io.WriteString(w, rec.Value); err != nil {
+				return fmt.Errorf("run record value: %w", err)
+			}
+			size += int64(len(rec.Value))
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("spill: write run %s: %w", path, err)
+	}
+	return size, nil
+}
+
+// RunReader streams records back out of a run file in order.
+type RunReader struct {
+	name string
+	f    File
+	br   *bufio.Reader
+}
+
+// OpenRun opens a run file for sequential reading.
+func OpenRun(fsys FS, path string) (*RunReader, error) {
+	f, err := fsys.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("spill: open run %s: %w", path, err)
+	}
+	return &RunReader{name: path, f: f, br: bufio.NewReader(f)}, nil
+}
+
+// Next returns the next record. It returns io.EOF (unwrapped) at a clean
+// end of the run; an EOF mid-record surfaces as a wrapped
+// io.ErrUnexpectedEOF so callers can tell truncation from completion.
+func (r *RunReader) Next() (Record, error) {
+	key, err := r.readField(false)
+	if err != nil {
+		return Record{}, err
+	}
+	value, err := r.readField(true)
+	if err != nil {
+		return Record{}, err
+	}
+	return Record{Key: key, Value: value}, nil
+}
+
+// readField reads one length-prefixed string. midRecord marks fields where
+// EOF can only mean truncation.
+func (r *RunReader) readField(midRecord bool) (string, error) {
+	n, err := binary.ReadUvarint(r.br)
+	if err == io.EOF && !midRecord {
+		return "", io.EOF
+	}
+	if err != nil {
+		return "", fmt.Errorf("spill: run %s truncated: %w", r.name, unexpectEOF(err))
+	}
+	if n > maxRecordLen {
+		return "", fmt.Errorf("spill: run %s corrupt: field length %d exceeds cap", r.name, n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r.br, buf); err != nil {
+		return "", fmt.Errorf("spill: run %s truncated mid-field: %w", r.name, unexpectEOF(err))
+	}
+	return string(buf), nil
+}
+
+// unexpectEOF normalizes a bare EOF seen inside a record to
+// io.ErrUnexpectedEOF, as io.ReadFull does.
+func unexpectEOF(err error) error {
+	if err == io.EOF {
+		return io.ErrUnexpectedEOF
+	}
+	return err
+}
+
+// Close releases the underlying file.
+func (r *RunReader) Close() error {
+	if err := r.f.Close(); err != nil {
+		return fmt.Errorf("spill: close run %s: %w", r.name, err)
+	}
+	return nil
+}

@@ -87,16 +87,22 @@ type checkpointFile struct {
 // resume without reprocessing the log from the start.
 func (e *Engine) Checkpoint(w io.Writer) error {
 	e.mu.Lock()
-	cp := e.checkpointLocked()
+	cp, err := e.checkpointLocked()
 	e.mu.Unlock()
+	if err != nil {
+		return err
+	}
 	if err := gob.NewEncoder(w).Encode(cp); err != nil {
 		return fmt.Errorf("stream: encode checkpoint: %w", err)
 	}
 	return nil
 }
 
-// checkpointLocked builds the engine's checkpoint image. Callers hold e.mu.
-func (e *Engine) checkpointLocked() checkpointFile {
+// checkpointLocked builds the engine's checkpoint image. Evicted V payloads
+// are paged back in transiently — the checkpoint always carries the full
+// state — and a reload failure fails the checkpoint rather than silently
+// persisting a scenario as detection-free. Callers hold e.mu.
+func (e *Engine) checkpointLocked() (checkpointFile, error) {
 	cp := checkpointFile{
 		Version:     CheckpointVersion,
 		WindowMS:    e.cfg.WindowMS,
@@ -119,7 +125,11 @@ func (e *Engine) checkpointLocked() checkpointFile {
 		for _, eid := range ids.SortedEIDKeys(esc.EIDs) {
 			cs.EIDs = append(cs.EIDs, checkpointEID{EID: eid, Attr: esc.EIDs[eid]})
 		}
-		if v := e.store.V(id); v != nil {
+		v, err := e.store.VChecked(id)
+		if err != nil {
+			return checkpointFile{}, fmt.Errorf("stream: checkpoint scenario %d: %w", id, err)
+		}
+		if v != nil {
 			cs.V = *v
 			cs.HasV = true
 		}
@@ -133,7 +143,7 @@ func (e *Engine) checkpointLocked() checkpointFile {
 	for _, k := range keys {
 		cp.Buckets = append(cp.Buckets, bucketToCheckpoint(k, e.buckets[k]))
 	}
-	return cp
+	return cp, nil
 }
 
 // bucketToCheckpoint flattens one open bucket into its checkpoint form: the
@@ -251,6 +261,12 @@ func (e *Engine) restoreScenarios(cp *checkpointFile) error {
 		// identical live-set evolution and rebuilds the partition, the
 		// blocking state, and the prune counters deterministically.
 		e.splitSealedLocked(esc)
+		// Restored payloads count against the memory budget exactly like
+		// freshly sealed ones, so a restored engine re-evicts down to budget
+		// instead of holding the whole checkpoint resident.
+		if err := e.noteSealedLocked(id, vsc); err != nil {
+			return fmt.Errorf("%w: scenario %d: %w", ErrBadCheckpoint, i, err)
+		}
 	}
 	return nil
 }

@@ -86,8 +86,12 @@ func (r *Router) Checkpoint(w io.Writer) error {
 		r.adoptAckLocked(&r.slots[i])
 	}
 	r.merged.mu.Lock()
-	cpg := r.merged.checkpointLocked()
+	cpg, err := r.merged.checkpointLocked()
 	r.merged.mu.Unlock()
+	if err != nil {
+		r.mu.Unlock()
+		return err
+	}
 	cp := routerCheckpointFile{
 		Version:     RouterCheckpointVersion,
 		Shards:      r.cfg.Shards,

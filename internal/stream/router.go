@@ -14,6 +14,7 @@ import (
 	"evmatching/internal/feature"
 	"evmatching/internal/geo"
 	"evmatching/internal/scenario"
+	"evmatching/internal/spill"
 )
 
 // ErrRouterClosed reports use of a router after Close.
@@ -930,6 +931,12 @@ func (r *Router) Watermark() (int64, bool) {
 	return r.maxTS - r.cfg.LatenessMS, true
 }
 
+// SpillStats snapshots the out-of-core activity of the merge stage's engine
+// — the only place sharded streaming holds (and so evicts) sealed state.
+func (r *Router) SpillStats() spill.Snapshot {
+	return r.merged.SpillStats()
+}
+
 // Stats snapshots the router's fault-handling counters.
 func (r *Router) Stats() RouterStats {
 	r.mu.Lock()
@@ -964,6 +971,13 @@ func (r *Router) publishGaugesLocked() {
 	}
 	for i := range r.slots {
 		m[r.slots[i].gaugeName] = r.slots[i].routed
+	}
+	// Eviction happens entirely in the merged engine (shard windowers are
+	// store-less bucket accumulators), so its spill stats are the router's.
+	// spillStats is set once at engine construction and the counters are
+	// atomic, so reading without r.merged.mu is safe.
+	if r.merged.spillStats != nil {
+		addSpillGauges(m, r.merged.spillStats.Snapshot())
 	}
 	r.cfg.Metrics.SetMany(m)
 }

@@ -17,6 +17,7 @@ import (
 	"evmatching/internal/metrics"
 	"evmatching/internal/partition"
 	"evmatching/internal/scenario"
+	"evmatching/internal/spill"
 	"evmatching/internal/vfilter"
 )
 
@@ -56,6 +57,18 @@ type Config struct {
 	Mode core.Mode
 	// Workers sizes Finalize's parallel executor (0 = GOMAXPROCS).
 	Workers int
+
+	// MemBudget caps the bytes of resident sealed V-Scenario payloads.
+	// Past it, closed-but-unmerged scenarios (and their extracted feature
+	// matrices) are evicted oldest-sealed-first to a spill log and paged
+	// back in transiently at match, checkpoint, and finalize time
+	// (DESIGN.md §14). Finalize's batch run inherits the same budget for
+	// its shuffle state. 0 disables the spill tier. The evicted path is
+	// bit-identical to the resident one.
+	MemBudget int64
+	// SpillDir is where spill files live; empty means the OS temp
+	// directory.
+	SpillDir string
 
 	// Clock feeds the watermark-lag gauge; event-time logic never reads it.
 	// Defaults to SystemClock.
@@ -111,6 +124,9 @@ func (c Config) validate() error {
 	}
 	if c.Mode != core.ModeSerial && c.Mode != core.ModeParallel {
 		return fmt.Errorf("%w: mode %d", ErrBadConfig, c.Mode)
+	}
+	if c.MemBudget < 0 {
+		return fmt.Errorf("%w: mem budget %d", ErrBadConfig, c.MemBudget)
 	}
 	return nil
 }
@@ -210,6 +226,16 @@ type Engine struct {
 	blockCandidates int64
 	blockPruned     int64
 
+	// Spill tier (DESIGN.md §14), active when cfg.MemBudget > 0: sealed V
+	// payloads are charged against spillBudget as windows close and evicted
+	// to pager in spillQueue (seal) order once over budget. spillStats is
+	// shared with Finalize's batch executor so one snapshot covers both the
+	// streaming evictions and the batch shuffle runs.
+	spillStats  *spill.Stats
+	pager       *windowPager
+	spillBudget *spill.Budget
+	spillQueue  *spill.FIFO
+
 	ingested    int64
 	lateDropped int64
 
@@ -263,6 +289,23 @@ func (e *Engine) resetMatchState() error {
 		return err
 	}
 	e.filter = f
+	if e.cfg.MemBudget > 0 {
+		if e.spillStats == nil {
+			e.spillStats = &spill.Stats{}
+		}
+		if e.pager != nil {
+			e.pager.Close()
+		}
+		pager, err := newWindowPager(spill.OS{}, e.cfg.SpillDir, e.spillStats)
+		if err != nil {
+			return err
+		}
+		e.pager = pager
+		e.store.SetVPager(pager)
+		e.filter.SetMatrixSource(pager.LoadMatrix)
+		e.spillBudget = spill.NewBudget(e.cfg.MemBudget)
+		e.spillQueue = &spill.FIFO{}
+	}
 	return nil
 }
 
@@ -372,6 +415,9 @@ func (e *Engine) applySealedLocked(k bucketKey, esc *scenario.EScenario, vsc *sc
 		}
 	}
 	e.splitSealedLocked(esc)
+	if err := e.noteSealedLocked(id, vsc); err != nil {
+		return fmt.Errorf("stream: close window %d cell %d: %w", k.Window, k.Cell, err)
+	}
 	return nil
 }
 
@@ -589,6 +635,9 @@ func (e *Engine) Finalize(ctx context.Context) (*core.Report, error) {
 		WorkFactor:      e.cfg.WorkFactor,
 		EDPMaxScenarios: e.cfg.MaxScenarios,
 		MinPerEIDList:   e.cfg.MinPerEIDList,
+		MemBudget:       e.cfg.MemBudget,
+		SpillDir:        e.cfg.SpillDir,
+		SpillStats:      e.spillStats,
 	})
 	if err != nil {
 		return nil, err
@@ -671,7 +720,7 @@ func (e *Engine) publishGauges() {
 	if e.maxTS >= 0 {
 		lag = e.cfg.Clock.Now().UnixMilli() - (e.maxTS - e.cfg.LatenessMS)
 	}
-	e.cfg.Metrics.SetMany(map[string]int64{
+	g := map[string]int64{
 		"stream_open_windows":        int64(e.openWindowsLocked()),
 		"stream_watermark_lag_ms":    lag,
 		"stream_pending_eids":        int64(len(e.cfg.Targets) - len(e.resolved)),
@@ -680,7 +729,11 @@ func (e *Engine) publishGauges() {
 		"block_candidates_total":     e.blockCandidates,
 		"block_pruned_total":         e.blockPruned,
 		"block_prune_ratio":          BlockPruneRatioPercent(e.blockCandidates, e.blockPruned),
-	})
+	}
+	if e.spillStats != nil {
+		addSpillGauges(g, e.spillStats.Snapshot())
+	}
+	e.cfg.Metrics.SetMany(g)
 }
 
 // BlockStats returns how many sealed scenarios the blocking probe admitted

@@ -106,6 +106,12 @@ type Filter struct {
 	vidOrd   map[ids.VID]int32
 	vidByOrd []ids.VID
 
+	// matrixSource, when set, is consulted before extraction: if it returns
+	// a matrix for the scenario (e.g. reloaded from the spill tier), that
+	// matrix is installed instead of re-extracting from detection patches.
+	// Set once at construction time, before any Match runs.
+	matrixSource MatrixSource
+
 	scenariosProcessed atomic.Int64
 	extractions        atomic.Int64
 	comparisons        atomic.Int64
@@ -134,6 +140,31 @@ func New(store *scenario.Store, cfg Config) (*Filter, error) {
 	return f, nil
 }
 
+// MatrixSource supplies a previously extracted feature matrix for a
+// scenario, or (nil, nil) when it has none. The matrix must be the one this
+// Filter (or an identically configured extractor) produced, so a reload is
+// bit-identical to re-extraction.
+type MatrixSource func(id scenario.ID) (*feature.Matrix, error)
+
+// SetMatrixSource installs the reload path for spilled feature matrices.
+// Must be called before the first Match.
+func (f *Filter) SetMatrixSource(src MatrixSource) { f.matrixSource = src }
+
+// Drop removes id's cached features and returns the extracted matrix, so
+// the eviction path can spill it for later reload through the matrix
+// source. Entries that never finished extracting (or failed) are kept and
+// (nil, false) is returned. The caller serializes Drop against Match.
+func (f *Filter) Drop(id scenario.ID) (*feature.Matrix, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	entry, ok := f.cache[id]
+	if !ok || entry.m == nil {
+		return nil, false
+	}
+	delete(f.cache, id)
+	return entry.m, true
+}
+
 // Stats returns a snapshot of the accumulated work counters.
 func (f *Filter) Stats() Stats {
 	return Stats{
@@ -149,8 +180,11 @@ func (f *Filter) Stats() Stats {
 // scenario's feature matrix; callers must not modify them.
 func (f *Filter) Features(id scenario.ID) ([]feature.Vector, error) {
 	s := f.pool.Get().(*scratch)
-	entry := f.features(id, &s.xbuf)
+	entry, err := f.features(id, &s.xbuf)
 	f.pool.Put(s)
+	if err != nil {
+		return nil, err
+	}
 	if entry == nil {
 		return nil, nil
 	}
@@ -172,7 +206,11 @@ func (f *Filter) ExtractBatch(list []scenario.ID) error {
 	s := f.pool.Get().(*scratch)
 	defer f.pool.Put(s)
 	for _, id := range list {
-		if entry := f.features(id, &s.xbuf); entry != nil && entry.err != nil {
+		entry, err := f.features(id, &s.xbuf)
+		if err != nil {
+			return err
+		}
+		if entry != nil && entry.err != nil {
 			return entry.err
 		}
 	}
@@ -180,11 +218,23 @@ func (f *Filter) ExtractBatch(list []scenario.ID) error {
 }
 
 // features returns the scenario's populated cache entry, or nil when the
-// scenario has no detections. A failed extraction is cached (and its cost
-// counted) once; later calls observe the same error without re-extracting.
-// buf is the caller's reusable extraction working storage.
-func (f *Filter) features(id scenario.ID, buf *feature.ExtractBuf) *cacheEntry {
-	v := f.store.V(id)
+// scenario has no detections. The error return is a page-in failure from
+// the store (an evicted payload that could not be reloaded); extraction
+// failures stay cached inside the entry as before.
+func (f *Filter) features(id scenario.ID, buf *feature.ExtractBuf) (*cacheEntry, error) {
+	v, err := f.store.VChecked(id)
+	if err != nil {
+		return nil, err
+	}
+	return f.featuresFor(id, v, buf), nil
+}
+
+// featuresFor is features for a caller that already fetched (or paged in)
+// the V-Scenario, so the hot Match path touches the store exactly once per
+// scenario. A failed extraction is cached (and its cost counted) once;
+// later calls observe the same error without re-extracting. buf is the
+// caller's reusable extraction working storage.
+func (f *Filter) featuresFor(id scenario.ID, v *scenario.VScenario, buf *feature.ExtractBuf) *cacheEntry {
 	if v == nil || len(v.Detections) == 0 {
 		return nil
 	}
@@ -197,6 +247,20 @@ func (f *Filter) features(id scenario.ID, buf *feature.ExtractBuf) *cacheEntry {
 	f.mu.Unlock()
 
 	entry.once.Do(func() {
+		// A spilled matrix, when available, short-circuits extraction: it
+		// is the same matrix a previous extraction produced, so installing
+		// it is bit-identical to re-extracting the patches.
+		if src := f.matrixSource; src != nil {
+			m, err := src(id)
+			if err != nil {
+				entry.err = fmt.Errorf("vfilter: reload features scenario %d: %w", id, err)
+				return
+			}
+			if m != nil {
+				f.fill(entry, v, m)
+				return
+			}
+		}
 		m, err := feature.NewMatrix(f.cfg.Extractor.Dim, len(v.Detections))
 		if err != nil {
 			entry.err = fmt.Errorf("vfilter: features scenario %d: %w", id, err)
@@ -254,7 +318,10 @@ func (f *Filter) fill(entry *cacheEntry, v *scenario.VScenario, m *feature.Matri
 // extraction is counted in Stats exactly as a lazy one would be: the work was
 // paid, just on another goroutine.
 func (f *Filter) Prime(id scenario.ID, m *feature.Matrix) error {
-	v := f.store.V(id)
+	v, err := f.store.VChecked(id)
+	if err != nil {
+		return fmt.Errorf("vfilter: prime scenario %d: %w", id, err)
+	}
 	if v == nil || len(v.Detections) == 0 {
 		return fmt.Errorf("vfilter: prime scenario %d: no detections in store", id)
 	}
@@ -404,13 +471,16 @@ func (f *Filter) Match(e ids.EID, list []scenario.ID, exclude map[ids.VID]bool) 
 	// detection's VID — then resolve the exclusion set to a dense ordinal
 	// bitset.
 	for i, id := range list {
-		entry := f.features(id, &s.xbuf)
-		if entry != nil && entry.err != nil {
-			return res, entry.err
+		v, err := f.store.VChecked(id)
+		if err != nil {
+			return res, err
 		}
-		v := f.store.V(id)
 		if v == nil {
 			continue
+		}
+		entry := f.featuresFor(id, v, &s.xbuf)
+		if entry != nil && entry.err != nil {
+			return res, entry.err
 		}
 		s.scans[i].v = v
 		if entry != nil {
