@@ -29,6 +29,11 @@ import (
 )
 
 func main() {
+	// The remote-shard suite benchmarks spawn this binary as their evshardd
+	// worker; a re-exec marked by the sentinel runs the worker loop instead.
+	if benchsuite.IsWorkerReexec() {
+		os.Exit(benchsuite.WorkerExitCode())
+	}
 	if err := run(os.Args[1:]); err != nil {
 		fmt.Fprintln(os.Stderr, "evbench:", err)
 		os.Exit(1)

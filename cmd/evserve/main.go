@@ -6,6 +6,7 @@
 //
 //	evserve -data world.gob [-addr 127.0.0.1:8080] [-mode serial|parallel|cluster] [-workers 3]
 //	        [-stream-window 0] [-stream-lateness 250] [-stream-shards 0]
+//	        [-stream-shard-workers 0] [-shardd path]
 //	        [-stream-checkpoint state.ckpt] [-stream-checkpoint-every 30s]
 //	        [-mem-budget 0] [-spill-dir ""]
 //
@@ -23,7 +24,12 @@
 // ingest path runs through the sharded router instead: observations partition
 // by cell across N concurrent windowers, and /metricsz additionally carries
 // the per-shard stream_shard<N>_ingested gauges plus stream_shards and
-// stream_shard_redispatches.
+// stream_shard_redispatches. With -stream-shard-workers N > 0 the N shards
+// run in separate evshardd worker processes over net/rpc (DESIGN.md §15),
+// supervised and redispatched on death; -shardd names the worker binary
+// (default: evshardd next to evserve, else on PATH), and the shardrpc_*
+// worker gauges — spawns, kills, retries, redispatches, per-shard apply
+// latency — join /metricsz.
 //
 // In cluster mode the matching phase runs on the fault-tolerant distributed
 // runtime (an in-process coordinator plus -workers workers over localhost
@@ -48,6 +54,7 @@ import (
 	"evmatching/internal/mapreduce"
 	"evmatching/internal/metrics"
 	"evmatching/internal/server"
+	"evmatching/internal/shardrpc"
 	"evmatching/internal/spill"
 	"evmatching/internal/stream"
 )
@@ -161,15 +168,18 @@ func publishSpillStats(reg *metrics.Registry, s spill.Snapshot) {
 
 // startStream builds the live-ingestion processor, resuming from the
 // checkpoint file when one exists (both the v2 single-engine and v3 sharded
-// formats restore into either topology).
-func startStream(cfg stream.Config, shards int, ckptPath string) (stream.Processor, error) {
+// formats restore into either topology). A non-nil runner hosts the shards
+// through it — the evshardd worker-process path — instead of in-process
+// goroutines.
+func startStream(cfg stream.Config, shards int, runner stream.ShardRunner, ckptPath string) (stream.Processor, error) {
+	rcfg := stream.RouterConfig{Config: cfg, Shards: shards, Runner: runner}
 	if ckptPath != "" {
 		cf, err := os.Open(ckptPath)
 		switch {
 		case err == nil:
 			defer cf.Close()
 			if shards > 0 {
-				return stream.RestoreRouter(stream.RouterConfig{Config: cfg, Shards: shards}, cf)
+				return stream.RestoreRouter(rcfg, cf)
 			}
 			return stream.Restore(cfg, cf)
 		case errors.Is(err, os.ErrNotExist):
@@ -179,7 +189,7 @@ func startStream(cfg stream.Config, shards int, ckptPath string) (stream.Process
 		}
 	}
 	if shards > 0 {
-		return stream.NewRouter(stream.RouterConfig{Config: cfg, Shards: shards})
+		return stream.NewRouter(rcfg)
 	}
 	return stream.NewEngine(cfg)
 }
@@ -210,6 +220,8 @@ func run(args []string, ready chan<- string) error {
 		streamWindow   = fs.Int64("stream-window", 0, "enable live ingestion with this event-time window in ms (0 = off)")
 		streamLateness = fs.Int64("stream-lateness", 250, "allowed lateness for live ingestion in ms")
 		streamShards   = fs.Int("stream-shards", 0, "cell-range ingest shards for live ingestion (0 = unsharded single engine)")
+		streamShardWks = fs.Int("stream-shard-workers", 0, "run N ingest shards in separate evshardd worker processes (mutually exclusive with -stream-shards)")
+		sharddPath     = fs.String("shardd", "", "evshardd worker binary for -stream-shard-workers (default: next to evserve, else on PATH)")
 		streamCkpt     = fs.String("stream-checkpoint", "", "stream checkpoint file: restored on startup when present, rewritten periodically")
 		streamCkptIvl  = fs.Duration("stream-checkpoint-every", 30*time.Second, "interval between stream checkpoint writes (0 = only restore)")
 		memBudget      = fs.Int64("mem-budget", 0, "bytes of in-memory shuffle and sealed-window state; past it, state spills to disk (0 = unlimited)")
@@ -220,6 +232,12 @@ func run(args []string, ready chan<- string) error {
 	}
 	if *data == "" {
 		return errors.New("-data is required")
+	}
+	if *streamShardWks > 0 && *streamShards > 0 {
+		return errors.New("use either -stream-shards or -stream-shard-workers, not both")
+	}
+	if *streamShardWks > 0 && *streamWindow <= 0 {
+		return errors.New("-stream-shard-workers needs -stream-window > 0")
 	}
 	ds, err := evmatching.LoadDataset(*data)
 	if err != nil {
@@ -283,13 +301,36 @@ func run(args []string, ready chan<- string) error {
 			SpillDir:   *spillDir,
 			Metrics:    reg,
 		}
-		proc, err := startStream(scfg, *streamShards, *streamCkpt)
+		nshards := *streamShards
+		var runner stream.ShardRunner
+		if *streamShardWks > 0 {
+			nshards = *streamShardWks
+			bin, err := shardrpc.ResolveWorkerBinary(*sharddPath)
+			if err != nil {
+				return err
+			}
+			sup := shardrpc.NewSupervisor(shardrpc.SupervisorConfig{
+				Command: []string{bin},
+				Metrics: reg,
+				Stderr:  os.Stderr,
+			})
+			// The supervisor closes after the router (defers run LIFO), so
+			// shard stop channels quiesce worker traffic before the
+			// processes are torn down.
+			defer sup.Close()
+			runner = sup
+		}
+		proc, err := startStream(scfg, nshards, runner, *streamCkpt)
 		if err != nil {
 			return err
 		}
 		if router, ok := proc.(*stream.Router); ok {
 			defer router.Close()
-			fmt.Printf("live ingestion sharded across %d cell-range windowers\n", *streamShards)
+			if *streamShardWks > 0 {
+				fmt.Printf("live ingestion sharded across %d evshardd worker processes\n", nshards)
+			} else {
+				fmt.Printf("live ingestion sharded across %d cell-range windowers\n", nshards)
+			}
 		}
 		if n := proc.Ingested(); n > 0 {
 			fmt.Printf("resumed stream state from %s at observation %d\n", *streamCkpt, n)

@@ -10,7 +10,8 @@
 //
 //	evstream -log obs.jsonl [-targets aa:bb:...,...] [-lateness-ms 250]
 //	         [-speed 0] [-seed 1] [-mode serial|parallel] [-workers 0]
-//	         [-shards 0] [-checkpoint state.ckpt] [-checkpoint-every 2000]
+//	         [-shards 0] [-shard-workers 0] [-shardd path] [-shard-kill spec]
+//	         [-checkpoint state.ckpt] [-checkpoint-every 2000]
 //	         [-max-events 0] [-finalize] [-mem-budget 0] [-spill-dir ""] [-v]
 //
 // With -shards N > 0 the replay runs through the sharded router: N
@@ -18,6 +19,14 @@
 // producing the same resolutions and the same final fingerprint as the
 // unsharded engine (checkpoints are then written in the sharded v3 format;
 // both v2 and v3 images restore into any shard count).
+//
+// With -shard-workers N > 0 the N shards run in separate evshardd worker
+// processes over net/rpc (DESIGN.md §15) instead of in-process goroutines:
+// same router, same fingerprint, but each windower lives in its own
+// process, supervised and redispatched on death. -shardd names the worker
+// binary (default: evshardd next to evstream, else on PATH); -shard-kill
+// "shard@step,..." SIGKILLs workers on a script, the chaos drill CI runs to
+// prove a killed worker's shard recovers bit-identically.
 //
 // When -checkpoint names an existing file the replay resumes from it,
 // skipping the observations the checkpointed engine already ingested — the
@@ -38,6 +47,7 @@ import (
 
 	"evmatching/internal/core"
 	"evmatching/internal/ids"
+	"evmatching/internal/shardrpc"
 	"evmatching/internal/spill"
 	"evmatching/internal/stream"
 )
@@ -60,6 +70,9 @@ func run(args []string, out io.Writer) error {
 		modeName   = fs.String("mode", "serial", "finalize execution mode: serial or parallel")
 		workers    = fs.Int("workers", 0, "parallel workers (0 = GOMAXPROCS)")
 		shards     = fs.Int("shards", 0, "cell-range ingest shards (0 = unsharded single engine)")
+		shardWkrs  = fs.Int("shard-workers", 0, "run N ingest shards in separate evshardd worker processes (mutually exclusive with -shards)")
+		sharddPath = fs.String("shardd", "", "evshardd worker binary for -shard-workers (default: next to evstream, else on PATH)")
+		shardKill  = fs.String("shard-kill", "", "scripted chaos kills for -shard-workers: comma-separated shard@step entries")
 		ckptPath   = fs.String("checkpoint", "", "checkpoint file: resumed from when present, rewritten during replay")
 		ckptEvery  = fs.Int64("checkpoint-every", 2000, "observations between checkpoint writes")
 		maxEvents  = fs.Int64("max-events", 0, "stop after this log position (0 = whole log)")
@@ -73,6 +86,12 @@ func run(args []string, out io.Writer) error {
 	}
 	if *logPath == "" {
 		return errors.New("-log is required")
+	}
+	if *shardWkrs > 0 && *shards > 0 {
+		return errors.New("use either -shards or -shard-workers, not both")
+	}
+	if *shardKill != "" && *shardWkrs == 0 {
+		return errors.New("-shard-kill needs -shard-workers")
 	}
 	var mode core.Mode
 	switch *modeName {
@@ -126,16 +145,44 @@ func run(args []string, out io.Writer) error {
 		SpillDir:   *spillDir,
 	}
 
+	// With -shard-workers the shards run in supervised evshardd processes:
+	// same router and checkpoint formats, different shard hosting. The
+	// supervisor closes after the router (defers run LIFO), so in-flight
+	// worker calls see the router's stop channels first.
+	nshards := *shards
+	var sup *shardrpc.Supervisor
+	if *shardWkrs > 0 {
+		nshards = *shardWkrs
+		bin, err := shardrpc.ResolveWorkerBinary(*sharddPath)
+		if err != nil {
+			return err
+		}
+		plan, err := shardrpc.ParseKillSpec(*shardKill)
+		if err != nil {
+			return err
+		}
+		sup = shardrpc.NewSupervisor(shardrpc.SupervisorConfig{
+			Command:  []string{bin},
+			KillPlan: plan,
+			Stderr:   os.Stderr,
+		})
+		defer sup.Close()
+	}
+
 	// Resume from the checkpoint when one exists; otherwise start fresh. With
-	// -shards the processor is the sharded router, which restores both v2
+	// shards the processor is the sharded router, which restores both v2
 	// single-engine and v3 sharded images, redistributing buckets by cell.
+	rcfg := stream.RouterConfig{Config: cfg, Shards: nshards}
+	if sup != nil {
+		rcfg.Runner = sup
+	}
 	var e stream.Processor
 	if *ckptPath != "" {
 		cf, err := os.Open(*ckptPath)
 		switch {
 		case err == nil:
-			if *shards > 0 {
-				e, err = stream.RestoreRouter(stream.RouterConfig{Config: cfg, Shards: *shards}, cf)
+			if nshards > 0 {
+				e, err = stream.RestoreRouter(rcfg, cf)
 			} else {
 				e, err = stream.Restore(cfg, cf)
 			}
@@ -151,8 +198,8 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	if e == nil {
-		if *shards > 0 {
-			e, err = stream.NewRouter(stream.RouterConfig{Config: cfg, Shards: *shards})
+		if nshards > 0 {
+			e, err = stream.NewRouter(rcfg)
 		} else {
 			e, err = stream.NewEngine(cfg)
 		}
@@ -206,9 +253,25 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 
+	// One greppable line per run for the cluster-smoke CI job: did workers
+	// spawn, did the scripted kills fire, did redispatch recover them.
+	printWorkerStats := func() {
+		if sup == nil {
+			return
+		}
+		st := sup.Stats()
+		var red int64
+		if r, ok := e.(*stream.Router); ok {
+			red = r.Stats().SupervisorRedispatches
+		}
+		fmt.Fprintf(out, "shard workers: spawned=%d kills=%d redispatches=%d retries=%d fallbacks=%d\n",
+			st.Spawned, st.Kills, red, st.Retries, st.Fallbacks)
+	}
+
 	if !*finalize {
 		fmt.Fprintf(out, "replayed %d/%d observations (%d late-dropped), %d resolutions emitted\n",
 			e.Ingested(), len(obs), e.LateDropped(), len(e.Resolutions()))
+		printWorkerStats()
 		return nil
 	}
 	rep, err := e.Finalize(context.Background())
@@ -233,6 +296,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "spill: %d bytes spilled, %d evictions, %d reloads, %d runs written, %d runs merged\n",
 			s.BytesSpilled, s.Evictions, s.Reloads, s.RunsWritten, s.RunsMerged)
 	}
+	printWorkerStats()
 	return nil
 }
 

@@ -60,6 +60,25 @@ func BenchmarkStreamReplayShards(b *testing.B) {
 	}
 }
 
+// BenchmarkStreamReplayRemoteShards is the same replay through separate
+// worker processes (the bench binary re-execs itself as evshardd via
+// TestMain's sentinel). Compared against BenchmarkStreamReplayShards at the
+// same count, the delta prices the cross-process tax — serialization, rpc
+// round-trips, supervisor bookkeeping — which BenchmarkShardRPCSerialize
+// breaks out in isolation.
+func BenchmarkStreamReplayRemoteShards(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), streamReplayRemoteShardsBench(workers))
+	}
+}
+
+// BenchmarkShardRPCSerialize prices one gob round-trip of a representative
+// sealed-round ApplyReply — the per-emission wire cost inside the remote
+// replay numbers.
+func BenchmarkShardRPCSerialize(b *testing.B) {
+	shardRPCSerializeBench()(b)
+}
+
 // BenchmarkMatchSSBlocked is the asymptote gate for the spatiotemporal
 // blocking index (DESIGN.md §13): warm SS matches over the cached scale
 // worlds, blocked versus exhaustive, with the matcher (and thus the index

@@ -332,6 +332,10 @@ func benchmarks() []benchmark {
 		{"StreamReplay", streamReplayBench()},
 		{"StreamReplayShards1", streamReplayShardsBench(1)},
 		{"StreamReplayShards4", streamReplayShardsBench(4)},
+		{"StreamReplayRemoteShards1", streamReplayRemoteShardsBench(1)},
+		{"StreamReplayRemoteShards2", streamReplayRemoteShardsBench(2)},
+		{"StreamReplayRemoteShards4", streamReplayRemoteShardsBench(4)},
+		{"ShardRPCSerialize", shardRPCSerializeBench()},
 		{"Sim", func(b *testing.B) {
 			rng := rand.New(rand.NewSource(1))
 			x, y := randomUnit(rng, 64), randomUnit(rng, 64)

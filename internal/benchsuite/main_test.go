@@ -1,0 +1,16 @@
+package benchsuite
+
+import (
+	"os"
+	"testing"
+)
+
+// TestMain routes worker re-execs: the remote replay benchmarks spawn this
+// test binary as their evshardd, marked by the sentinel env var, and such a
+// process must run the worker loop instead of the test suite.
+func TestMain(m *testing.M) {
+	if IsWorkerReexec() {
+		os.Exit(WorkerExitCode())
+	}
+	os.Exit(m.Run())
+}

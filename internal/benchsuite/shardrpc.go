@@ -1,0 +1,141 @@
+package benchsuite
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"os"
+	"testing"
+
+	"evmatching/internal/feature"
+	"evmatching/internal/geo"
+	"evmatching/internal/ids"
+	"evmatching/internal/scenario"
+	"evmatching/internal/shardrpc"
+	"evmatching/internal/stream"
+)
+
+// WorkerSentinelEnv marks a process as a shard worker re-exec. The remote
+// replay benchmarks spawn the current binary as their evshardd: both hosts
+// of this suite — the package's TestMain and cmd/evbench — check the
+// sentinel first and hand the process to shardrpc.WorkerMain before any
+// normal startup, exactly like the shardrpc package tests.
+const WorkerSentinelEnv = "EVSHARD_WORKER"
+
+// IsWorkerReexec reports whether this process was spawned as a shard
+// worker and should run WorkerExitCode instead of its normal entrypoint.
+func IsWorkerReexec() bool {
+	return os.Getenv(WorkerSentinelEnv) == "1"
+}
+
+// WorkerExitCode runs the evshardd worker loop in-place and returns its
+// exit code. Callers os.Exit with it.
+func WorkerExitCode() int {
+	return shardrpc.WorkerMain(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)
+}
+
+// streamReplayRemoteShardsBench replays the sharded-stream workload through
+// N separate worker processes, timing ingest through Flush like
+// streamReplayShardsBench — so the delta against StreamReplayShards at the
+// same shard count is exactly the cross-process tax: gob serialization, rpc
+// round-trips, and supervisor bookkeeping. One supervisor is shared across
+// all b.N iterations — Configure resets the hosted windower, so worker
+// processes are reused and process spawn is amortized out of the steady
+// state (the first iteration still pays it, as a real deployment would).
+func streamReplayRemoteShardsBench(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		exe, err := os.Executable()
+		if err != nil {
+			b.Fatal(err)
+		}
+		scfg, obs := streamReplayShardsWorkload(b)
+		sup := shardrpc.NewSupervisor(shardrpc.SupervisorConfig{
+			Command: []string{exe},
+			Env:     []string{WorkerSentinelEnv + "=1"},
+		})
+		defer sup.Close()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			r, err := stream.NewRouter(stream.RouterConfig{
+				Config: scfg, Shards: workers, Runner: sup,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, o := range obs {
+				if _, err := r.Ingest(o); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := r.Flush(); err != nil {
+				b.Fatal(err)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(len(r.Resolutions())), "resolutions")
+			if err := r.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+		b.StopTimer()
+		if st := sup.Stats(); st.Fallbacks > 0 {
+			b.Fatalf("remote bench fell back in-process %d times (worker spawn broken?)", st.Fallbacks)
+		}
+	}
+}
+
+// shardRPCSerializeBench isolates the wire cost the remote replays pay per
+// emission: a gob encode+decode round-trip of a representative ApplyReply —
+// one sealed round of four (window, cell) closures, eight detections and
+// eight EIDs each, with the extracted 64-dim feature matrix. This is an
+// upper bound on the steady-state cost (net/rpc reuses one gob stream per
+// connection, so type descriptors travel once, not per reply as here).
+// wire_bytes reports the encoded payload size.
+func shardRPCSerializeBench() func(b *testing.B) {
+	return func(b *testing.B) {
+		rng := rand.New(rand.NewSource(9))
+		const dets, dim = 8, 64
+		sealed := make([]stream.ShardSealed, 4)
+		for i := range sealed {
+			s := stream.ShardSealed{Window: i, Cell: geo.CellID(3 + i), FeatDim: dim}
+			for j := 0; j < dets; j++ {
+				s.EIDs = append(s.EIDs, stream.BucketEID{
+					EID: ids.EID(fmt.Sprintf("bench-e%02d", j)), Attr: scenario.AttrInclusive,
+				})
+				s.Dets = append(s.Dets, scenario.Detection{
+					VID:        ids.VID(fmt.Sprintf("bench-v%02d-%d", j, i)),
+					Patch:      feature.EncodePatch(randomUnit(rng, dim), 1, rng),
+					TruePerson: j,
+				})
+			}
+			s.Feat = make([]float64, dets*dim)
+			for k := range s.Feat {
+				s.Feat[k] = rng.NormFloat64()
+			}
+			sealed[i] = s
+		}
+		reply := shardrpc.ApplyReply{Outs: []stream.ShardOut{{
+			Kind: stream.ShardOutRound, Round: 1, Target: 1, MaxTS: 1_000, Sealed: sealed,
+		}}}
+		var size int
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(&reply); err != nil {
+				b.Fatal(err)
+			}
+			size = buf.Len()
+			var dec shardrpc.ApplyReply
+			if err := gob.NewDecoder(&buf).Decode(&dec); err != nil {
+				b.Fatal(err)
+			}
+			if len(dec.Outs) != 1 {
+				b.Fatalf("round-trip lost emissions: got %d", len(dec.Outs))
+			}
+		}
+		b.ReportMetric(float64(size), "wire_bytes")
+	}
+}

@@ -58,7 +58,18 @@ func NewWorker(addr string, cfg WorkerConfig) (*Worker, error) {
 	if cfg.HeartbeatInterval == 0 {
 		cfg.HeartbeatInterval = DefaultHeartbeatInterval
 	}
-	client, err := rpc.Dial("tcp", addr)
+	// With heartbeats on, the connection carries steady traffic, so the
+	// deadline-armed client is safe and a half-dead coordinator surfaces as
+	// a timeout instead of a worker hung forever in a Call. With heartbeats
+	// disabled there is no traffic to keep the idle rpc reader fed, so the
+	// plain client (no read deadline) is the correct choice.
+	var client *rpc.Client
+	var err error
+	if cfg.HeartbeatInterval > 0 {
+		client, err = DialRPC(addr, DefaultRPCCallTimeout, 1)
+	} else {
+		client, err = rpc.Dial("tcp", addr)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("cluster: dial coordinator %s: %w", addr, err)
 	}

@@ -18,6 +18,7 @@ var mapRangePackages = []string{
 	"internal/partition",
 	"internal/stream",
 	"internal/spill",
+	"internal/shardrpc",
 }
 
 // MapRangeAnalyzer flags `range` over map-typed values in result-affecting

@@ -16,6 +16,7 @@ var wallclockPackages = []string{
 	"internal/stream",
 	"internal/chaos",
 	"internal/spill",
+	"internal/shardrpc",
 }
 
 // wallclockFuncs are the time-package entry points that read the process

@@ -1,0 +1,108 @@
+package shardrpc
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"evmatching/internal/feature"
+	"evmatching/internal/scenario"
+	"evmatching/internal/stream"
+)
+
+// mustGob encodes a seed-corpus value, panicking only at fuzz setup time.
+func mustGob(v any) []byte {
+	var b bytes.Buffer
+	if err := gob.NewEncoder(&b).Encode(v); err != nil {
+		panic(err)
+	}
+	return b.Bytes()
+}
+
+// fuzzSeedMsgs is a representative message batch: a valid E observation, a
+// V observation with a well-formed patch, a close round, and a snapshot
+// request — the full ShardMsgKind surface.
+func fuzzSeedMsgs() []stream.ShardMsg {
+	patch := &feature.Patch{W: 4, H: 4, Pix: bytes.Repeat([]byte{128}, 16)}
+	return []stream.ShardMsg{
+		{Pos: 1, Kind: stream.ShardMsgObs, Obs: stream.Observation{
+			TS: 10, Kind: stream.KindE, Cell: 3, EID: "e-1", Attr: scenario.AttrInclusive,
+		}},
+		{Pos: 2, Kind: stream.ShardMsgObs, Obs: stream.Observation{
+			TS: 20, Kind: stream.KindV, Cell: 3, VID: "v-1", Person: 1, Patch: patch,
+		}},
+		{Pos: 3, Kind: stream.ShardMsgClose, Round: 1, Target: 1, MaxTS: 1500},
+		{Pos: 4, Kind: stream.ShardMsgSnap},
+	}
+}
+
+// FuzzShardRPCDecode feeds hostile wire bytes — truncated, duplicated,
+// bit-flipped, or arbitrary — through the worker's rpc surface: whatever
+// gob accepts is then driven through Configure/Apply/Ping, including a
+// duplicated Apply (the supervisor's at-least-once redelivery). Nothing on
+// this path may panic; errors are the contract for bad input.
+func FuzzShardRPCDecode(f *testing.F) {
+	params := stream.ShardParams{WindowMS: 1_000, Dim: 8, WorkFactor: 1}
+	validConfigure := mustGob(&ConfigureArgs{
+		Shard: 0, Incarnation: 1, Params: params,
+		Initial: []stream.ShardBucket{{
+			Window: 0, Cell: 3,
+			EIDs: []stream.BucketEID{{EID: "e-1", Attr: scenario.Attr(1)}},
+			Dets: []scenario.Detection{{VID: "v-1", TruePerson: 1,
+				Patch: feature.Patch{W: 4, H: 4, Pix: bytes.Repeat([]byte{127}, 16)}}},
+		}},
+	})
+	validApply := mustGob(&ApplyArgs{Shard: 0, Incarnation: 1, Msgs: fuzzSeedMsgs()})
+	// Hostile shapes: a bucket whose patch dimensions lie about the pixel
+	// count, and a feature payload the seal path must reject, not index.
+	hostileConfigure := mustGob(&ConfigureArgs{
+		Shard: 0, Incarnation: 1, Params: params,
+		Initial: []stream.ShardBucket{{
+			Window: 2, Cell: 9,
+			Dets: []scenario.Detection{{VID: "v-x",
+				Patch: feature.Patch{W: 1000, H: 1000, Pix: []byte{1, 2, 3}}}},
+		}},
+	})
+	f.Add(validConfigure, validApply)
+	f.Add(hostileConfigure, validApply)
+	f.Add(validConfigure[:len(validConfigure)/2], validApply[:len(validApply)/2])
+	f.Add(append(append([]byte{}, validApply...), validApply...), []byte("garbage"))
+	f.Add([]byte{}, []byte{0xff, 0x00, 0x13, 0x37})
+
+	f.Fuzz(func(t *testing.T, rawConf, rawApply []byte) {
+		if len(rawConf) > 64<<10 || len(rawApply) > 64<<10 {
+			return
+		}
+		w := &workerState{}
+		var ca ConfigureArgs
+		if err := gob.NewDecoder(bytes.NewReader(rawConf)).Decode(&ca); err == nil {
+			// Clamp the cost knobs: huge WorkFactor/Dim values are slow, not
+			// unsafe (extraction cost scales with both), and would stall the
+			// fuzzer without exercising any new decode surface.
+			if ca.Params.WorkFactor > 4 {
+				ca.Params.WorkFactor = 4
+			}
+			if ca.Params.Dim > 64 {
+				ca.Params.Dim = 64
+			}
+			_ = w.Configure(&ca, &ConfigureReply{})
+		}
+		var aa ApplyArgs
+		if err := gob.NewDecoder(bytes.NewReader(rawApply)).Decode(&aa); err == nil {
+			// Apply against whatever Configure left behind (possibly nothing),
+			// then against a known-good windower under the same identity, then
+			// duplicated — redelivery after a lost reply must not panic.
+			var rep ApplyReply
+			_ = w.Apply(&aa, &rep)
+			base := ConfigureArgs{Shard: aa.Shard, Incarnation: aa.Incarnation, Params: params}
+			if err := w.Configure(&base, &ConfigureReply{}); err == nil {
+				rep = ApplyReply{}
+				_ = w.Apply(&aa, &rep)
+				rep = ApplyReply{}
+				_ = w.Apply(&aa, &rep)
+			}
+		}
+		var ping PingReply
+		_ = w.Ping(&PingArgs{}, &ping)
+	})
+}

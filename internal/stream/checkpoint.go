@@ -30,23 +30,23 @@ var ErrBadCheckpoint = errors.New("stream: bad checkpoint")
 type checkpointScenario struct {
 	Cell   geo.CellID
 	Window int
-	EIDs   []checkpointEID
+	EIDs   []BucketEID
 	V      scenario.VScenario
 	HasV   bool
 }
 
-// checkpointEID is one (EID, attr) entry of an open bucket, slice-encoded in
+// BucketEID is one (EID, attr) entry of an open bucket, slice-encoded in
 // sorted order for stable checkpoint bytes.
-type checkpointEID struct {
+type BucketEID struct {
 	EID  ids.EID
 	Attr scenario.Attr
 }
 
-// checkpointBucket is one open (window, cell) bucket.
-type checkpointBucket struct {
+// ShardBucket is one open (window, cell) bucket.
+type ShardBucket struct {
 	Window int
 	Cell   geo.CellID
-	EIDs   []checkpointEID
+	EIDs   []BucketEID
 	Dets   []scenario.Detection
 }
 
@@ -75,7 +75,7 @@ type checkpointFile struct {
 	Seq         int
 
 	Scenarios   []checkpointScenario
-	Buckets     []checkpointBucket
+	Buckets     []ShardBucket
 	Resolutions []Resolution
 	Accepted    []ids.VID
 	Resolved    []ids.EID
@@ -123,7 +123,7 @@ func (e *Engine) checkpointLocked() (checkpointFile, error) {
 		esc := e.store.E(id)
 		cs := checkpointScenario{Cell: esc.Cell, Window: esc.Window}
 		for _, eid := range ids.SortedEIDKeys(esc.EIDs) {
-			cs.EIDs = append(cs.EIDs, checkpointEID{EID: eid, Attr: esc.EIDs[eid]})
+			cs.EIDs = append(cs.EIDs, BucketEID{EID: eid, Attr: esc.EIDs[eid]})
 		}
 		v, err := e.store.VChecked(id)
 		if err != nil {
@@ -150,14 +150,14 @@ func (e *Engine) checkpointLocked() (checkpointFile, error) {
 // EID map becomes a sorted (EID, attr) slice and the detections are deep-
 // copied, so the image stays valid while the live bucket keeps absorbing —
 // the router's sub-checkpoint snapshots outlive the shard that emitted them.
-func bucketToCheckpoint(k bucketKey, b *bucket) checkpointBucket {
-	cb := checkpointBucket{
+func bucketToCheckpoint(k bucketKey, b *bucket) ShardBucket {
+	cb := ShardBucket{
 		Window: k.Window,
 		Cell:   k.Cell,
 		Dets:   append(make([]scenario.Detection, 0, len(b.dets)), b.dets...),
 	}
 	for _, eid := range ids.SortedEIDKeys(b.eids) {
-		cb.EIDs = append(cb.EIDs, checkpointEID{EID: eid, Attr: b.eids[eid]})
+		cb.EIDs = append(cb.EIDs, BucketEID{EID: eid, Attr: b.eids[eid]})
 	}
 	return cb
 }
@@ -166,7 +166,7 @@ func bucketToCheckpoint(k bucketKey, b *bucket) checkpointBucket {
 // deep-copying the detections so restored buckets never share backing arrays
 // with the image they came from (a redispatched shard and its stale
 // predecessor may both restore from the same sub-checkpoint).
-func bucketFromCheckpoint(cb checkpointBucket) *bucket {
+func bucketFromCheckpoint(cb ShardBucket) *bucket {
 	b := &bucket{
 		eids:    make(map[ids.EID]scenario.Attr, len(cb.EIDs)),
 		detSeen: make(map[string]bool, len(cb.Dets)),

@@ -20,7 +20,7 @@ const RouterCheckpointVersion = 3
 // ascending (window, cell) order.
 type shardCheckpoint struct {
 	Shard   int
-	Buckets []checkpointBucket
+	Buckets []ShardBucket
 }
 
 // routerCheckpointFile is the gob-encoded sharded stream state. Its field
@@ -54,7 +54,7 @@ type routerCheckpointFile struct {
 
 	// Buckets carries a v2 checkpoint's open buckets (the upgrade path);
 	// v3 files carry ShardBuckets instead and leave this empty.
-	Buckets      []checkpointBucket
+	Buckets      []ShardBucket
 	ShardBuckets []shardCheckpoint
 }
 
@@ -73,7 +73,7 @@ func (r *Router) Checkpoint(w io.Writer) error {
 	want := make([]int64, len(r.slots))
 	for i := range r.slots {
 		slot := &r.slots[i]
-		r.sendLocked(slot, shardMsg{kind: msgSnap})
+		r.sendLocked(slot, ShardMsg{Kind: ShardMsgSnap})
 		slot.pendingSnap = slot.sent
 		want[i] = slot.sent
 	}
@@ -167,7 +167,7 @@ func RestoreRouter(cfg RouterConfig, rd io.Reader) (*Router, error) {
 	if err := gob.NewDecoder(rd).Decode(&cp); err != nil {
 		return nil, fmt.Errorf("%w: decode: %w", ErrBadCheckpoint, err)
 	}
-	var open []checkpointBucket
+	var open []ShardBucket
 	switch cp.Version {
 	case CheckpointVersion: // v2: single-engine image
 		if len(cp.ShardBuckets) != 0 {

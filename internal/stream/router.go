@@ -81,6 +81,12 @@ type RouterConfig struct {
 	LeaseTTL time.Duration
 	// Faults, when non-nil, injects shard faults (tests only).
 	Faults ShardFaultPlan
+	// Runner, when non-nil, runs shard incarnations instead of the
+	// in-process windower goroutines — the seam internal/shardrpc's
+	// supervisor plugs into to host shards in worker processes. Mutually
+	// exclusive with Faults (fault injection targets the in-process path;
+	// cross-process chaos kills real processes instead).
+	Runner ShardRunner
 }
 
 // withDefaults returns a copy with the router knobs defaulted.
@@ -118,6 +124,9 @@ func (c RouterConfig) validate() error {
 	if c.LeaseTTL <= 0 {
 		return fmt.Errorf("%w: lease ttl %v", ErrBadConfig, c.LeaseTTL)
 	}
+	if c.Runner != nil && c.Faults != nil {
+		return fmt.Errorf("%w: Runner and Faults are mutually exclusive", ErrBadConfig)
+	}
 	return nil
 }
 
@@ -130,52 +139,55 @@ func ShardOf(cell geo.CellID, shards int) int {
 	return int(cell % geo.CellID(shards))
 }
 
-// shardMsgKind tags a message on a shard's input channel.
-type shardMsgKind uint8
+// ShardMsgKind tags a message on a shard's input channel.
+type ShardMsgKind uint8
 
 const (
-	msgObs shardMsgKind = iota + 1
-	msgClose
-	msgSnap
+	ShardMsgObs ShardMsgKind = iota + 1
+	ShardMsgClose
+	ShardMsgSnap
 )
 
-// shardMsg is one journalled message to a shard windower. pos is the
+// ShardMsg is one journalled message to a shard windower. Pos is the
 // router-assigned position in the shard's message sequence, the coordinate
-// the sub-checkpoint handoff protocol is anchored to.
-type shardMsg struct {
-	pos    int64
-	kind   shardMsgKind
-	obs    Observation // msgObs
-	round  int         // msgClose
-	target int         // msgClose: close windows < target
-	maxTS  int64       // msgClose: router watermark state at issue time
+// the sub-checkpoint handoff protocol is anchored to. The fields are
+// exported because ShardMsg is also the wire unit of the cross-process
+// shard protocol (internal/shardrpc): the router journals exactly what it
+// sends, so replay after a worker death retransmits identical bytes.
+type ShardMsg struct {
+	Pos    int64
+	Kind   ShardMsgKind
+	Obs    Observation // ShardMsgObs
+	Round  int         // ShardMsgClose
+	Target int         // ShardMsgClose: close windows < target
+	MaxTS  int64       // ShardMsgClose: router watermark state at issue time
 }
 
-// shardOutKind tags a message on the shared shard → merger channel.
-type shardOutKind uint8
+// ShardOutKind tags a message on the shared shard → merger channel.
+type ShardOutKind uint8
 
 const (
-	outRound shardOutKind = iota + 1
-	outSnap
+	ShardOutRound ShardOutKind = iota + 1
+	ShardOutSnap
 )
 
 // shardOut is one shard emission: a round of sealed window closures, or a
 // sub-checkpoint snapshot acknowledging a journal position.
 type shardOut struct {
 	shard    int
-	kind     shardOutKind
+	kind     ShardOutKind
 	round    int
 	target   int
 	maxTS    int64
 	sealed   []sealedScenario
 	snapPos  int64
-	snapshot []checkpointBucket
+	snapshot []ShardBucket
 }
 
 // snapAck is the merger-recorded latest sub-checkpoint of one shard.
 type snapAck struct {
 	pos     int64
-	buckets []checkpointBucket
+	buckets []ShardBucket
 }
 
 // shardSlot is the router-side state of one shard: its current incarnation's
@@ -184,15 +196,15 @@ type snapAck struct {
 type shardSlot struct {
 	id          int
 	incarnation int
-	in          chan shardMsg
+	in          chan ShardMsg
 	stop        chan struct{}
 
 	sent    int64      // position of the last journalled message
-	journal []shardMsg // messages since the last acknowledged sub-checkpoint
+	journal []ShardMsg // messages since the last acknowledged sub-checkpoint
 
-	snapPos     int64              // position of the last acknowledged sub-checkpoint
-	snapBuckets []checkpointBucket // its bucket image
-	pendingSnap int64              // outstanding snapshot request position (0 = none)
+	snapPos     int64         // position of the last acknowledged sub-checkpoint
+	snapBuckets []ShardBucket // its bucket image
+	pendingSnap int64         // outstanding snapshot request position (0 = none)
 
 	routed    int64  // observations routed to this shard (gauge)
 	gaugeName string // precomputed per-shard gauge key
@@ -229,9 +241,13 @@ type Router struct {
 	ingested     int64
 	lateDropped  int64
 	redispatches int64
-	seen         map[bucketKey]bool // open (window, cell) keys routed so far
-	openPerWin   map[int]int        // open bucket count per window
-	sinceSweep   int                // ingests since the last lease sweep
+	// supervisorRedispatches counts the redispatches initiated through
+	// RedispatchShard / ShardRun.Redispatch (a supervisor reporting a dead
+	// worker) — a subset of redispatches, which counts every recovery path.
+	supervisorRedispatches int64
+	seen                   map[bucketKey]bool // open (window, cell) keys routed so far
+	openPerWin             map[int]int        // open bucket count per window
+	sinceSweep             int                // ingests since the last lease sweep
 
 	out        chan shardOut
 	wg         sync.WaitGroup
@@ -254,9 +270,14 @@ type Router struct {
 type RouterStats struct {
 	// Shards is the configured shard count.
 	Shards int
-	// Redispatches counts shard takeovers: a lapsed lease handed to a fresh
-	// incarnation restored from its sub-checkpoint.
+	// Redispatches counts shard takeovers: a dead incarnation handed to a
+	// fresh one restored from its sub-checkpoint, whether detected by lease
+	// expiry or reported by a supervisor.
 	Redispatches int64
+	// SupervisorRedispatches counts the subset of Redispatches initiated
+	// through RedispatchShard — a supervisor reporting a dead worker ahead
+	// of the lease-expiry failure detector.
+	SupervisorRedispatches int64
 	// Kills counts injected shard-kill faults taken (tests only).
 	Kills int64
 	// Leases is the underlying lease table's counters.
@@ -271,7 +292,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 
 // newRouter builds a router, optionally seeded from a decoded checkpoint
 // (cp) and its open buckets (open, redistributed by ShardOf).
-func newRouter(cfg RouterConfig, cp *routerCheckpointFile, open []checkpointBucket) (*Router, error) {
+func newRouter(cfg RouterConfig, cp *routerCheckpointFile, open []ShardBucket) (*Router, error) {
 	cfg = cfg.withDefaults()
 	if err := cfg.validate(); err != nil {
 		return nil, err
@@ -302,7 +323,7 @@ func newRouter(cfg RouterConfig, cp *routerCheckpointFile, open []checkpointBuck
 		acks:       make([]snapAck, cfg.Shards),
 	}
 
-	perShard := make([][]checkpointBucket, cfg.Shards)
+	perShard := make([][]ShardBucket, cfg.Shards)
 	if cp != nil {
 		if err := r.restoreCheckpoint(cp); err != nil {
 			return nil, err
@@ -328,16 +349,11 @@ func newRouter(cfg RouterConfig, cp *routerCheckpointFile, open []checkpointBuck
 		slot := &r.slots[s]
 		slot.id = s
 		slot.incarnation = 1
-		slot.in = make(chan shardMsg, cfg.QueueLen)
+		slot.in = make(chan ShardMsg, cfg.QueueLen)
 		slot.stop = make(chan struct{})
 		slot.snapBuckets = perShard[s]
 		slot.gaugeName = fmt.Sprintf("stream_shard%d_ingested", s)
-		initial := make(map[bucketKey]*bucket, len(perShard[s]))
-		for _, cb := range perShard[s] {
-			initial[bucketKey{Window: cb.Window, Cell: cb.Cell}] = bucketFromCheckpoint(cb)
-		}
-		r.wg.Add(1)
-		go r.runShard(s, 1, slot.in, slot.stop, initial)
+		r.startIncarnationLocked(slot, perShard[s])
 	}
 	go r.runMerger()
 	return r, nil
@@ -406,7 +422,7 @@ func (r *Router) Ingest(o Observation) (bool, error) {
 	}
 	shard := ShardOf(o.Cell, r.cfg.Shards)
 	slot := &r.slots[shard]
-	r.sendLocked(slot, shardMsg{kind: msgObs, obs: o})
+	r.sendLocked(slot, ShardMsg{Kind: ShardMsgObs, Obs: o})
 	slot.routed++
 	k := bucketKey{Window: w, Cell: o.Cell}
 	if !r.seen[k] {
@@ -434,9 +450,9 @@ func (r *Router) Ingest(o Observation) (bool, error) {
 // incarnation. A full queue is retried with backpressure; if the shard is
 // redispatched while we wait, the replacement's journal replay has already
 // delivered m, so the send completes vacuously. Callers hold r.mu.
-func (r *Router) sendLocked(s *shardSlot, m shardMsg) {
+func (r *Router) sendLocked(s *shardSlot, m ShardMsg) {
 	s.sent++
-	m.pos = s.sent
+	m.Pos = s.sent
 	s.journal = append(s.journal, m)
 	for {
 		cur := s.in
@@ -462,7 +478,7 @@ func (r *Router) issueCloseLocked(target int) {
 	if target > r.minOpen {
 		r.minOpen = target
 	}
-	m := shardMsg{kind: msgClose, round: r.round, target: target, maxTS: r.maxTS}
+	m := ShardMsg{Kind: ShardMsgClose, Round: r.round, Target: target, MaxTS: r.maxTS}
 	for i := range r.slots {
 		r.sendLocked(&r.slots[i], m)
 	}
@@ -495,7 +511,7 @@ func (r *Router) maybeSnapshotLocked(s *shardSlot) {
 	if s.pendingSnap != 0 || len(s.journal) < r.cfg.SubCheckpointEvery {
 		return
 	}
-	r.sendLocked(s, shardMsg{kind: msgSnap})
+	r.sendLocked(s, ShardMsg{Kind: ShardMsgSnap})
 	s.pendingSnap = s.sent
 }
 
@@ -511,7 +527,7 @@ func (r *Router) adoptAckLocked(s *shardSlot) {
 	}
 	s.snapPos = ack.pos
 	s.snapBuckets = ack.buckets
-	idx := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].pos > ack.pos })
+	idx := sort.Search(len(s.journal), func(i int) bool { return s.journal[i].Pos > ack.pos })
 	s.journal = append(s.journal[:0:0], s.journal[idx:]...)
 	if s.pendingSnap != 0 && s.pendingSnap <= ack.pos {
 		s.pendingSnap = 0
@@ -545,18 +561,96 @@ func (r *Router) redispatchLocked(shard int, now time.Time) {
 	slot.stop = make(chan struct{})
 	// Capacity covers the whole replay, so these sends cannot block even if
 	// the replacement is itself killed mid-replay.
-	slot.in = make(chan shardMsg, len(slot.journal)+r.cfg.QueueLen)
+	slot.in = make(chan ShardMsg, len(slot.journal)+r.cfg.QueueLen)
 	slot.incarnation = inc
 	r.redispatches++
-	initial := make(map[bucketKey]*bucket, len(slot.snapBuckets))
-	for _, cb := range slot.snapBuckets {
-		initial[bucketKey{Window: cb.Window, Cell: cb.Cell}] = bucketFromCheckpoint(cb)
-	}
-	r.wg.Add(1)
-	go r.runShard(shard, inc, slot.in, slot.stop, initial)
+	r.startIncarnationLocked(slot, slot.snapBuckets)
 	for _, m := range slot.journal {
 		slot.in <- m
 	}
+}
+
+// startIncarnationLocked launches the slot's current incarnation: the
+// in-process windower goroutine, or — when cfg.Runner is set — the runner,
+// which may host the shard anywhere it likes (internal/shardrpc proxies it
+// to a worker process). image is the sub-checkpoint the incarnation
+// restores from. Callers hold r.mu (newRouter calls before the router
+// escapes).
+func (r *Router) startIncarnationLocked(slot *shardSlot, image []ShardBucket) {
+	shard, inc := slot.id, slot.incarnation
+	in, stop := slot.in, slot.stop
+	if r.cfg.Runner == nil {
+		initial := make(map[bucketKey]*bucket, len(image))
+		for _, cb := range image {
+			initial[bucketKey{Window: cb.Window, Cell: cb.Cell}] = bucketFromCheckpoint(cb)
+		}
+		r.wg.Add(1)
+		go r.runShard(shard, inc, in, stop, initial)
+		return
+	}
+	run := ShardRun{
+		Shard:       shard,
+		Incarnation: inc,
+		Params: ShardParams{
+			WindowMS:   r.cfg.WindowMS,
+			Dim:        r.cfg.Dim,
+			WorkFactor: r.cfg.WorkFactor,
+			LeaseTTL:   r.cfg.LeaseTTL,
+		},
+		Initial: image,
+		In:      in,
+		Stop:    stop,
+		Emit: func(o ShardOut) bool {
+			return r.emit(outFromWire(shard, o), stop)
+		},
+		Renew: func() bool {
+			return r.leases.Renew(shard, inc, r.cfg.Clock.Now())
+		},
+		Redispatch: func() error {
+			return r.redispatchFrom(shard, inc)
+		},
+	}
+	r.wg.Add(1)
+	go func() {
+		defer r.wg.Done()
+		r.cfg.Runner.RunShard(run)
+	}()
+}
+
+// redispatchFrom is ShardRun.Redispatch: it redispatches the shard only if
+// the named incarnation is still current, so a slow runner reporting an
+// already-handled death cannot kill its own replacement.
+func (r *Router) redispatchFrom(shard, incarnation int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRouterClosed
+	}
+	if r.slots[shard].incarnation != incarnation {
+		return nil // already superseded
+	}
+	r.supervisorRedispatches++
+	r.redispatchLocked(shard, r.cfg.Clock.Now())
+	return nil
+}
+
+// RedispatchShard declares a shard's current incarnation dead and hands its
+// cell range to a replacement immediately, without waiting for the liveness
+// lease to lapse — the supervisor path for a worker process observed to
+// have exited. It counts toward both Redispatches and
+// SupervisorRedispatches.
+func (r *Router) RedispatchShard(shard int) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return ErrRouterClosed
+	}
+	if shard < 0 || shard >= r.cfg.Shards {
+		return fmt.Errorf("stream: redispatch of unknown shard %d (have %d)", shard, r.cfg.Shards)
+	}
+	r.supervisorRedispatches++
+	r.redispatchLocked(shard, r.cfg.Clock.Now())
+	return nil
 }
 
 // runShard is one shard windower incarnation: a pure event-time accumulator
@@ -565,7 +659,7 @@ func (r *Router) redispatchLocked(shard int, now time.Time) {
 // sub-checkpoint requests with a deep-copied bucket image. All global state
 // — watermark, partition, resolutions — lives in the router and merge
 // stage, which is what makes shard death recoverable by pure replay.
-func (r *Router) runShard(shard, incarnation int, in <-chan shardMsg, stop <-chan struct{}, buckets map[bucketKey]*bucket) {
+func (r *Router) runShard(shard, incarnation int, in <-chan ShardMsg, stop <-chan struct{}, buckets map[bucketKey]*bucket) {
 	defer r.wg.Done()
 	tick := time.NewTicker(r.cfg.LeaseTTL / 4)
 	defer tick.Stop()
@@ -599,19 +693,19 @@ func (r *Router) runShard(shard, incarnation int, in <-chan shardMsg, stop <-cha
 					return // silent death; the lease lapses
 				}
 			}
-			switch m.kind {
-			case msgObs:
-				k := bucketKey{Window: int(m.obs.TS / r.cfg.WindowMS), Cell: m.obs.Cell}
+			switch m.Kind {
+			case ShardMsgObs:
+				k := bucketKey{Window: int(m.Obs.TS / r.cfg.WindowMS), Cell: m.Obs.Cell}
 				b := buckets[k]
 				if b == nil {
 					b = newBucket()
 					buckets[k] = b
 				}
-				b.absorb(m.obs)
-			case msgClose:
+				b.absorb(m.Obs)
+			case ShardMsgClose:
 				var keys []bucketKey
 				for k := range buckets {
-					if k.Window < m.target {
+					if k.Window < m.Target {
 						keys = append(keys, k)
 					}
 				}
@@ -622,21 +716,21 @@ func (r *Router) runShard(shard, incarnation int, in <-chan shardMsg, stop <-cha
 					sealed = append(sealed, sealedScenario{key: k, esc: esc, vsc: vsc, feats: extractSealed(xt, vsc, &xbuf)})
 					delete(buckets, k)
 				}
-				out := shardOut{shard: shard, kind: outRound, round: m.round, target: m.target, maxTS: m.maxTS, sealed: sealed}
+				out := shardOut{shard: shard, kind: ShardOutRound, round: m.Round, target: m.Target, maxTS: m.MaxTS, sealed: sealed}
 				if !r.emit(out, stop) {
 					return
 				}
-			case msgSnap:
+			case ShardMsgSnap:
 				var keys []bucketKey
 				for k := range buckets {
 					keys = append(keys, k)
 				}
 				sortBucketKeys(keys)
-				snap := make([]checkpointBucket, 0, len(keys))
+				snap := make([]ShardBucket, 0, len(keys))
 				for _, k := range keys {
 					snap = append(snap, bucketToCheckpoint(k, buckets[k]))
 				}
-				if !r.emit(shardOut{shard: shard, kind: outSnap, snapPos: m.pos, snapshot: snap}, stop) {
+				if !r.emit(shardOut{shard: shard, kind: ShardOutSnap, snapPos: m.Pos, snapshot: snap}, stop) {
 					return
 				}
 			}
@@ -705,7 +799,7 @@ func (r *Router) runMerger() {
 	lastSnap := make([]int64, shards)
 	for m := range r.out {
 		switch m.kind {
-		case outSnap:
+		case ShardOutSnap:
 			if m.snapPos <= lastSnap[m.shard] {
 				continue // stale re-emission from a superseded incarnation
 			}
@@ -713,7 +807,7 @@ func (r *Router) runMerger() {
 			r.snapMu.Lock()
 			r.acks[m.shard] = snapAck{pos: m.snapPos, buckets: m.snapshot}
 			r.snapMu.Unlock()
-		case outRound:
+		case ShardOutRound:
 			if m.round <= lastRound[m.shard] {
 				continue // duplicate from a redispatch replay
 			}
@@ -940,13 +1034,14 @@ func (r *Router) SpillStats() spill.Snapshot {
 // Stats snapshots the router's fault-handling counters.
 func (r *Router) Stats() RouterStats {
 	r.mu.Lock()
-	red := r.redispatches
+	red, sup := r.redispatches, r.supervisorRedispatches
 	r.mu.Unlock()
 	return RouterStats{
-		Shards:       r.cfg.Shards,
-		Redispatches: red,
-		Kills:        r.kills.Load(),
-		Leases:       r.leases.Stats(),
+		Shards:                 r.cfg.Shards,
+		Redispatches:           red,
+		SupervisorRedispatches: sup,
+		Kills:                  r.kills.Load(),
+		Leases:                 r.leases.Stats(),
 	}
 }
 
@@ -961,13 +1056,14 @@ func (r *Router) publishGaugesLocked() {
 		lag = r.cfg.Clock.Now().UnixMilli() - (r.maxTS - r.cfg.LatenessMS)
 	}
 	m := map[string]int64{
-		"stream_open_windows":        int64(len(r.openPerWin)),
-		"stream_watermark_lag_ms":    lag,
-		"stream_pending_eids":        int64(len(r.cfg.Targets)) - r.resolvedGauge.Load(),
-		"stream_resolutions_emitted": r.seqGauge.Load(),
-		"stream_late_dropped":        r.lateDropped,
-		"stream_shards":              int64(r.cfg.Shards),
-		"stream_shard_redispatches":  r.redispatches,
+		"stream_open_windows":                  int64(len(r.openPerWin)),
+		"stream_watermark_lag_ms":              lag,
+		"stream_pending_eids":                  int64(len(r.cfg.Targets)) - r.resolvedGauge.Load(),
+		"stream_resolutions_emitted":           r.seqGauge.Load(),
+		"stream_late_dropped":                  r.lateDropped,
+		"stream_shards":                        int64(r.cfg.Shards),
+		"stream_shard_redispatches":            r.redispatches,
+		"stream_shard_supervisor_redispatches": r.supervisorRedispatches,
 	}
 	for i := range r.slots {
 		m[r.slots[i].gaugeName] = r.slots[i].routed
@@ -984,7 +1080,7 @@ func (r *Router) publishGaugesLocked() {
 
 // sortCheckpointBuckets orders bucket images ascending by (window, cell) —
 // the canonical sub-checkpoint order.
-func sortCheckpointBuckets(buckets []checkpointBucket) {
+func sortCheckpointBuckets(buckets []ShardBucket) {
 	sort.Slice(buckets, func(i, j int) bool {
 		if buckets[i].Window != buckets[j].Window {
 			return buckets[i].Window < buckets[j].Window
